@@ -1,0 +1,281 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* scheduler backend: faithful SMT vs incremental backtracking — same
+  validated semantics, orders-of-magnitude different solve time;
+* N (probabilistic possibilities): trades schedule size and the formal
+  (strict-GCL) latency guarantee; run-time E-TSN latency is insensitive;
+* reservation accounting: paper Alg. 1 vs the robust generalization —
+  cost in reserved wire-time, protection under adversarial bursts when
+  TCT frames are much shorter than the ECT message;
+* GCL mode: etsn (EP in all shared+idle time) vs etsn-strict (EP only in
+  the formally reserved slots) — run-time gain of slot sharing.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import build_gcl, schedule_etsn, schedule_heuristic, schedule_smt
+from repro.core.probabilistic import expand_ect
+from repro.core.reservation import prudent_reservation, total_extra_time_ns
+from repro.experiments import testbed_workload as make_testbed_workload
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.topology import Topology
+from repro.model.units import MBPS_100, milliseconds, ns_to_us
+from repro.sim import SimConfig, TsnSimulation
+from repro.traffic.events import burst_events
+
+
+def test_ablation_backend_agreement_and_speed(benchmark, emit):
+    """Both backends schedule the testbed workload; the heuristic is the
+    one that scales.  (SMT timing on the small paper example is in
+    test_smt_scheduler_speed.)"""
+    workload = make_testbed_workload(0.25, seed=1)
+    t0 = time.perf_counter()
+    heuristic = schedule_heuristic(workload.topology, workload.tct_streams,
+                                   workload.ect_streams)
+    t_heuristic = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    smt = schedule_smt(workload.topology, workload.tct_streams,
+                       workload.ect_streams)
+    t_smt = time.perf_counter() - t0
+    emit("ablation_backends", format_table(
+        ["backend", "streams", "solve_s"],
+        [["heuristic", len(heuristic.streams), f"{t_heuristic:.3f}"],
+         ["smt", len(smt.streams), f"{t_smt:.3f}"]],
+        title="Scheduler backends on the 25% testbed workload",
+    ))
+    assert heuristic.meta["backend"] == "heuristic"
+    assert smt.meta["backend"] == "smt"
+    benchmark(
+        lambda: schedule_heuristic(workload.topology, workload.tct_streams,
+                                   workload.ect_streams)
+    )
+
+
+def test_ablation_possibilities_sweep(benchmark, bench_duration_ns, emit):
+    """N controls the strict-mode (formal-reservation) latency: more
+    possibilities -> denser reserved slots -> lower guaranteed latency.
+    Run-time etsn latency barely moves."""
+    rows = []
+    strict_worst = {}
+    loose_worst = {}
+    for n in (2, 4, 8):
+        workload = make_testbed_workload(0.50, seed=1, possibilities=n)
+        schedule = schedule_etsn(workload.topology, workload.tct_streams,
+                                 workload.ect_streams)
+        for mode in ("etsn", "etsn-strict"):
+            gcl = build_gcl(schedule, mode=mode)
+            report = TsnSimulation(
+                schedule, gcl, SimConfig(duration_ns=bench_duration_ns, seed=1),
+            ).run()
+            stats = report.recorder.stats("ect1")
+            rows.append([n, mode, ns_to_us(stats.average_ns),
+                         ns_to_us(stats.maximum_ns), ns_to_us(stats.stddev_ns)])
+            if mode == "etsn-strict":
+                strict_worst[n] = stats.maximum_ns
+            else:
+                loose_worst[n] = stats.maximum_ns
+    emit("ablation_possibilities", format_table(
+        ["N", "gcl_mode", "avg_us", "worst_us", "jitter_us"], rows,
+        title="Probabilistic possibility count N (testbed, 50% load)",
+    ))
+    # more possibilities tighten the strict guarantee substantially
+    assert strict_worst[8] < strict_worst[2] / 2
+    # run-time etsn is insensitive to N
+    assert max(loose_worst.values()) < 1.5 * min(loose_worst.values())
+
+    workload = make_testbed_workload(0.50, seed=1, possibilities=8)
+    benchmark(
+        lambda: schedule_etsn(workload.topology, workload.tct_streams,
+                              workload.ect_streams)
+    )
+
+
+def _small_frame_scenario():
+    """Shared TCT with 400 B frames vs a 1-MTU ECT: the case where the
+    paper's Alg. 1 under-reserves (one event straddles several windows)."""
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for device, switch in (("D1", "SW1"), ("D2", "SW1"), ("D3", "SW2")):
+        topo.add_device(device)
+        topo.add_link(device, switch, bandwidth_bps=MBPS_100)
+    topo.add_link("SW1", "SW2", bandwidth_bps=MBPS_100)
+    tct = [Stream(
+        name="ctrl", path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(5), priority=Priorities.SH_PL,
+        length_bytes=400, period_ns=milliseconds(5), share=True,
+    )]
+    ects = [EctStream(
+        name="alarm", source="D2", destination="D3",
+        min_interevent_ns=milliseconds(10), length_bytes=1500, possibilities=5,
+    )]
+    return topo, tct, ects
+
+
+def test_ablation_reservation_modes(benchmark, bench_duration_ns, emit):
+    topo, tct, ects = _small_frame_scenario()
+    events = burst_events(bench_duration_ns, milliseconds(10),
+                          burst_size=3, burst_gap_ns=milliseconds(40), seed=4)
+    rows = []
+    violations = {}
+    for mode in ("paper", "robust"):
+        schedule = schedule_etsn(topo, tct, ects, reservation_mode=mode)
+        streams = schedule.streams
+        plan = prudent_reservation(streams, mode=mode)
+        reserved_us = ns_to_us(total_extra_time_ns(plan, streams))
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(
+            schedule, gcl,
+            SimConfig(duration_ns=bench_duration_ns, seed=4,
+                      ect_event_times={"alarm": events}),
+        ).run()
+        stats = report.recorder.stats("ctrl")
+        budget = schedule.stream("ctrl").e2e_ns
+        violated = stats.maximum_ns > budget
+        violations[mode] = violated
+        rows.append([
+            mode, f"{reserved_us:.0f}", ns_to_us(stats.maximum_ns),
+            ns_to_us(budget), "MISS" if violated else "ok",
+        ])
+    emit("ablation_reservation", format_table(
+        ["reservation", "reserved_us_per_period", "tct_worst_us",
+         "budget_us", "deadline"],
+        rows,
+        title="Reservation accounting under adversarial bursts "
+              "(400 B TCT vs 1 MTU ECT)",
+    ))
+    # the robust mode must protect the deadline; the paper mode is the
+    # reproduction finding: it can miss in this frame-size regime
+    assert not violations["robust"]
+
+    benchmark(lambda: schedule_etsn(topo, tct, ects, reservation_mode="robust"))
+
+
+def test_ablation_gcl_modes(benchmark, bench_duration_ns, emit):
+    """Prioritized slot sharing is where the run-time latency win lives:
+    the strict (reservation-only) GCL honors the same formal bound but
+    is an order of magnitude slower on average."""
+    workload = make_testbed_workload(0.50, seed=1)
+    schedule = schedule_etsn(workload.topology, workload.tct_streams,
+                             workload.ect_streams)
+    rows = []
+    stats = {}
+    for mode in ("etsn", "etsn-strict"):
+        gcl = build_gcl(schedule, mode=mode)
+        report = TsnSimulation(
+            schedule, gcl, SimConfig(duration_ns=bench_duration_ns, seed=1),
+        ).run()
+        stats[mode] = report.recorder.stats("ect1")
+        rows.append([mode, ns_to_us(stats[mode].average_ns),
+                     ns_to_us(stats[mode].maximum_ns),
+                     ns_to_us(stats[mode].stddev_ns)])
+    emit("ablation_gcl_modes", format_table(
+        ["gcl_mode", "avg_us", "worst_us", "jitter_us"], rows,
+        title="Run-time value of prioritized slot sharing (testbed, 50%)",
+    ))
+    assert stats["etsn"].average_ns < stats["etsn-strict"].average_ns / 2
+    # both respect the ECT deadline
+    deadline = workload.ect_streams[0].effective_e2e_ns
+    assert stats["etsn-strict"].maximum_ns <= deadline
+    assert stats["etsn"].maximum_ns <= deadline
+
+    benchmark(lambda: build_gcl(schedule, mode="etsn"))
+
+
+def test_ablation_clock_margin(benchmark, emit):
+    """Guard margin vs clock quality: zero-margin schedules are exact
+    only with perfect clocks; synced drifting clocks need a margin that
+    covers residual + inter-sync drift, and then determinism returns."""
+    from repro.model.stream import EctStream, Priorities, Stream
+    from repro.model.topology import Topology
+    from repro.model.units import MBPS_100
+    from repro.sim import SyncConfig
+
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for device, switch in (("D1", "SW1"), ("D2", "SW1"), ("D4", "SW2")):
+        topo.add_device(device)
+        topo.add_link(device, switch, bandwidth_bps=MBPS_100)
+    topo.add_link("SW1", "SW2", bandwidth_bps=MBPS_100)
+    tct = [Stream(
+        name="loop", path=tuple(topo.shortest_path("D1", "D4")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=3000, period_ns=milliseconds(4), share=True,
+    )]
+    ects = [EctStream("alarm", "D2", "D4", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4)]
+    drift = {"SW1": 25_000, "SW2": -18_000, "D1": 8_000}
+    sync = SyncConfig(sync_interval_ns=milliseconds(31.25), residual_error_ns=10)
+    duration = milliseconds(800)
+
+    rows = []
+    outcomes = {}
+    cases = [
+        ("perfect clocks, margin 0", 0, {}, None),
+        ("drift, sync, margin 0", 0, drift, sync),
+        ("drift, sync, margin 2us", 2_000, drift, sync),
+    ]
+    for label, margin, drift_map, sync_cfg in cases:
+        schedule = schedule_etsn(topo, tct, ects, guard_margin_ns=margin)
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=duration, seed=2,
+            clock_drift_ppb=drift_map, sync=sync_cfg,
+            ect_event_times={"alarm": []},
+        )).run()
+        stats = report.recorder.stats("loop")
+        budget = schedule.stream("loop").e2e_ns + margin
+        deterministic = stats.maximum_ns <= budget
+        outcomes[label] = deterministic
+        rows.append([label, ns_to_us(stats.maximum_ns),
+                     ns_to_us(stats.stddev_ns),
+                     "ok" if deterministic else "BROKEN"])
+    emit("ablation_clock_margin", format_table(
+        ["case", "tct_worst_us", "tct_jitter_us", "determinism"], rows,
+        title="Guard margin vs clock error (25 ppm drift, 802.1AS sync)",
+    ))
+    assert outcomes["perfect clocks, margin 0"]
+    assert not outcomes["drift, sync, margin 0"]
+    assert outcomes["drift, sync, margin 2us"]
+
+    benchmark(lambda: schedule_etsn(topo, tct, ects, guard_margin_ns=2_000))
+
+
+def test_ablation_avb_idle_slope(benchmark, bench_duration_ns, emit):
+    """How much does the Qav shaper setting matter for the AVB baseline?
+    With a single sparse ECT stream the credit rarely binds: the
+    baseline's weakness is *where* it may transmit (unallocated time),
+    not the shaper rate — supporting the paper's explanation."""
+    from repro.core import schedule_avb
+
+    workload = make_testbed_workload(0.50, seed=1)
+    schedule = schedule_avb(workload.topology, workload.tct_streams,
+                            workload.ect_streams)
+    gcl = build_gcl(schedule, mode="avb")
+    rows = []
+    stats_by_slope = {}
+    for fraction in (0.25, 0.50, 0.75):
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=bench_duration_ns, seed=1,
+            cbs_on_ect=True, cbs_idle_slope_fraction=fraction,
+        )).run()
+        stats = report.recorder.stats("ect1")
+        stats_by_slope[fraction] = stats
+        blocks = sum(p.cbs_blocks for p in report.port_stats.values())
+        rows.append([f"{fraction:.0%}", ns_to_us(stats.average_ns),
+                     ns_to_us(stats.maximum_ns), ns_to_us(stats.stddev_ns),
+                     blocks])
+    emit("ablation_avb_idle_slope", format_table(
+        ["idle_slope", "avg_us", "worst_us", "jitter_us", "cbs_blocks"],
+        rows, title="AVB baseline vs Qav idle slope (testbed, 50% load)",
+    ))
+    # a sparse single stream barely touches the credit: latency moves
+    # by far less than the E-TSN-vs-AVB gap
+    avgs = [s.average_ns for s in stats_by_slope.values()]
+    assert max(avgs) < 1.5 * min(avgs)
+
+    benchmark(lambda: build_gcl(schedule, mode="avb"))

@@ -1,0 +1,67 @@
+"""Paper Fig. 11 + the Sec. VI-B headline numbers.
+
+Regenerates: ECT latency CDFs on the 2-switch testbed under E-TSN,
+PERIOD, and AVB at 25/50/75 % network load, and checks the shape claims:
+
+* E-TSN's worst case and jitter are multiples better than both baselines;
+* E-TSN and PERIOD are stable across load while AVB degrades;
+* E-TSN's absolute numbers land in the paper's regime
+  (avg ~423 us, worst ~515 us, jitter ~39 us over 3 hops at 75 %).
+"""
+
+from repro.analysis import cdf_percentiles, format_table
+from repro.experiments import fig11
+from repro.experiments import testbed_workload as make_testbed_workload
+from repro.core import schedule_etsn
+from repro.model.units import ns_to_us
+
+
+def test_fig11_latency_cdf(benchmark, bench_duration_ns, emit):
+    config = fig11.Fig11Config(duration_ns=bench_duration_ns)
+    result = fig11.run(config)
+
+    # ---- emit the figure's rows (stats + CDF percentiles) --------------
+    lines = [fig11.format_result(result), ""]
+    rows = []
+    for (load, method), cdf in sorted(result.cdfs.items()):
+        pct = cdf_percentiles(cdf, fractions=(0.5, 0.9, 0.99, 1.0))
+        rows.append([
+            f"{load:.0%}", method,
+            ns_to_us(pct[0.5]), ns_to_us(pct[0.9]),
+            ns_to_us(pct[0.99]), ns_to_us(pct[1.0]),
+        ])
+    lines.append(format_table(
+        ["load", "method", "p50_us", "p90_us", "p99_us", "p100_us"],
+        rows, title="Fig. 11 CDF percentiles",
+    ))
+    headline = fig11.headline_numbers(result)
+    lines.append("")
+    lines.append("Sec. VI-B headline (75% load): " + ", ".join(
+        f"{k}={v:.1f}" for k, v in headline.items()))
+    emit("fig11_latency_cdf", "\n".join(lines))
+
+    # ---- shape assertions ----------------------------------------------
+    for load in config.loads:
+        etsn = result.stats[(load, "etsn")]
+        period = result.stats[(load, "period")]
+        avb = result.stats[(load, "avb")]
+        assert period.maximum_ns > 3 * etsn.maximum_ns
+        assert period.stddev_ns > 5 * etsn.stddev_ns
+        assert avb.stddev_ns > 3 * etsn.stddev_ns
+    # E-TSN and PERIOD stable across load; AVB degrades with load
+    etsn_avgs = [result.stats[(l, "etsn")].average_ns for l in config.loads]
+    assert max(etsn_avgs) < 1.25 * min(etsn_avgs)
+    avb_avgs = [result.stats[(l, "avb")].average_ns for l in config.loads]
+    assert avb_avgs[-1] > 1.4 * avb_avgs[0]
+    # headline regime: hundreds of microseconds over 3 hops
+    top = result.stats[(0.75, "etsn")]
+    assert 250_000 < top.average_ns < 700_000
+    assert top.maximum_ns < 1_000_000
+    assert top.stddev_ns < 120_000
+
+    # ---- timing: the E-TSN joint scheduling step at 75 % load ----------
+    workload = make_testbed_workload(0.75, seed=config.seed)
+    benchmark(
+        lambda: schedule_etsn(workload.topology, workload.tct_streams,
+                              workload.ect_streams)
+    )

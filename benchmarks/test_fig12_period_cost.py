@@ -1,0 +1,42 @@
+"""Paper Fig. 12: what PERIOD pays for more dedicated slots.
+
+Regenerates: ECT latency for PERIOD with 1x/2x/4x/8x E-TSN's slot count
+against E-TSN, plus the dedicated-bandwidth column.  Shape claims:
+
+* more slots monotonically lower PERIOD's latency, but even at 8x its
+  worst case stays above E-TSN's;
+* dedicated bandwidth grows linearly with the multiplier, toward the
+  paper's "impractical" verdict.
+"""
+
+from repro.experiments import fig12
+from repro.experiments import testbed_workload as make_testbed_workload
+from repro.core import schedule_period
+
+
+def test_fig12_period_cost(benchmark, bench_duration_ns, emit):
+    config = fig12.Fig12Config(duration_ns=bench_duration_ns)
+    result = fig12.run(config)
+    emit("fig12_period_cost", fig12.format_result(result))
+
+    etsn = result.stats["etsn"]
+    multipliers = ["period", "period_x2", "period_x4", "period_x8"]
+    worsts = [result.stats[m].maximum_ns for m in multipliers]
+    # monotone improvement with more slots...
+    assert worsts == sorted(worsts, reverse=True)
+    # ...but even 8x dedicated slots cannot reach E-TSN's worst case
+    assert worsts[-1] > etsn.maximum_ns
+    # and E-TSN wins on average everywhere
+    for m in multipliers:
+        assert result.stats[m].average_ns > etsn.average_ns
+    # dedicated bandwidth scales linearly with the multiplier
+    bw = [result.dedicated_bandwidth[m] for m in multipliers]
+    assert abs(bw[1] - 2 * bw[0]) < 0.01
+    assert abs(bw[3] - 8 * bw[0]) < 0.02
+    assert result.dedicated_bandwidth["etsn"] == 0.0
+
+    workload = make_testbed_workload(config.load, seed=config.seed)
+    benchmark(
+        lambda: schedule_period(workload.topology, workload.tct_streams,
+                                workload.ect_streams, slot_multiplier=8)
+    )

@@ -1,0 +1,63 @@
+"""Paper Fig. 14(a)-(f): the simulation-network sweeps.
+
+Regenerates: ECT latency and jitter on the 4-switch/12-device network
+(paper Fig. 13) across network load {25,50,75}% and ECT message length
+1..5 MTU.  Shape claims (Sec. VI-C1):
+
+* E-TSN is lowest in every cell, on latency, worst case, and jitter;
+* E-TSN and PERIOD are flat across load while AVB degrades;
+* E-TSN and PERIOD grow only mildly with message length while AVB grows
+  steeply (lengths 1..4 MTU at 25 % load: Alg. 1's own reservations make
+  the paper's 5-MTU point unschedulable on this network — see
+  EXPERIMENTS.md);
+* the aggregate reductions land in the paper's regime (E-TSN tens of
+  percent below PERIOD/AVB on latency, >90 % on jitter).
+"""
+
+from repro.experiments import fig14, simulation_workload
+from repro.core import schedule_etsn
+
+
+def test_fig14_sim_latency(benchmark, bench_duration_ns, emit):
+    config = fig14.Fig14Config(duration_ns=bench_duration_ns)
+    result = fig14.run(config)
+    reductions = fig14.average_reductions(result)
+    text = fig14.format_result(result) + "\n\nAggregate reductions (%): " + \
+        ", ".join(f"{k}={v:.1f}" for k, v in sorted(reductions.items()))
+    emit("fig14_sim_latency", text)
+
+    # E-TSN lowest in every cell
+    for (kind, value, method), stats in result.stats.items():
+        if method == "etsn":
+            continue
+        etsn = result.stats[(kind, value, "etsn")]
+        assert etsn.average_ns < stats.average_ns, (kind, value, method)
+        assert etsn.maximum_ns < stats.maximum_ns, (kind, value, method)
+        assert etsn.stddev_ns < stats.stddev_ns, (kind, value, method)
+    # stability across load: E-TSN and PERIOD flat, AVB degrades
+    for method, flat in (("etsn", True), ("period", True), ("avb", False)):
+        avgs = [result.stats[("load", l, method)].average_ns for l in config.loads]
+        if flat:
+            assert max(avgs) < 1.35 * min(avgs), method
+        else:
+            assert avgs[-1] > 1.4 * avgs[0], method
+    # message-length growth: AVB grows much faster than E-TSN
+    longest = max(config.lengths_mtu)
+    etsn_1 = result.stats[("length", 1, "etsn")].average_ns
+    etsn_n = result.stats[("length", longest, "etsn")].average_ns
+    avb_1 = result.stats[("length", 1, "avb")].average_ns
+    avb_n = result.stats[("length", longest, "avb")].average_ns
+    assert (avb_n / avb_1) > (etsn_n / etsn_1)
+    # aggregate reductions: jitter beyond 80 % as in the paper; average
+    # latency clearly positive for both baselines (our AVB is stronger
+    # than the paper's — see EXPERIMENTS.md — so the margin is smaller)
+    assert reductions["period_jitter"] > 80
+    assert reductions["avb_jitter"] > 80
+    assert reductions["period_avg"] > 40
+    assert reductions["avb_avg"] > 25
+
+    workload = simulation_workload(0.50, seed=config.seed)
+    benchmark(
+        lambda: schedule_etsn(workload.topology, workload.tct_streams,
+                              workload.ect_streams)
+    )

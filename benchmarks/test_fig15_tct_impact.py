@@ -1,0 +1,40 @@
+"""Paper Fig. 15: ECT's impact on TCT under E-TSN.
+
+Regenerates: per-stream TCT latency with vs without random ECT, for
+three non-shared and three shared streams.  Shape claims (Sec. VI-C2):
+
+* non-shared streams are bit-for-bit unaffected by ECT;
+* shared streams may see higher latency/jitter with ECT present, but
+  their worst case stays below the allowed maximum.
+"""
+
+from repro.experiments import fig15, simulation_workload
+from repro.core import schedule_etsn
+
+
+def test_fig15_tct_impact(benchmark, bench_duration_ns, emit):
+    config = fig15.Fig15Config(duration_ns=bench_duration_ns)
+    result = fig15.run(config)
+    emit("fig15_tct_impact", fig15.format_result(result))
+
+    assert len(result.nonshared()) == config.num_reported
+    assert len(result.shared()) == config.num_reported
+    for impact in result.nonshared():
+        assert impact.unaffected, f"{impact.stream} changed without sharing"
+    for impact in result.impacts:
+        assert impact.worst_within_budget, (
+            f"{impact.stream} exceeded its allowed latency under ECT"
+        )
+    # the encroachment is visible: some shared stream's latency moved
+    assert any(
+        impact.with_ect.maximum_ns > impact.without_ect.maximum_ns
+        for impact in result.shared()
+    )
+
+    workload = simulation_workload(
+        config.load, seed=config.seed, num_nonshared=fig15.NUM_NONSHARED
+    )
+    benchmark(
+        lambda: schedule_etsn(workload.topology, workload.tct_streams,
+                              workload.ect_streams)
+    )

@@ -1,0 +1,39 @@
+"""Paper Fig. 16: four concurrent ECT streams.
+
+Regenerates: latency and jitter of four ECT streams (D1->D12 plus three
+random-endpoint streams) at 50 % load, per method.  Shape claims
+(Sec. VI-C3): E-TSN achieves the lowest latency and jitter for *every*
+stream simultaneously, with aggregate reductions in the paper's regime.
+"""
+
+from repro.experiments import fig16, simulation_workload
+from repro.core import schedule_etsn
+
+
+def test_fig16_multi_ect(benchmark, bench_duration_ns, emit):
+    config = fig16.Fig16Config(duration_ns=bench_duration_ns)
+    result = fig16.run(config)
+    reductions = fig16.average_reductions(result)
+    text = fig16.format_result(result) + "\n\nAggregate reductions (%): " + \
+        ", ".join(f"{k}={v:.1f}" for k, v in sorted(reductions.items()))
+    emit("fig16_multi_ect", text)
+
+    for name in result.ect_names:
+        etsn = result.stats[("etsn", name)]
+        for method in config.methods:
+            if method == "etsn":
+                continue
+            other = result.stats[(method, name)]
+            assert etsn.average_ns < other.average_ns, (name, method)
+            assert etsn.stddev_ns < other.stddev_ns, (name, method)
+    assert reductions["period_jitter"] > 70
+    assert reductions["avb_jitter"] > 70
+    assert reductions["period_latency"] > 30
+    assert reductions["avb_latency"] > 30
+
+    workload = simulation_workload(config.load, seed=config.seed,
+                                   num_ect=fig16.NUM_ECT)
+    benchmark(
+        lambda: schedule_etsn(workload.topology, workload.tct_streams,
+                              workload.ect_streams)
+    )

@@ -1,0 +1,52 @@
+"""Online admission vs full rescheduling (the paper's Sec. VII-C future
+work): admitting one stream into a 40-stream network must be much cheaper
+than recomputing the whole schedule, and must leave existing slots
+untouched."""
+
+import time
+
+from repro.analysis import format_table
+from repro.core import add_tct_stream, schedule_etsn, validate
+from repro.experiments import simulation_workload
+from repro.model.stream import Priorities, Stream
+from repro.model.units import milliseconds
+
+
+def test_online_admission_vs_reschedule(benchmark, emit):
+    workload = simulation_workload(0.50, seed=1)
+    base = schedule_etsn(workload.topology, workload.tct_streams,
+                         workload.ect_streams)
+    newcomer = Stream(
+        name="late-arrival",
+        path=tuple(workload.topology.shortest_path("D2", "D11")),
+        e2e_ns=milliseconds(10), priority=Priorities.NSH_PH,
+        length_bytes=1000, period_ns=milliseconds(10), share=False,
+    )
+
+    t0 = time.perf_counter()
+    incremental = add_tct_stream(base, newcomer)
+    t_incremental = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = schedule_etsn(
+        workload.topology, workload.tct_streams + [newcomer],
+        workload.ect_streams,
+    )
+    t_full = time.perf_counter() - t0
+
+    emit("online_scheduling", format_table(
+        ["approach", "solve_ms", "slots_moved"],
+        [["incremental admission", f"{t_incremental * 1e3:.2f}", 0],
+         ["full reschedule", f"{t_full * 1e3:.2f}", "n/a"]],
+        title="Admitting 1 stream into the 40-stream Fig. 13 network",
+    ))
+
+    validate(incremental)
+    validate(full)
+    # no pre-existing slot moved under incremental admission
+    for key, slots in base.slots.items():
+        assert incremental.slots[key] == slots
+    # the admission is at least as fast as the full solve
+    assert t_incremental <= t_full
+
+    benchmark(lambda: add_tct_stream(base, newcomer))

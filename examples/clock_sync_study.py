@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Clock error vs guard margin: why TSN needs 802.1AS.
+
+Qbv gates only work if every node agrees what time it is.  This study
+runs the same E-TSN deployment under increasingly bad clocks and shows:
+
+1. with perfect clocks, zero-margin schedules are exact;
+2. with drifting clocks and no sync, gating collapses (frames miss their
+   windows and latency cascades);
+3. with 802.1AS-style sync plus a CNC guard margin sized to the
+   inter-sync error, determinism is restored.
+
+Run:  python examples/clock_sync_study.py
+"""
+
+from repro import (
+    EctStream,
+    Priorities,
+    SimConfig,
+    Stream,
+    SyncConfig,
+    Topology,
+    TsnSimulation,
+    build_gcl,
+    schedule_etsn,
+)
+from repro.model.units import MBPS_100, milliseconds, ns_to_us
+
+
+def build_network() -> Topology:
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for device, switch in (("D1", "SW1"), ("D2", "SW1"), ("D3", "SW2"), ("D4", "SW2")):
+        topo.add_device(device)
+        topo.add_link(device, switch, bandwidth_bps=MBPS_100)
+    topo.add_link("SW1", "SW2", bandwidth_bps=MBPS_100)
+    return topo
+
+
+DRIFT = {"SW1": 25_000, "SW2": -18_000, "D1": 8_000, "D4": -5_000}  # ppb
+
+
+def run_case(topo, label, margin_ns, drift, sync):
+    tct = [Stream(
+        name="loop", path=tuple(topo.shortest_path("D1", "D4")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=3000, period_ns=milliseconds(4), share=True,
+    )]
+    ects = [EctStream(
+        name="alarm", source="D2", destination="D4",
+        min_interevent_ns=milliseconds(16), length_bytes=1500, possibilities=4,
+    )]
+    schedule = schedule_etsn(topo, tct, ects, guard_margin_ns=margin_ns)
+    gcl = build_gcl(schedule, mode="etsn")
+    config = SimConfig(
+        duration_ns=milliseconds(1_000), seed=3,
+        clock_drift_ppb=drift, sync=sync,
+    )
+    report = TsnSimulation(schedule, gcl, config).run()
+    stats = report.recorder.stats("loop")
+    budget = schedule.stream("loop").e2e_ns
+    verdict = "deterministic" if stats.maximum_ns <= budget + margin_ns else "BROKEN"
+    print(f"{label:34s} worst {ns_to_us(stats.maximum_ns):10.1f} us  "
+          f"jitter {ns_to_us(stats.jitter_ns):8.1f} us  "
+          f"sync err {report.sync_error_ns:>8d} ns  {verdict}")
+    return stats
+
+
+def main() -> None:
+    topo = build_network()
+    sync = SyncConfig(sync_interval_ns=milliseconds(31.25), residual_error_ns=10)
+    print(f"{'case':34s} {'':>16s}")
+    run_case(topo, "perfect clocks, no margin", 0, {}, None)
+    run_case(topo, "25 ppm drift, no sync, no margin", 0, DRIFT, None)
+    run_case(topo, "25 ppm drift, sync, no margin", 0, DRIFT, sync)
+    run_case(topo, "25 ppm drift, sync, 2 us margin", 2_000, DRIFT, sync)
+    print()
+    print("The guard margin must cover the worst inter-sync clock error:")
+    print("  residual 10 ns + 31.25 ms x 25 ppm ~ 0.8 us  =>  2 us is safe.")
+
+
+if __name__ == "__main__":
+    main()

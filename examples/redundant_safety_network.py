@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Seamless redundancy for safety-critical events (E-TSN + 802.1CB).
+
+A mining conveyor's emergency-stop must survive a cable cut.  The network
+is a switch ring with dual-homed safety devices; the stop command is an
+E-TSN ECT stream *replicated* over two link-disjoint paths (FRER).  The
+listener eliminates duplicate copies; when one path dies entirely, the
+other still delivers every event with E-TSN latency.
+
+Run:  python examples/redundant_safety_network.py
+"""
+
+from repro import Priorities, SimConfig, Stream, Topology, TsnSimulation, build_gcl
+from repro.core import frer_guarantee_ns, schedule_etsn_frer, validate
+from repro.model import EctStream, disjoint_paths
+from repro.model.units import MBPS_100, milliseconds, ns_to_us
+
+
+def build_ring() -> Topology:
+    topo = Topology()
+    switches = ["SW1", "SW2", "SW3", "SW4"]
+    for switch in switches:
+        topo.add_switch(switch)
+    for a, b in zip(switches, switches[1:] + switches[:1]):
+        topo.add_link(a, b, bandwidth_bps=MBPS_100)
+    # dual-homed safety endpoints
+    topo.add_device("estop-panel")
+    topo.add_link("estop-panel", "SW1")
+    topo.add_link("estop-panel", "SW3")
+    topo.add_device("conveyor-plc")
+    topo.add_link("conveyor-plc", "SW2")
+    topo.add_link("conveyor-plc", "SW4")
+    # ordinary single-homed telemetry devices
+    topo.add_device("belt-sensors")
+    topo.add_link("belt-sensors", "SW2")
+    topo.add_device("scada")
+    topo.add_link("scada", "SW4")
+    return topo
+
+
+def main() -> None:
+    topo = build_ring()
+    telemetry = [Stream(
+        name="belt-telemetry",
+        path=tuple(topo.shortest_path("belt-sensors", "scada")),
+        e2e_ns=milliseconds(8), priority=Priorities.SH_PL,
+        length_bytes=3000, period_ns=milliseconds(8), share=True,
+    )]
+    estop = EctStream(
+        name="estop", source="estop-panel", destination="conveyor-plc",
+        min_interevent_ns=milliseconds(16), length_bytes=256, possibilities=4,
+    )
+
+    paths = disjoint_paths(topo, "estop-panel", "conveyor-plc")
+    print("Disjoint routes for the emergency stop:")
+    for path in paths:
+        print("  " + " -> ".join([path[0].src] + [l.dst for l in path]))
+
+    schedule = schedule_etsn_frer(topo, telemetry, [estop])
+    validate(schedule)
+    bound = frer_guarantee_ns(schedule, "estop")
+    print(f"\nFormal per-event bound (any single path healthy): "
+          f"{ns_to_us(bound):.0f} us")
+
+    gcl = build_gcl(schedule, mode="etsn")
+    duration = milliseconds(3_000)
+
+    scenarios = [
+        ("both paths healthy", {}),
+        ("path 1 backbone cut", {schedule.ect_streams[0].route(topo)[1].key: 1.0}),
+        ("path 2 backbone cut", {schedule.ect_streams[1].route(topo)[1].key: 1.0}),
+    ]
+    print(f"\n{'scenario':22s} {'events':>6s} {'delivered':>9s} "
+          f"{'avg_us':>8s} {'worst_us':>9s} {'dups_dropped':>12s}")
+    for label, loss in scenarios:
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=duration, seed=3, link_loss=loss)).run()
+        rec = report.recorder
+        stats = rec.stats("estop")
+        print(f"{label:22s} {rec.injected('estop'):6d} "
+              f"{rec.delivered('estop'):9d} {ns_to_us(stats.average_ns):8.1f} "
+              f"{ns_to_us(stats.maximum_ns):9.1f} "
+              f"{rec.duplicates_eliminated:12d}")
+        assert rec.delivered("estop") == rec.injected("estop")
+        assert stats.maximum_ns <= bound
+    print("\nEvery event delivered within the bound in every scenario.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""E-TSN: event-triggered critical traffic scheduling for TSN.
+
+Reproduction of Zhao et al., "E-TSN: Enabling Event-triggered Critical
+Traffic in Time-Sensitive Networking for Industrial Applications"
+(ICDCS 2022).
+
+Quick start::
+
+    from repro import (
+        Topology, TctRequirement, EctStream,
+        schedule_etsn, build_gcl, SimConfig, TsnSimulation,
+    )
+
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_device("D1"); topo.add_device("D2")
+    topo.add_link("D1", "SW1"); topo.add_link("D2", "SW1")
+
+    tct = TctRequirement("s1", "D1", "D2", period_ns=4_000_000,
+                         length_bytes=400, share=True,
+                         priority=4).resolve(topo)
+    ect = EctStream("panic", "D1", "D2", min_interevent_ns=16_000_000,
+                    length_bytes=1500, possibilities=8)
+
+    schedule = schedule_etsn(topo, [tct], [ect])
+    gcl = build_gcl(schedule, mode="etsn")
+    sim = TsnSimulation(schedule, gcl, SimConfig(duration_ns=1_000_000_000))
+    report = sim.run()
+    print(report.recorder.stats("panic"))
+"""
+
+from repro.core import (
+    InfeasibleError,
+    NetworkGcl,
+    NetworkSchedule,
+    ScheduleError,
+    build_gcl,
+    schedule_avb,
+    schedule_etsn,
+    schedule_heuristic,
+    schedule_period,
+    schedule_smt,
+    validate,
+)
+from repro.model import (
+    EctStream,
+    Link,
+    Priorities,
+    Stream,
+    StreamError,
+    StreamType,
+    TctRequirement,
+    Topology,
+    TopologyError,
+)
+from repro.serialization import (
+    load_deployment,
+    save_deployment,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.sim import SimConfig, SimReport, SyncConfig, TsnSimulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EctStream",
+    "InfeasibleError",
+    "Link",
+    "NetworkGcl",
+    "NetworkSchedule",
+    "Priorities",
+    "ScheduleError",
+    "SimConfig",
+    "SimReport",
+    "Stream",
+    "StreamError",
+    "StreamType",
+    "SyncConfig",
+    "TctRequirement",
+    "Topology",
+    "TopologyError",
+    "TsnSimulation",
+    "build_gcl",
+    "load_deployment",
+    "save_deployment",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "schedule_avb",
+    "schedule_etsn",
+    "schedule_heuristic",
+    "schedule_period",
+    "schedule_smt",
+    "validate",
+]

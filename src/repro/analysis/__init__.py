@@ -1,0 +1,35 @@
+"""Result analysis and text rendering of the paper's figures."""
+
+from repro.analysis.gantt import legend, render_gantt, render_link_gantt
+from repro.analysis.resources import (
+    LinkReservation,
+    fits_hardware,
+    gcl_table_sizes,
+    link_reservations,
+    max_gcl_table_size,
+    reservation_overhead,
+)
+from repro.analysis.report import (
+    cdf_percentiles,
+    format_table,
+    reduction_percent,
+    speedup,
+    stats_row,
+)
+
+__all__ = [
+    "LinkReservation",
+    "cdf_percentiles",
+    "fits_hardware",
+    "gcl_table_sizes",
+    "link_reservations",
+    "max_gcl_table_size",
+    "reservation_overhead",
+    "legend",
+    "render_gantt",
+    "render_link_gantt",
+    "format_table",
+    "reduction_percent",
+    "speedup",
+    "stats_row",
+]

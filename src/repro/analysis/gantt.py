@@ -1,0 +1,88 @@
+"""ASCII Gantt rendering of schedules — paper Figs. 4/6 in a terminal.
+
+Each link becomes one timeline row per stream over one cycle; columns are
+time bins.  A filled cell means a reserved slot; ``*`` marks bins where
+slots of different streams overlap (the superposition slots of
+Sec. III-B, or a shared TCT window under a possibility).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import NetworkSchedule
+from repro.model.units import format_ns
+
+FILL = "#"
+EXTRA_FILL = "+"
+OVERLAP = "*"
+EMPTY = "."
+
+
+def render_link_gantt(
+    schedule: NetworkSchedule,
+    link_key: Tuple[str, str],
+    width: int = 72,
+    cycle_ns: Optional[int] = None,
+) -> str:
+    """One row per stream on the link, plus a combined occupancy row."""
+    cycle = cycle_ns or schedule.hyperperiod_ns
+    slots = schedule.link_slots(link_key)
+    if not slots:
+        return f"<{link_key[0]},{link_key[1]}>: no slots"
+    bin_ns = max(1, cycle // width)
+
+    def bins_of(slot) -> List[Tuple[int, bool]]:
+        from repro.core.gcl import _cyclic_occurrences
+
+        marked = []
+        for start, end in _cyclic_occurrences(
+            slot.offset_ns, slot.duration_ns, slot.period_ns, cycle
+        ):
+            first = start // bin_ns
+            last = min((end - 1) // bin_ns, width - 1)
+            for b in range(first, last + 1):
+                marked.append((b, slot.extra))
+        return marked
+
+    streams = sorted({slot.stream for slot in slots})
+    rows: Dict[str, List[str]] = {name: [EMPTY] * width for name in streams}
+    occupancy = [0] * width
+    for slot in slots:
+        for b, extra in bins_of(slot):
+            rows[slot.stream][b] = EXTRA_FILL if extra else FILL
+            occupancy[b] += 1
+
+    label_width = max(len(name) for name in streams)
+    lines = [
+        f"<{link_key[0]},{link_key[1]}>  cycle {format_ns(cycle)}, "
+        f"1 column = {format_ns(bin_ns)}"
+    ]
+    for name in streams:
+        lines.append(f"{name.rjust(label_width)} |{''.join(rows[name])}|")
+    combined = "".join(
+        OVERLAP if c > 1 else (FILL if c == 1 else EMPTY) for c in occupancy
+    )
+    lines.append(f"{'(all)'.rjust(label_width)} |{combined}|")
+    return "\n".join(lines)
+
+
+def render_gantt(
+    schedule: NetworkSchedule,
+    links: Optional[Sequence[Tuple[str, str]]] = None,
+    width: int = 72,
+) -> str:
+    """Gantt rows for every scheduled link (or a chosen subset)."""
+    if links is None:
+        links = sorted({key for (_, key) in schedule.slots})
+    sections = [
+        render_link_gantt(schedule, link_key, width=width) for link_key in links
+    ]
+    return "\n\n".join(sections)
+
+
+def legend() -> str:
+    return (
+        f"legend: {FILL} message slot   {EXTRA_FILL} prudent-reservation "
+        f"extra   {OVERLAP} superposition (overlapping slots)   {EMPTY} free"
+    )

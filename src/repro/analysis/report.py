@@ -1,0 +1,75 @@
+"""Text rendering of evaluation results (the paper's tables and series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.model.units import ns_to_us
+from repro.sim.recorder import LatencyStats
+
+
+def stats_row(stats: LatencyStats) -> Dict[str, float]:
+    """Flatten a :class:`LatencyStats` into microsecond-valued fields."""
+    return {
+        "count": stats.count,
+        "avg_us": ns_to_us(stats.average_ns),
+        "min_us": ns_to_us(stats.minimum_ns),
+        "max_us": ns_to_us(stats.maximum_ns),
+        "jitter_us": ns_to_us(stats.stddev_ns),
+    }
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Fixed-width text table."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """How much lower ``improved`` is than ``baseline``, in percent."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (baseline - improved) / baseline
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` — the 'order of magnitude' factor."""
+    if improved <= 0:
+        raise ValueError(f"improved value must be positive, got {improved}")
+    return baseline / improved
+
+
+def cdf_percentiles(
+    cdf: Sequence[Tuple[int, float]], fractions: Sequence[float] = (0.5, 0.9, 0.99, 1.0)
+) -> Dict[float, int]:
+    """Sample a CDF at the given fractions (for compact table output)."""
+    result: Dict[float, int] = {}
+    for fraction in fractions:
+        value = None
+        for latency, cum in cdf:
+            if cum >= fraction:
+                value = latency
+                break
+        if value is None and cdf:
+            value = cdf[-1][0]
+        result[fraction] = value if value is not None else 0
+    return result

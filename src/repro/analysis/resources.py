@@ -1,0 +1,98 @@
+"""Resource metrics of a deployment: bandwidth reservation and hardware
+gate-table cost.
+
+Real Qbv switches hold a *finite* gate control list (a few hundred to a
+few thousand entries); a schedule that needs more entries than the
+hardware table simply cannot be deployed.  These metrics make that cost
+visible next to the bandwidth numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cnc.qcc import gcl_to_entries
+from repro.core.gcl import NetworkGcl
+from repro.core.schedule import NetworkSchedule
+from repro.model.stream import StreamType
+
+
+@dataclass(frozen=True)
+class LinkReservation:
+    """Reserved wire-time on one directed link, per hyperperiod."""
+
+    message_ns: int  #: slots carrying TCT messages
+    extra_ns: int  #: prudent-reservation extras
+    probabilistic_ns: int  #: possibility slots (superposable)
+    cycle_ns: int
+
+    @property
+    def tct_fraction(self) -> float:
+        """Hard reservation (messages + extras) as a bandwidth share."""
+        return (self.message_ns + self.extra_ns) / self.cycle_ns
+
+    @property
+    def extra_fraction(self) -> float:
+        return self.extra_ns / self.cycle_ns
+
+
+def link_reservations(schedule: NetworkSchedule) -> Dict[Tuple[str, str], LinkReservation]:
+    """Per-link reserved time, split by slot kind."""
+    cycle = schedule.hyperperiod_ns
+    streams = {s.name: s for s in schedule.streams}
+    message: Dict[Tuple[str, str], int] = {}
+    extra: Dict[Tuple[str, str], int] = {}
+    prob: Dict[Tuple[str, str], int] = {}
+    for (name, link_key), slots in schedule.slots.items():
+        stream = streams[name]
+        for slot in slots:
+            total = slot.duration_ns * (cycle // slot.period_ns)
+            if stream.type == StreamType.PROB:
+                prob[link_key] = prob.get(link_key, 0) + total
+            elif slot.extra:
+                extra[link_key] = extra.get(link_key, 0) + total
+            else:
+                message[link_key] = message.get(link_key, 0) + total
+    keys = set(message) | set(extra) | set(prob)
+    return {
+        key: LinkReservation(
+            message_ns=message.get(key, 0),
+            extra_ns=extra.get(key, 0),
+            probabilistic_ns=prob.get(key, 0),
+            cycle_ns=cycle,
+        )
+        for key in keys
+    }
+
+
+def reservation_overhead(schedule: NetworkSchedule) -> float:
+    """Network-wide extras as a fraction of all hard-reserved time.
+
+    The cost of prudent reservation: 0.0 when nothing shares with ECT.
+    """
+    totals = link_reservations(schedule)
+    reserved = sum(r.message_ns + r.extra_ns for r in totals.values())
+    extras = sum(r.extra_ns for r in totals.values())
+    return extras / reserved if reserved else 0.0
+
+
+def gcl_table_sizes(gcl: NetworkGcl) -> Dict[Tuple[str, str], int]:
+    """Hardware GCL entries each port needs (interval/bitmask rows)."""
+    return {
+        link_key: len(gcl_to_entries(port))
+        for link_key, port in gcl.ports.items()
+    }
+
+
+def max_gcl_table_size(gcl: NetworkGcl) -> int:
+    """The deployment's worst port — compare against the switch's limit."""
+    sizes = gcl_table_sizes(gcl)
+    return max(sizes.values()) if sizes else 0
+
+
+def fits_hardware(gcl: NetworkGcl, table_limit: int = 1024) -> bool:
+    """Can every port's program fit a switch with ``table_limit`` rows?"""
+    if table_limit <= 0:
+        raise ValueError(f"table limit must be positive, got {table_limit}")
+    return max_gcl_table_size(gcl) <= table_limit

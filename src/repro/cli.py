@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Schedule and render the paper's Fig. 6 example (ASCII Gantt) and run
+    a short simulation of it.
+``fig11`` / ``fig12`` / ``fig14`` / ``fig15`` / ``fig16``
+    Regenerate one figure of the paper's evaluation and print its rows.
+``figures``
+    All of the above, sequentially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import legend, render_link_gantt
+from repro.experiments import fig11, fig12, fig14, fig15, fig16
+from repro.model.units import milliseconds, ns_to_us
+
+FIGURES = {
+    "fig11": (fig11, lambda d, s: fig11.Fig11Config(duration_ns=d, seed=s)),
+    "fig12": (fig12, lambda d, s: fig12.Fig12Config(duration_ns=d, seed=s)),
+    "fig14": (fig14, lambda d, s: fig14.Fig14Config(duration_ns=d, seed=s)),
+    "fig15": (fig15, lambda d, s: fig15.Fig15Config(duration_ns=d, seed=s)),
+    "fig16": (fig16, lambda d, s: fig16.Fig16Config(duration_ns=d, seed=s)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E-TSN reproduction (Zhao et al., ICDCS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser("demo", help="schedule + render the Fig. 6 example")
+    demo.add_argument("--width", type=int, default=72, help="gantt width")
+    for name in FIGURES:
+        figure = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        figure.add_argument("--duration-ms", type=int, default=2000,
+                            help="simulated milliseconds per configuration")
+        figure.add_argument("--seed", type=int, default=1)
+    everything = sub.add_parser("figures", help="regenerate every figure")
+    everything.add_argument("--duration-ms", type=int, default=2000)
+    everything.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _run_demo(width: int) -> None:
+    from repro import (EctStream, Priorities, SimConfig, Stream, Topology,
+                       TsnSimulation, build_gcl, schedule_etsn)
+    from repro.model.units import MBPS_100, transmission_time_ns, wire_bytes
+
+    topo = Topology()
+    topo.add_switch("SW1")
+    for device in ("D1", "D2", "D3"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    frame_time = transmission_time_ns(wire_bytes(1500), MBPS_100)
+    period = 5 * frame_time
+    s1 = Stream(name="s1", path=tuple(topo.shortest_path("D1", "D3")),
+                e2e_ns=period, priority=Priorities.SH_PL,
+                length_bytes=3 * 1500, period_ns=period, share=True)
+    s2 = EctStream(name="s2", source="D2", destination="D3",
+                   min_interevent_ns=period, length_bytes=1500,
+                   possibilities=5)
+    schedule = schedule_etsn(topo, [s1], [s2], backend="smt")
+    print("The paper's Fig. 6 example, scheduled by the SMT backend:\n")
+    for link_key in (("D1", "SW1"), ("D2", "SW1"), ("SW1", "D3")):
+        print(render_link_gantt(schedule, link_key, width=width))
+        print()
+    print(legend())
+    gcl = build_gcl(schedule, mode="etsn")
+    report = TsnSimulation(
+        schedule, gcl, SimConfig(duration_ns=500 * period, seed=1)
+    ).run()
+    print()
+    for name in ("s1", "s2"):
+        stats = report.recorder.stats(name)
+        print(f"{name}: avg {ns_to_us(stats.average_ns):8.1f} us   "
+              f"worst {ns_to_us(stats.maximum_ns):8.1f} us   "
+              f"jitter {ns_to_us(stats.jitter_ns):6.1f} us   "
+              f"({stats.count} messages)")
+
+
+def _run_figure(name: str, duration_ms: int, seed: int) -> None:
+    module, make_config = FIGURES[name]
+    config = make_config(milliseconds(duration_ms), seed)
+    result = module.run(config)
+    print(module.format_result(result))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        _run_demo(args.width)
+    elif args.command == "figures":
+        for name in FIGURES:
+            _run_figure(name, args.duration_ms, args.seed)
+            print()
+    else:
+        _run_figure(args.command, args.duration_ms, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""802.1Qcc-style fully-centralized configuration (CUC + CNC)."""
+
+from repro.cnc.qcc import (
+    CNC,
+    CUC,
+    Deployment,
+    GclEntry,
+    TalkerConfig,
+    entries_total_ns,
+    gcl_to_entries,
+)
+
+__all__ = [
+    "CNC",
+    "CUC",
+    "Deployment",
+    "GclEntry",
+    "TalkerConfig",
+    "entries_total_ns",
+    "gcl_to_entries",
+]

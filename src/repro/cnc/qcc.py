@@ -1,0 +1,215 @@
+"""The 802.1Qcc fully-centralized configuration model (paper Fig. 5).
+
+* :class:`CUC` — Centralized User Configuration: collects stream
+  requirements from end stations (TCT requirements and ECT descriptors)
+  and hands them to the CNC.
+* :class:`CNC` — Centralized Network Configuration: knows the physical
+  topology, runs the E-TSN scheduler (or a baseline), and emits per-node
+  configuration: Qbv gate control lists for switch egress ports and send
+  offsets for talkers.
+
+``PortGcl`` objects keep one window list per queue, which is convenient
+for simulation; real Qbv hardware wants a flat list of *(interval,
+gate-state-bitmask)* entries.  :func:`gcl_to_entries` performs that
+conversion, so :meth:`Deployment.to_config_dict` is a faithful (if
+simplified) stand-in for the YANG payload a NETCONF CNC would push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core import build_gcl
+from repro.core.frer import schedule_etsn_frer
+from repro.core.gcl import NetworkGcl, PortGcl
+from repro.core.schedule import NetworkSchedule
+from repro.core.baselines import build_schedule
+from repro.model.stream import EctStream, Stream, StreamError, TctRequirement
+from repro.model.topology import Topology
+
+
+class CUC:
+    """Collects user-side stream requirements."""
+
+    def __init__(self) -> None:
+        self._tct: List[TctRequirement] = []
+        self._ect: List[EctStream] = []
+        self._redundant: List[EctStream] = []
+        self._names = set()
+
+    def register_tct(self, requirement: TctRequirement) -> None:
+        self._check_name(requirement.name)
+        self._tct.append(requirement)
+
+    def register_ect(self, ect: EctStream, redundant: bool = False) -> None:
+        """Register an event stream; ``redundant=True`` requests
+        802.1CB-style replication over disjoint paths (the end station
+        must be dual-homed)."""
+        self._check_name(ect.name)
+        if redundant:
+            self._redundant.append(ect)
+        else:
+            self._ect.append(ect)
+
+    def _check_name(self, name: str) -> None:
+        if name in self._names:
+            raise StreamError(f"duplicate stream registration: {name!r}")
+        self._names.add(name)
+
+    @property
+    def tct_requirements(self) -> List[TctRequirement]:
+        return list(self._tct)
+
+    @property
+    def ect_streams(self) -> List[EctStream]:
+        return list(self._ect)
+
+    @property
+    def redundant_ect_streams(self) -> List[EctStream]:
+        return list(self._redundant)
+
+
+@dataclass(frozen=True)
+class GclEntry:
+    """One hardware GCL row: hold ``gate_states`` for ``interval_ns``."""
+
+    interval_ns: int
+    gate_states: int  # bit i set <=> queue i's gate open
+
+
+@dataclass
+class TalkerConfig:
+    """Send offsets the CUC pushes to a TCT end station."""
+
+    stream: str
+    device: str
+    period_ns: int
+    offsets_ns: List[int]  # injection offset of each frame of the message
+
+
+@dataclass
+class Deployment:
+    """Everything the CNC computed for one network."""
+
+    schedule: NetworkSchedule
+    gcl: NetworkGcl
+    talkers: List[TalkerConfig]
+
+    def to_config_dict(self) -> Dict:
+        """JSON-able per-node configuration (YANG-payload stand-in)."""
+        ports = {}
+        for link_key, port_gcl in self.gcl.ports.items():
+            entries = gcl_to_entries(port_gcl)
+            ports[f"{link_key[0]}->{link_key[1]}"] = {
+                "cycle_ns": port_gcl.cycle_ns,
+                "entries": [
+                    {"interval_ns": e.interval_ns, "gate_states": e.gate_states}
+                    for e in entries
+                ],
+            }
+        return {
+            "mode": self.gcl.mode,
+            "cycle_ns": self.gcl.cycle_ns,
+            "ports": ports,
+            "talkers": [
+                {
+                    "stream": t.stream,
+                    "device": t.device,
+                    "period_ns": t.period_ns,
+                    "offsets_ns": t.offsets_ns,
+                }
+                for t in self.talkers
+            ],
+        }
+
+
+class CNC:
+    """Computes and packages the network configuration."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        method: str = "etsn",
+        backend: str = "heuristic",
+        reservation_mode: str = "paper",
+    ) -> None:
+        topology.validate()
+        self._topology = topology
+        self._method = method
+        self._backend = backend
+        self._reservation_mode = reservation_mode
+
+    def compute(self, cuc: CUC) -> Deployment:
+        """Resolve requirements, schedule, and emit the deployment."""
+        tct_streams = [req.resolve(self._topology) for req in cuc.tct_requirements]
+        if cuc.redundant_ect_streams:
+            if self._method != "etsn":
+                raise StreamError(
+                    "redundant ECT streams require the etsn method"
+                )
+            schedule = schedule_etsn_frer(
+                self._topology, tct_streams, cuc.redundant_ect_streams,
+                plain_ects=cuc.ect_streams, backend=self._backend,
+                reservation_mode=self._reservation_mode,
+            )
+            mode = "etsn"
+        else:
+            schedule, mode = build_schedule(
+                self._topology, tct_streams, cuc.ect_streams, self._method,
+                self._backend, reservation_mode=self._reservation_mode,
+            )
+        gcl = build_gcl(schedule, mode=mode, ect_proxies=schedule.meta.get("ect_proxies"))
+        talkers = []
+        proxies = set(schedule.meta.get("ect_proxies", {}) or {})
+        for stream in schedule.tct_streams():
+            if stream.name in proxies:
+                continue
+            first_link = stream.path[0]
+            slots = schedule.slots[(stream.name, first_link.key)]
+            base = stream.frames_per_period()
+            talkers.append(
+                TalkerConfig(
+                    stream=stream.name,
+                    device=stream.source,
+                    period_ns=stream.period_ns,
+                    offsets_ns=[s.offset_ns for s in slots[:base]],
+                )
+            )
+        return Deployment(schedule=schedule, gcl=gcl, talkers=talkers)
+
+
+def gcl_to_entries(port_gcl: PortGcl) -> List[GclEntry]:
+    """Flatten per-queue windows into hardware (interval, bitmask) rows.
+
+    The timeline is cut at every window boundary; each segment's bitmask
+    has bit *q* set iff queue *q*'s gate is open throughout the segment.
+    Consecutive segments with equal masks merge.
+    """
+    boundaries = {0, port_gcl.cycle_ns}
+    for windows in port_gcl.windows.values():
+        for window in windows:
+            boundaries.add(window.start_ns)
+            boundaries.add(window.end_ns)
+    cuts = sorted(boundaries)
+    entries: List[GclEntry] = []
+    for start, end in zip(cuts, cuts[1:]):
+        mask = 0
+        for queue, windows in port_gcl.windows.items():
+            for window in windows:
+                if window.start_ns <= start and end <= window.end_ns:
+                    mask |= 1 << queue
+                    break
+        if entries and entries[-1].gate_states == mask:
+            entries[-1] = GclEntry(
+                interval_ns=entries[-1].interval_ns + (end - start),
+                gate_states=mask,
+            )
+        else:
+            entries.append(GclEntry(interval_ns=end - start, gate_states=mask))
+    return entries
+
+
+def entries_total_ns(entries: Sequence[GclEntry]) -> int:
+    """Sum of entry intervals — must equal the port cycle."""
+    return sum(e.interval_ns for e in entries)

@@ -1,0 +1,53 @@
+"""E-TSN core: the paper's scheduling contribution.
+
+Probabilistic streams (Sec. III-B), prudent reservation (Sec. III-D,
+Alg. 1), the Eq. 1-7 constraint system (Sec. IV), two scheduler backends
+(SMT and incremental backtracking), GCL synthesis (Qbv), and the PERIOD
+and AVB baselines of the evaluation.
+"""
+
+from repro.core.baselines import schedule_avb, schedule_etsn, schedule_period
+from repro.core.frer import frer_guarantee_ns, plan_frer, schedule_etsn_frer
+from repro.core.gcl import GateWindow, NetworkGcl, PortGcl, build_gcl
+from repro.core.gcl_audit import GclAuditError, audit_gcl
+from repro.core.heuristic import schedule_heuristic
+from repro.core.incremental import add_ect_stream, add_tct_stream, remove_stream
+from repro.core.probabilistic import expand_ect, possibility_for_occurrence, quantization_delay_ns
+from repro.core.reservation import ReservationPlan, prudent_reservation, total_extra_slots
+from repro.core.schedule import (
+    InfeasibleError,
+    NetworkSchedule,
+    ScheduleError,
+    validate,
+)
+from repro.core.smt_scheduler import schedule_smt
+
+__all__ = [
+    "GateWindow",
+    "add_ect_stream",
+    "add_tct_stream",
+    "remove_stream",
+    "InfeasibleError",
+    "NetworkGcl",
+    "NetworkSchedule",
+    "PortGcl",
+    "ReservationPlan",
+    "ScheduleError",
+    "audit_gcl",
+    "build_gcl",
+    "frer_guarantee_ns",
+    "plan_frer",
+    "schedule_etsn_frer",
+    "GclAuditError",
+    "expand_ect",
+    "possibility_for_occurrence",
+    "prudent_reservation",
+    "quantization_delay_ns",
+    "schedule_avb",
+    "schedule_etsn",
+    "schedule_heuristic",
+    "schedule_period",
+    "schedule_smt",
+    "total_extra_slots",
+    "validate",
+]

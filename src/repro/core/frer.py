@@ -1,0 +1,97 @@
+"""802.1CB-style seamless redundancy for ECT (FRER).
+
+The paper's introduction motivates ECT with safety commands whose loss is
+unacceptable, and its related work points at Frame Replication and
+Elimination for Reliability [802.1CB] for "extra reliability".  This
+module composes that standard with E-TSN:
+
+* :func:`plan_frer` splits one ECT stream into *member* streams pinned to
+  link-disjoint paths (the talker must be dual-homed for true
+  end-to-end disjointness);
+* :func:`schedule_etsn_frer` schedules every member like an ordinary ECT
+  stream (each gets its own probabilistic possibilities and prudent
+  reservations along its path) and records the member→logical mapping in
+  the schedule;
+* at run time the simulator fires the *same* events into every member
+  and the listener-side recorder eliminates duplicate copies per frame
+  (its R-TAG sequence-recovery function), so a single link or path
+  failure loses nothing and the measured latency is that of the fastest
+  surviving copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core.baselines import schedule_etsn
+from repro.core.schedule import NetworkSchedule
+from repro.model.routing import disjoint_paths
+from repro.model.stream import EctStream, Stream, StreamError
+from repro.model.topology import Topology
+
+
+def plan_frer(
+    topology: Topology, ect: EctStream, num_paths: int = 2
+) -> List[EctStream]:
+    """Split ``ect`` into members over link-disjoint paths.
+
+    Raises :class:`StreamError` when the topology cannot supply
+    ``num_paths`` disjoint routes (e.g. a single-homed talker).
+    """
+    if num_paths < 2:
+        raise ValueError("redundancy needs at least two paths")
+    paths = disjoint_paths(topology, ect.source, ect.destination, num_paths)
+    if len(paths) < num_paths:
+        raise StreamError(
+            f"{ect.name}: only {len(paths)} disjoint path(s) from "
+            f"{ect.source!r} to {ect.destination!r}; redundancy needs "
+            f"{num_paths} (is the talker dual-homed?)"
+        )
+    members = []
+    for index, path in enumerate(paths, start=1):
+        via = (path[0].src,) + tuple(link.dst for link in path)
+        members.append(dataclasses.replace(
+            ect, name=f"{ect.name}@{index}", via=via,
+        ))
+    return members
+
+
+def schedule_etsn_frer(
+    topology: Topology,
+    tct_streams: Sequence[Stream],
+    redundant_ects: Sequence[EctStream],
+    plain_ects: Sequence[EctStream] = (),
+    num_paths: int = 2,
+    **scheduler_kwargs,
+) -> NetworkSchedule:
+    """Joint E-TSN schedule with FRER members for ``redundant_ects``.
+
+    The returned schedule carries ``meta['frer_members']`` mapping each
+    member stream name to its logical ECT name; the simulator uses it to
+    replay identical events into every member, and per-stream statistics
+    appear under the logical name.
+    """
+    members: List[EctStream] = []
+    mapping: Dict[str, str] = {}
+    for ect in redundant_ects:
+        for member in plan_frer(topology, ect, num_paths):
+            members.append(member)
+            mapping[member.name] = ect.name
+    schedule = schedule_etsn(
+        topology, tct_streams, list(plain_ects) + members, **scheduler_kwargs
+    )
+    schedule.meta["frer_members"] = mapping
+    return schedule
+
+
+def frer_guarantee_ns(schedule: NetworkSchedule, logical_name: str) -> int:
+    """Formal bound for a redundant stream: all members individually
+    guarantee delivery, so the logical bound is the *best* member bound
+    when all paths are healthy and the worst member bound under any
+    single-path failure."""
+    mapping = schedule.meta.get("frer_members", {})
+    members = [m for m, logical in mapping.items() if logical == logical_name]
+    if not members:
+        raise KeyError(f"no FRER members for {logical_name!r}")
+    return max(schedule.ect_guarantee_ns(member) for member in members)

@@ -1,0 +1,122 @@
+"""GCL audit: independent verification of gate programs against a schedule.
+
+:func:`repro.core.schedule.validate` checks the *slot table*;
+this module checks the *gate programs* synthesized from it, closing the
+loop before a configuration reaches switches:
+
+1. every deterministic slot occurrence is covered by a window of the
+   stream's queue, owned by that stream (or by its ECT name for PERIOD
+   proxies);
+2. the EP queue honors the mode's policy: closed inside non-shared TCT
+   windows (all modes); in ``etsn-strict`` it covers every probabilistic
+   slot; in ``period`` it opens only inside proxy windows;
+3. the best-effort gate never opens inside any TCT window;
+4. windows never exceed the cycle and (per queue) never overlap —
+   re-checked here even though construction enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.gcl import NetworkGcl, _cyclic_occurrences
+from repro.core.schedule import NetworkSchedule
+from repro.model.stream import Priorities, StreamType
+
+
+class GclAuditError(AssertionError):
+    """A gate program contradicts the schedule it was built from."""
+
+
+def audit_gcl(
+    schedule: NetworkSchedule,
+    gcl: NetworkGcl,
+    ect_proxies: Optional[Dict[str, str]] = None,
+) -> None:
+    """Raise :class:`GclAuditError` on the first inconsistency."""
+    proxies = ect_proxies or schedule.meta.get("ect_proxies", {}) or {}
+    streams = {s.name: s for s in schedule.streams}
+    cycle = gcl.cycle_ns
+
+    _audit_structure(gcl)
+    for (name, link_key), slots in schedule.slots.items():
+        stream = streams[name]
+        if stream.type == StreamType.PROB:
+            if gcl.mode == "etsn-strict":
+                _require_covered(gcl, link_key, slots, Priorities.EP, None, cycle)
+            continue
+        if name in proxies:
+            _require_covered(gcl, link_key, slots, Priorities.EP, proxies[name], cycle)
+            continue
+        _require_covered(gcl, link_key, slots, stream.priority, name, cycle)
+        if not stream.share:
+            _require_ep_closed(gcl, link_key, slots, cycle)
+        _require_be_closed(gcl, link_key, slots, cycle)
+
+
+def _audit_structure(gcl: NetworkGcl) -> None:
+    for link_key, port in gcl.ports.items():
+        for queue, windows in port.windows.items():
+            ordered = sorted(windows, key=lambda w: w.start_ns)
+            for window in ordered:
+                if window.end_ns > port.cycle_ns:
+                    raise GclAuditError(
+                        f"{link_key} q{queue}: window past the cycle end"
+                    )
+            for a, b in zip(ordered, ordered[1:]):
+                if a.end_ns > b.start_ns:
+                    raise GclAuditError(
+                        f"{link_key} q{queue}: overlapping windows "
+                        f"[{a.start_ns},{a.end_ns}) / [{b.start_ns},{b.end_ns})"
+                    )
+
+
+def _pieces(slots, cycle):
+    for slot in slots:
+        yield from (
+            (slot, start, end)
+            for start, end in _cyclic_occurrences(
+                slot.offset_ns, slot.duration_ns, slot.period_ns, cycle
+            )
+        )
+
+
+def _require_covered(gcl, link_key, slots, queue, owner, cycle) -> None:
+    port = gcl.port(link_key)
+    for slot, start, end in _pieces(slots, cycle):
+        for probe in (start, (start + end) // 2, end - 1):
+            is_open, window_owner, _ = port.state_at(queue, probe)
+            if not is_open:
+                raise GclAuditError(
+                    f"{slot.stream}[{slot.index}] on {link_key}: queue "
+                    f"{queue} gate closed at {probe} inside its slot"
+                )
+            if owner is not None and window_owner not in (owner, None):
+                raise GclAuditError(
+                    f"{slot.stream}[{slot.index}] on {link_key}: window at "
+                    f"{probe} owned by {window_owner!r}, expected {owner!r}"
+                )
+
+
+def _require_ep_closed(gcl, link_key, slots, cycle) -> None:
+    port = gcl.port(link_key)
+    for slot, start, end in _pieces(slots, cycle):
+        for probe in (start, (start + end) // 2, end - 1):
+            is_open, _, _ = port.state_at(Priorities.EP, probe)
+            if is_open:
+                raise GclAuditError(
+                    f"EP gate open at {probe} inside non-shared slot of "
+                    f"{slot.stream} on {link_key}"
+                )
+
+
+def _require_be_closed(gcl, link_key, slots, cycle) -> None:
+    port = gcl.port(link_key)
+    for slot, start, end in _pieces(slots, cycle):
+        for probe in (start, (start + end) // 2, end - 1):
+            is_open, _, _ = port.state_at(Priorities.BE, probe)
+            if is_open:
+                raise GclAuditError(
+                    f"BE gate open at {probe} inside TCT slot of "
+                    f"{slot.stream} on {link_key}"
+                )

@@ -1,0 +1,34 @@
+"""Per-figure experiment configurations (paper Sec. VI).
+
+One module per table/figure of the evaluation; each exposes ``run()``
+returning a structured result and ``format_result()`` rendering the
+paper's rows.  The benchmark harness under ``benchmarks/`` drives these.
+"""
+
+from repro.experiments import fig11, fig12, fig14, fig15, fig16
+from repro.experiments.runner import METHODS, MethodResult, build_schedule, run_method
+from repro.experiments.scenarios import (
+    DEFAULT_POSSIBILITIES,
+    Workload,
+    simulation_workload,
+    testbed_workload,
+)
+from repro.experiments.topologies import simulation_topology, testbed_topology
+
+__all__ = [
+    "DEFAULT_POSSIBILITIES",
+    "METHODS",
+    "MethodResult",
+    "Workload",
+    "build_schedule",
+    "fig11",
+    "fig12",
+    "fig14",
+    "fig15",
+    "fig16",
+    "run_method",
+    "simulation_topology",
+    "simulation_workload",
+    "testbed_topology",
+    "testbed_workload",
+]

@@ -1,0 +1,90 @@
+"""Paper Fig. 11: CDFs of ECT latency on the testbed, by method and load.
+
+Also yields the headline numbers of Sec. VI-B: at 75 % load, E-TSN's
+average (~423 us over 3 hops), worst case (~515 us), and jitter (~39 us),
+each at least an order of magnitude better than PERIOD and AVB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis import format_table, stats_row
+from repro.experiments.runner import run_method
+from repro.experiments.scenarios import testbed_workload
+from repro.model.units import milliseconds, ns_to_us
+from repro.sim.recorder import LatencyStats
+
+ECT_NAME = "ect1"
+
+
+@dataclass
+class Fig11Config:
+    loads: Sequence[float] = (0.25, 0.50, 0.75)
+    methods: Sequence[str] = ("etsn", "period", "avb")
+    duration_ns: int = milliseconds(4_000)
+    seed: int = 1
+
+
+@dataclass
+class Fig11Result:
+    config: Fig11Config
+    #: (load, method) -> latency stats of the ECT stream
+    stats: Dict[Tuple[float, str], LatencyStats] = field(default_factory=dict)
+    #: (load, method) -> CDF points of the ECT stream
+    cdfs: Dict[Tuple[float, str], List[Tuple[int, float]]] = field(default_factory=dict)
+    achieved_loads: Dict[float, float] = field(default_factory=dict)
+
+
+def run(config: Fig11Config = None) -> Fig11Result:
+    config = config or Fig11Config()
+    result = Fig11Result(config=config)
+    for load in config.loads:
+        workload = testbed_workload(load, seed=config.seed)
+        result.achieved_loads[load] = workload.achieved_load
+        for method in config.methods:
+            outcome = run_method(
+                workload.topology,
+                workload.tct_streams,
+                workload.ect_streams,
+                method,
+                duration_ns=config.duration_ns,
+                seed=config.seed,
+            )
+            result.stats[(load, method)] = outcome.stats[ECT_NAME]
+            result.cdfs[(load, method)] = outcome.cdf(ECT_NAME)
+    return result
+
+
+def format_result(result: Fig11Result) -> str:
+    rows = []
+    for (load, method), stats in sorted(result.stats.items()):
+        row = stats_row(stats)
+        rows.append([
+            f"{load:.0%}", method, row["count"],
+            row["avg_us"], row["max_us"], row["jitter_us"],
+        ])
+    return format_table(
+        ["load", "method", "events", "avg_us", "worst_us", "jitter_us"],
+        rows,
+        title="Fig. 11 — ECT latency on the testbed (D2->D4, 3 hops)",
+    )
+
+
+def headline_numbers(result: Fig11Result, load: float = 0.75) -> Dict[str, float]:
+    """The Sec. VI-B comparison at one load (defaults to 75 %)."""
+    etsn = result.stats[(load, "etsn")]
+    numbers = {
+        "etsn_avg_us": ns_to_us(etsn.average_ns),
+        "etsn_worst_us": ns_to_us(etsn.maximum_ns),
+        "etsn_jitter_us": ns_to_us(etsn.stddev_ns),
+    }
+    for method in result.config.methods:
+        if method == "etsn":
+            continue
+        other = result.stats[(load, method)]
+        numbers[f"{method}_avg_ratio"] = other.average_ns / etsn.average_ns
+        numbers[f"{method}_worst_ratio"] = other.maximum_ns / etsn.maximum_ns
+        numbers[f"{method}_jitter_ratio"] = other.stddev_ns / max(etsn.stddev_ns, 1)
+    return numbers

@@ -1,0 +1,96 @@
+"""Paper Fig. 12: the resource cost of PERIOD.
+
+PERIOD is allowed 1x / 2x / 4x / 8x as many dedicated time-slots as
+E-TSN reserves; even at 8x its worst-case latency stays a multiple of
+E-TSN's while the dedicated slots devour link bandwidth.  The bandwidth
+column reports the share of the ECT path's bottleneck link consumed by
+the dedicated reservation alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis import format_table, stats_row
+from repro.experiments.runner import run_method
+from repro.experiments.scenarios import testbed_workload
+from repro.model.units import milliseconds
+from repro.sim.recorder import LatencyStats
+
+ECT_NAME = "ect1"
+
+
+@dataclass
+class Fig12Config:
+    load: float = 0.50
+    methods: Sequence[str] = ("etsn", "period", "period_x2", "period_x4", "period_x8")
+    duration_ns: int = milliseconds(4_000)
+    seed: int = 1
+
+
+@dataclass
+class Fig12Result:
+    config: Fig12Config
+    stats: Dict[str, LatencyStats] = field(default_factory=dict)
+    cdfs: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    #: fraction of the ECT path bottleneck link consumed by dedicated
+    #: ECT slots (0 for e-tsn, whose reservation is shared)
+    dedicated_bandwidth: Dict[str, float] = field(default_factory=dict)
+
+
+def run(config: Fig12Config = None) -> Fig12Result:
+    config = config or Fig12Config()
+    result = Fig12Result(config=config)
+    workload = testbed_workload(config.load, seed=config.seed)
+    ect = workload.ect_streams[0]
+    for method in config.methods:
+        outcome = run_method(
+            workload.topology,
+            workload.tct_streams,
+            workload.ect_streams,
+            method,
+            duration_ns=config.duration_ns,
+            seed=config.seed,
+        )
+        result.stats[method] = outcome.stats[ECT_NAME]
+        result.cdfs[method] = outcome.cdf(ECT_NAME)
+        result.dedicated_bandwidth[method] = _dedicated_fraction(
+            outcome.schedule, ect, method
+        )
+    return result
+
+
+def _dedicated_fraction(schedule, ect, method: str) -> float:
+    """Bandwidth share of dedicated ECT slots on the bottleneck path link."""
+    if not method.startswith("period"):
+        return 0.0
+    proxies = schedule.meta.get("ect_proxies", {})
+    proxy_names = [p for p, e in proxies.items() if e == ect.name]
+    worst = 0.0
+    for link in ect.route(schedule.topology):
+        reserved = 0
+        for name in proxy_names:
+            for slot in schedule.slots.get((name, link.key), ()):  # per period
+                reserved += slot.duration_ns / slot.period_ns
+        worst = max(worst, reserved)
+    return worst
+
+
+def format_result(result: Fig12Result) -> str:
+    rows = []
+    for method in result.config.methods:
+        stats = result.stats[method]
+        row = stats_row(stats)
+        rows.append([
+            method, row["count"], row["avg_us"], row["max_us"],
+            row["jitter_us"], f"{result.dedicated_bandwidth[method]:.1%}",
+        ])
+    return format_table(
+        ["method", "events", "avg_us", "worst_us", "jitter_us", "dedicated_bw"],
+        rows,
+        title=(
+            f"Fig. 12 — PERIOD slot-multiplier cost at "
+            f"{result.config.load:.0%} load"
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Shared machinery for the per-figure experiments.
+
+``run_method`` is the one entry point every figure module uses: given a
+network, a TCT population, the ECT streams, and a method name, it builds
+the schedule, synthesizes the GCL, runs the simulation, and returns the
+per-stream statistics the paper's plots are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import build_gcl
+from repro.core.baselines import build_schedule
+from repro.core.schedule import NetworkSchedule
+from repro.model.stream import EctStream, Stream
+from repro.model.topology import Topology
+from repro.sim import SimConfig, SimReport, TsnSimulation
+from repro.sim.recorder import LatencyStats
+
+#: Methods compared throughout the evaluation.  ``period_x{m}`` variants
+#: reserve ``m`` times as many dedicated slots (paper Fig. 12).
+METHODS = ("etsn", "etsn-strict", "period", "period_x2", "period_x4", "period_x8", "avb")
+
+
+@dataclass
+class MethodResult:
+    """Everything one (method, scenario) run produced."""
+
+    method: str
+    schedule: NetworkSchedule
+    report: SimReport
+    #: per-stream latency summaries (ECT streams and TCT streams alike)
+    stats: Dict[str, LatencyStats]
+
+    def ect_stats(self) -> Dict[str, LatencyStats]:
+        names = {e.name for e in self.schedule.ect_streams}
+        return {n: s for n, s in self.stats.items() if n in names}
+
+    def cdf(self, stream: str) -> List[Tuple[int, float]]:
+        return self.report.recorder.cdf(stream)
+
+
+def run_method(
+    topology: Topology,
+    tct_streams: Sequence[Stream],
+    ect_streams: Sequence[EctStream],
+    method: str,
+    duration_ns: int,
+    seed: int = 0,
+    backend: str = "heuristic",
+    ect_event_times: Optional[Dict[str, List[int]]] = None,
+) -> MethodResult:
+    """Schedule, synthesize the GCL, simulate, and summarize one method."""
+    schedule, mode = build_schedule(topology, tct_streams, ect_streams, method, backend)
+    gcl = build_gcl(schedule, mode=mode, ect_proxies=schedule.meta.get("ect_proxies"))
+    config = SimConfig(
+        duration_ns=duration_ns,
+        seed=seed,
+        cbs_on_ect=(mode == "avb"),
+        ect_event_times=ect_event_times or {},
+    )
+    simulation = TsnSimulation(schedule, gcl, config)
+    report = simulation.run()
+    stats = {
+        stream: report.recorder.stats(stream)
+        for stream in report.recorder.streams()
+    }
+    return MethodResult(method=method, schedule=schedule, report=report, stats=stats)

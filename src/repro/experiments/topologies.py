@@ -1,0 +1,54 @@
+"""The two evaluation networks of the paper.
+
+* :func:`testbed_topology` — paper Fig. 10: two switches, four devices,
+  100 Mb/s links.  The ECT stream of Sec. VI-B runs D2 -> D4 (3 hops).
+* :func:`simulation_topology` — paper Fig. 13: four switches in a chain,
+  twelve devices (three per switch), 100 Mb/s.  The ECT stream of
+  Sec. VI-C runs D1 -> D12 (5 hops).
+"""
+
+from __future__ import annotations
+
+from repro.model.topology import Topology
+from repro.model.units import MBPS_100
+
+#: Default physical propagation + switch processing delay per link; the
+#: schedulers bound it via Eq. 7 and the simulator applies it on delivery.
+DEFAULT_PROPAGATION_NS = 500
+
+
+def testbed_topology(
+    bandwidth_bps: int = MBPS_100, propagation_ns: int = DEFAULT_PROPAGATION_NS
+) -> Topology:
+    """Paper Fig. 10: D1, D2 - SW1 - SW2 - D3, D4."""
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for device in ("D1", "D2"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps, propagation_ns)
+    for device in ("D3", "D4"):
+        topo.add_device(device)
+        topo.add_link(device, "SW2", bandwidth_bps, propagation_ns)
+    topo.add_link("SW1", "SW2", bandwidth_bps, propagation_ns)
+    return topo
+
+
+def simulation_topology(
+    bandwidth_bps: int = MBPS_100, propagation_ns: int = DEFAULT_PROPAGATION_NS
+) -> Topology:
+    """Paper Fig. 13: a chain of four switches with three devices each."""
+    topo = Topology()
+    switches = [f"SW{i}" for i in range(1, 5)]
+    for switch in switches:
+        topo.add_switch(switch)
+    for a, b in zip(switches, switches[1:]):
+        topo.add_link(a, b, bandwidth_bps, propagation_ns)
+    device = 1
+    for switch in switches:
+        for _ in range(3):
+            name = f"D{device}"
+            topo.add_device(name)
+            topo.add_link(name, switch, bandwidth_bps, propagation_ns)
+            device += 1
+    return topo

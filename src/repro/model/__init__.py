@@ -1,0 +1,38 @@
+"""Network, traffic, and frame models shared by scheduler and simulator."""
+
+from repro.model.frame import FrameSlot, FrameVar, build_frame_vars
+from repro.model.routing import disjoint_paths, k_shortest_paths, least_loaded_path
+from repro.model.stream import (
+    EctStream,
+    Priorities,
+    Stream,
+    StreamError,
+    StreamType,
+    TctRequirement,
+    may_overlap,
+    streams_by_link,
+)
+from repro.model.topology import Link, Node, NodeKind, Topology, TopologyError, line_topology
+
+__all__ = [
+    "EctStream",
+    "FrameSlot",
+    "FrameVar",
+    "Link",
+    "Node",
+    "NodeKind",
+    "Priorities",
+    "Stream",
+    "StreamError",
+    "StreamType",
+    "TctRequirement",
+    "Topology",
+    "TopologyError",
+    "build_frame_vars",
+    "disjoint_paths",
+    "k_shortest_paths",
+    "least_loaded_path",
+    "line_topology",
+    "may_overlap",
+    "streams_by_link",
+]

@@ -1,0 +1,139 @@
+"""Routing beyond single shortest paths.
+
+The base :meth:`Topology.shortest_path` suits the paper's evaluation
+(every stream takes its hop-count-shortest route).  Two additions widen
+the library's scope:
+
+* :func:`k_shortest_paths` — Yen's algorithm over hop counts, for
+  load-aware path choice and route diversity;
+* :func:`disjoint_paths` — link-disjoint route pairs, the substrate for
+  802.1CB-style seamless redundancy (:mod:`repro.core.frer`).
+
+Paths are returned as link lists, directly usable as ``Stream.path``.
+Devices never forward (only the endpoints may be devices), matching the
+base router's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.model.topology import Link, Topology, TopologyError
+
+
+def _bfs_path(
+    topology: Topology,
+    src: str,
+    dst: str,
+    banned_links: Set[Tuple[str, str]],
+    banned_nodes: Set[str],
+) -> Optional[List[Link]]:
+    """Hop-count shortest path avoiding banned links/nodes."""
+    if src in banned_nodes or dst in banned_nodes:
+        return None
+    parents: Dict[str, Optional[str]] = {src: None}
+    frontier = [src]
+    while frontier:
+        next_frontier: List[str] = []
+        for here in frontier:
+            if here != src and not topology.node(here).is_switch:
+                continue
+            for nbr in topology.neighbors(here):
+                if nbr in parents or nbr in banned_nodes:
+                    continue
+                if (here, nbr) in banned_links:
+                    continue
+                parents[nbr] = here
+                if nbr == dst:
+                    hops = [dst]
+                    while parents[hops[-1]] is not None:
+                        hops.append(parents[hops[-1]])  # type: ignore[index]
+                    hops.reverse()
+                    return [
+                        topology.link(a, b) for a, b in zip(hops, hops[1:])
+                    ]
+                next_frontier.append(nbr)
+        frontier = next_frontier
+    return None
+
+
+def k_shortest_paths(
+    topology: Topology, src: str, dst: str, k: int
+) -> List[List[Link]]:
+    """Up to ``k`` loop-free paths in non-decreasing hop count (Yen)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    first = _bfs_path(topology, src, dst, set(), set())
+    if first is None:
+        raise TopologyError(f"no route from {src!r} to {dst!r}")
+    paths: List[List[Link]] = [first]
+    candidates: List[Tuple[int, Tuple[str, ...], List[Link]]] = []
+    seen = {tuple(l.key for l in first)}
+    while len(paths) < k:
+        previous = paths[-1]
+        for spur_index in range(len(previous)):
+            spur_node = previous[spur_index].src
+            root = previous[:spur_index]
+            banned_links: Set[Tuple[str, str]] = set()
+            for path in paths:
+                if [l.key for l in path[:spur_index]] == [l.key for l in root]:
+                    if spur_index < len(path):
+                        banned_links.add(path[spur_index].key)
+            banned_nodes = {l.src for l in root}
+            spur = _bfs_path(topology, spur_node, dst, banned_links, banned_nodes)
+            if spur is None:
+                continue
+            candidate = root + spur
+            key = tuple(l.key for l in candidate)
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append((len(candidate), key, candidate))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        _, _, best = candidates.pop(0)
+        paths.append(best)
+    return paths
+
+
+def disjoint_paths(
+    topology: Topology, src: str, dst: str, count: int = 2
+) -> List[List[Link]]:
+    """Up to ``count`` mutually link-disjoint paths (greedy peeling).
+
+    Greedy shortest-first peeling is not a full Suurballe, but on the
+    mesh/ring topologies redundancy is deployed on, it finds the disjoint
+    pair whenever node degrees allow one.  Raises
+    :class:`TopologyError` when not even one path exists.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    used: Set[Tuple[str, str]] = set()
+    result: List[List[Link]] = []
+    for _ in range(count):
+        path = _bfs_path(topology, src, dst, used, set())
+        if path is None:
+            break
+        result.append(path)
+        for link in path:
+            used.add(link.key)
+            used.add((link.dst, link.src))  # both directions of the duplex pair
+    if not result:
+        raise TopologyError(f"no route from {src!r} to {dst!r}")
+    return result
+
+
+def least_loaded_path(
+    paths: Sequence[List[Link]], link_loads: Dict[Tuple[str, str], float]
+) -> List[Link]:
+    """Among candidate paths, the one whose hottest link is coolest."""
+    if not paths:
+        raise ValueError("no candidate paths")
+    return min(
+        paths,
+        key=lambda path: (
+            max((link_loads.get(l.key, 0.0) for l in path), default=0.0),
+            len(path),
+        ),
+    )

@@ -1,0 +1,332 @@
+"""Traffic model: TCT streams, ECT streams, and probabilistic streams.
+
+Paper Sec. IV-A characterizes a schedulable stream by eight attributes::
+
+    (s.path, s.e2e, s.p, s.l, s.T, s.type, s.share, s.ot)
+
+Two user-facing classes produce such streams:
+
+* :class:`TctStream` — a time-triggered critical stream; schedulable as-is
+  (``type = Det``).
+* :class:`EctStream` — an event-triggered critical stream.  It is *not*
+  directly schedulable; :func:`repro.core.probabilistic.expand_ect` derives
+  ``N`` probabilistic streams (``type = Prob``) from it.
+
+Priorities (paper Eq. 6): one PCP value is reserved for ECT (``EP``);
+the remainder split into a band for TCT that shares its slots and a band
+for TCT that does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.topology import Link, Topology
+from repro.model.units import frames_for_payload, wire_bytes
+
+
+class StreamError(ValueError):
+    """Raised for invalid stream specifications."""
+
+
+class StreamType:
+    """``s.type`` values from the paper."""
+
+    DET = "Det"  #: deterministic / time-triggered
+    PROB = "Prob"  #: probabilistic possibility of an ECT stream
+
+
+class Priorities:
+    """The priority partition of paper Eq. 6 over the 8 PCP values.
+
+    ======  =====  =========================================
+    name    value  meaning
+    ======  =====  =========================================
+    EP        7    event-triggered critical traffic
+    SH        4-6  TCT that shares its time-slots with ECT
+    NSH       1-3  TCT that does not share its time-slots
+    BE        0    best-effort background traffic
+    ======  =====  =========================================
+    """
+
+    EP = 7
+    SH_PH = 6
+    SH_PL = 4
+    NSH_PH = 3
+    NSH_PL = 1
+    BE = 0
+
+    @classmethod
+    def is_shared_tct(cls, p: int) -> bool:
+        return cls.SH_PL <= p <= cls.SH_PH
+
+    @classmethod
+    def is_nonshared_tct(cls, p: int) -> bool:
+        return cls.NSH_PL <= p <= cls.NSH_PH
+
+    @classmethod
+    def check(cls, stream: "Stream") -> None:
+        """Assert Eq. 6 for one stream; raises :class:`StreamError`."""
+        if stream.type == StreamType.PROB:
+            if stream.priority != cls.EP:
+                raise StreamError(
+                    f"{stream.name}: probabilistic streams must use EP="
+                    f"{cls.EP}, got {stream.priority}"
+                )
+        elif stream.share:
+            if not cls.is_shared_tct(stream.priority):
+                raise StreamError(
+                    f"{stream.name}: shared TCT priority must be in "
+                    f"[{cls.SH_PL},{cls.SH_PH}], got {stream.priority}"
+                )
+        else:
+            if not cls.is_nonshared_tct(stream.priority):
+                raise StreamError(
+                    f"{stream.name}: non-shared TCT priority must be in "
+                    f"[{cls.NSH_PL},{cls.NSH_PH}], got {stream.priority}"
+                )
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A schedulable stream — the paper's 8-attribute tuple.
+
+    Attributes mirror Sec. IV-A:
+
+    name
+        Unique identifier (not in the paper's tuple, but every solver and
+        simulator object keys off it).
+    path
+        Ordered list of directed links from source to destination.
+    e2e_ns
+        ``s.e2e`` — maximum allowed end-to-end latency.
+    priority
+        ``s.p`` — PCP value, constrained by :class:`Priorities`.
+    length_bytes
+        ``s.l`` — message payload length in bytes (may exceed one MTU;
+        it is then carried in several frames per period).
+    period_ns
+        ``s.T`` — period for TCT; minimum inter-event time for
+        probabilistic streams.
+    type
+        ``s.type`` — :data:`StreamType.DET` or :data:`StreamType.PROB`.
+    share
+        ``s.share`` — TCT only: whether ECT may use this stream's slots.
+    occurrence_ns
+        ``s.ot`` — probabilistic streams only: offset within the period at
+        which this possibility starts transmitting at the source.
+    parent
+        Probabilistic streams only: name of the ECT stream this
+        possibility was derived from.  Frames of two streams with the same
+        parent may overlap (paper Sec. III-B).
+    """
+
+    name: str
+    path: Tuple[Link, ...]
+    e2e_ns: int
+    priority: int
+    length_bytes: int
+    period_ns: int
+    type: str = StreamType.DET
+    share: bool = False
+    occurrence_ns: int = 0
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StreamError("stream name must be non-empty")
+        if not self.path:
+            raise StreamError(f"{self.name}: empty path")
+        for a, b in zip(self.path, self.path[1:]):
+            if a.dst != b.src:
+                raise StreamError(
+                    f"{self.name}: path is not contiguous at {a} -> {b}"
+                )
+        if self.e2e_ns <= 0:
+            raise StreamError(f"{self.name}: e2e latency must be positive")
+        if self.length_bytes <= 0:
+            raise StreamError(f"{self.name}: length must be positive")
+        if self.period_ns <= 0:
+            raise StreamError(f"{self.name}: period must be positive")
+        if not 0 <= self.priority <= 7:
+            raise StreamError(f"{self.name}: priority must be a PCP in 0..7")
+        if self.type not in (StreamType.DET, StreamType.PROB):
+            raise StreamError(f"{self.name}: unknown stream type {self.type!r}")
+        if self.type == StreamType.DET and self.occurrence_ns != 0:
+            raise StreamError(f"{self.name}: TCT streams have no occurrence time")
+        if self.type == StreamType.PROB:
+            if self.parent is None:
+                raise StreamError(f"{self.name}: probabilistic stream needs a parent")
+            if not 0 <= self.occurrence_ns < self.period_ns:
+                raise StreamError(
+                    f"{self.name}: occurrence time {self.occurrence_ns} outside "
+                    f"[0, {self.period_ns})"
+                )
+        if self.type == StreamType.PROB and self.share:
+            raise StreamError(f"{self.name}: share is only valid for TCT streams")
+
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> str:
+        return self.path[0].src
+
+    @property
+    def destination(self) -> str:
+        return self.path[-1].dst
+
+    @property
+    def is_probabilistic(self) -> bool:
+        return self.type == StreamType.PROB
+
+    def frame_payloads(self) -> List[int]:
+        """Per-frame payload sizes carrying one message of this stream."""
+        return frames_for_payload(self.length_bytes)
+
+    def frames_per_period(self) -> int:
+        """Number of frames sent in one period (before prudent reservation)."""
+        return len(self.frame_payloads())
+
+    def wire_bytes_per_frame(self) -> List[int]:
+        """Total on-wire sizes of the frames of one message."""
+        return [wire_bytes(p) for p in self.frame_payloads()]
+
+    def transmission_ns(self, link: Link) -> int:
+        """Wire time of the whole message on ``link`` (all frames)."""
+        return sum(link.transmission_ns(w) for w in self.wire_bytes_per_frame())
+
+    def with_share(self, share: bool) -> "Stream":
+        """Copy of this stream with a different ``share`` flag."""
+        return replace(self, share=share)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Stream({self.name}, {self.source}->{self.destination}, "
+            f"{self.type}, T={self.period_ns}, l={self.length_bytes})"
+        )
+
+
+@dataclass(frozen=True)
+class TctRequirement:
+    """User-level requirement for a time-triggered critical stream.
+
+    This is what a CUC collects from an end station (paper Fig. 5) before
+    routing; :meth:`resolve` turns it into a schedulable :class:`Stream`
+    by routing it over a topology.
+    """
+
+    name: str
+    source: str
+    destination: str
+    period_ns: int
+    length_bytes: int
+    e2e_ns: Optional[int] = None
+    priority: int = Priorities.NSH_PH
+    share: bool = False
+
+    def resolve(self, topology: Topology) -> Stream:
+        """Route over ``topology`` and produce the schedulable stream.
+
+        ``e2e`` defaults to the period, the common assumption for
+        industrial TT traffic (implicit deadline).
+        """
+        path = tuple(topology.shortest_path(self.source, self.destination))
+        e2e = self.e2e_ns if self.e2e_ns is not None else self.period_ns
+        stream = Stream(
+            name=self.name,
+            path=path,
+            e2e_ns=e2e,
+            priority=self.priority,
+            length_bytes=self.length_bytes,
+            period_ns=self.period_ns,
+            type=StreamType.DET,
+            share=self.share,
+        )
+        Priorities.check(stream)
+        return stream
+
+
+@dataclass(frozen=True)
+class EctStream:
+    """User-level specification of an event-triggered critical stream.
+
+    min_interevent_ns
+        The guaranteed minimum time between two consecutive events — the
+        paper calls this "a common property of ECT" and uses it as the
+        probabilistic streams' ``T``.
+    possibilities
+        ``N``, the number of probabilistic streams modeling this ECT
+        stream (user parameter, paper Sec. III-B).
+    via
+        Optional explicit route as the full node sequence (source,
+        switches..., destination); defaults to the hop-count shortest
+        path.  Used by redundancy planning (:mod:`repro.core.frer`) to
+        pin members to disjoint paths.
+    """
+
+    name: str
+    source: str
+    destination: str
+    min_interevent_ns: int
+    length_bytes: int
+    e2e_ns: Optional[int] = None
+    possibilities: int = 8
+    via: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StreamError("ECT stream name must be non-empty")
+        if self.min_interevent_ns <= 0:
+            raise StreamError(f"{self.name}: min inter-event time must be positive")
+        if self.length_bytes <= 0:
+            raise StreamError(f"{self.name}: length must be positive")
+        if self.possibilities < 1:
+            raise StreamError(f"{self.name}: need at least one possibility")
+        if self.e2e_ns is not None and self.e2e_ns <= 0:
+            raise StreamError(f"{self.name}: e2e latency must be positive")
+        if self.via is not None:
+            if len(self.via) < 2:
+                raise StreamError(f"{self.name}: explicit route needs >= 2 nodes")
+            if self.via[0] != self.source or self.via[-1] != self.destination:
+                raise StreamError(
+                    f"{self.name}: explicit route must run source -> destination"
+                )
+
+    @property
+    def effective_e2e_ns(self) -> int:
+        """Deadline; defaults to the minimum inter-event time."""
+        return self.e2e_ns if self.e2e_ns is not None else self.min_interevent_ns
+
+    def route(self, topology: Topology) -> Tuple[Link, ...]:
+        if self.via is not None:
+            return tuple(
+                topology.link(a, b) for a, b in zip(self.via, self.via[1:])
+            )
+        return tuple(topology.shortest_path(self.source, self.destination))
+
+
+def streams_by_link(streams: Sequence[Stream]) -> dict:
+    """Index streams by the directed links they traverse."""
+    index: dict = {}
+    for stream in streams:
+        for link in stream.path:
+            index.setdefault(link.key, []).append(stream)
+    return index
+
+
+def may_overlap(a: Stream, b: Stream) -> bool:
+    """Paper Sec. IV-B2: when may two frames share a time-slot on a link?
+
+    1. Both are probabilistic possibilities of the *same* ECT stream —
+       only one possibility can materialize at run time.
+    2. One is probabilistic and the other is a TCT stream that shares its
+       slots — the TCT stream's reservation was already expanded by
+       prudent reservation (Alg. 1) to absorb the encroachment.
+    """
+    if a.is_probabilistic and b.is_probabilistic:
+        return a.parent == b.parent
+    if a.is_probabilistic and not b.is_probabilistic:
+        return b.share
+    if b.is_probabilistic and not a.is_probabilistic:
+        return a.share
+    return False

@@ -1,0 +1,313 @@
+"""Network topology model: nodes, full-duplex links, and routing.
+
+Matches the abstraction of paper Sec. IV-A: the network is a directed graph
+``G(V, E)`` whose vertices are switches and end devices and whose edges are
+the directed halves of full-duplex links.  Every edge carries the triple
+``(b, d, tu)`` — bandwidth, propagation delay, and the smallest time unit
+at which the egress port can be operated (the gate granularity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.model.units import MBPS_100, transmission_time_ns
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies or impossible routes."""
+
+
+class NodeKind:
+    """Vertex roles.  Switches forward; devices terminate streams."""
+
+    SWITCH = "switch"
+    DEVICE = "device"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network vertex: a TSN switch or an end device."""
+
+    name: str
+    kind: str = NodeKind.DEVICE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("node name must be non-empty")
+        if self.kind not in (NodeKind.SWITCH, NodeKind.DEVICE):
+            raise TopologyError(f"unknown node kind: {self.kind!r}")
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind == NodeKind.SWITCH
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """One *directed* edge ``<src, dst>`` with the paper's three attributes.
+
+    bandwidth_bps
+        ``b`` — link speed in bits per second.
+    propagation_ns
+        ``d`` — signal propagation delay in nanoseconds.
+    time_unit_ns
+        ``tu`` — gate/schedule granularity of the egress port in
+        nanoseconds.  All slot boundaries on this link land on multiples
+        of ``tu``.
+    """
+
+    src: str
+    dst: str
+    bandwidth_bps: int = MBPS_100
+    propagation_ns: int = 0
+    time_unit_ns: int = 1
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise TopologyError(f"self-loop on node {self.src!r}")
+        if self.bandwidth_bps <= 0:
+            raise TopologyError(f"bandwidth must be positive on {self.key}")
+        if self.propagation_ns < 0:
+            raise TopologyError(f"negative propagation delay on {self.key}")
+        if self.time_unit_ns <= 0:
+            raise TopologyError(f"time unit must be positive on {self.key}")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``<v_a, v_b>`` pair used everywhere as the link identity."""
+        return (self.src, self.dst)
+
+    def transmission_ns(self, frame_bytes: int) -> int:
+        """Wire time of a frame of ``frame_bytes`` total bytes on this link."""
+        return transmission_time_ns(frame_bytes, self.bandwidth_bps)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.src},{self.dst}>"
+
+
+class Topology:
+    """Directed multigraph-free network graph with full-duplex links.
+
+    ``add_link`` inserts *both* directions, mirroring the paper: "If two
+    network nodes v_a and v_b are connected, two edges ... will be added".
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_switch(self, name: str) -> Node:
+        """Add a switch vertex."""
+        return self._add_node(Node(name, NodeKind.SWITCH))
+
+    def add_device(self, name: str) -> Node:
+        """Add an end-device vertex."""
+        return self._add_node(Node(name, NodeKind.DEVICE))
+
+    def _add_node(self, node: Node) -> Node:
+        existing = self._nodes.get(node.name)
+        if existing is not None:
+            if existing.kind != node.kind:
+                raise TopologyError(
+                    f"node {node.name!r} already exists with kind {existing.kind!r}"
+                )
+            return existing
+        self._nodes[node.name] = node
+        self._adjacency[node.name] = []
+        return node
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: int = MBPS_100,
+        propagation_ns: int = 0,
+        time_unit_ns: int = 1,
+    ) -> Tuple[Link, Link]:
+        """Connect ``a`` and ``b`` with a full-duplex link (two edges)."""
+        for name in (a, b):
+            if name not in self._nodes:
+                raise TopologyError(f"unknown node {name!r}; add it first")
+        if (a, b) in self._links:
+            raise TopologyError(f"link {a!r}-{b!r} already exists")
+        forward = Link(a, b, bandwidth_bps, propagation_ns, time_unit_ns)
+        backward = Link(b, a, bandwidth_bps, propagation_ns, time_unit_ns)
+        self._links[forward.key] = forward
+        self._links[backward.key] = backward
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def switches(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.is_switch]
+
+    @property
+    def devices(self) -> List[Node]:
+        return [n for n in self._nodes.values() if not n.is_switch]
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no link <{src},{dst}>") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._links
+
+    def neighbors(self, name: str) -> List[str]:
+        if name not in self._adjacency:
+            raise TopologyError(f"unknown node {name!r}")
+        return list(self._adjacency[name])
+
+    def egress_links(self, name: str) -> List[Link]:
+        """All directed links leaving ``name`` (one per output port)."""
+        return [self._links[(name, nbr)] for nbr in self.neighbors(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: str, dst: str) -> List[Link]:
+        """Hop-count shortest route from ``src`` to ``dst`` as a link list.
+
+        End devices never forward: a route may only pass *through*
+        switches.  Ties are broken deterministically by insertion order so
+        schedules are reproducible.
+        """
+        for name in (src, dst):
+            if name not in self._nodes:
+                raise TopologyError(f"unknown node {name!r}")
+        if src == dst:
+            raise TopologyError(f"stream source and destination are both {src!r}")
+        parents: Dict[str, Optional[str]] = {src: None}
+        frontier = [src]
+        while frontier:
+            next_frontier: List[str] = []
+            for here in frontier:
+                if here != src and not self._nodes[here].is_switch:
+                    continue  # devices terminate, never forward
+                for nbr in self._adjacency[here]:
+                    if nbr in parents:
+                        continue
+                    parents[nbr] = here
+                    if nbr == dst:
+                        return self._trace(parents, dst)
+                    next_frontier.append(nbr)
+            frontier = next_frontier
+        raise TopologyError(f"no route from {src!r} to {dst!r}")
+
+    def _trace(self, parents: Dict[str, Optional[str]], dst: str) -> List[Link]:
+        hops: List[str] = [dst]
+        while parents[hops[-1]] is not None:
+            hops.append(parents[hops[-1]])  # type: ignore[index]
+        hops.reverse()
+        return [self._links[(a, b)] for a, b in zip(hops, hops[1:])]
+
+    # ------------------------------------------------------------------
+    # derived properties
+    # ------------------------------------------------------------------
+    def macrotick_ns(self) -> int:
+        """Network-wide scheduling granularity.
+
+        The least common multiple of every link's ``tu``: an instant that
+        is a macrotick multiple is drivable by every gate in the network.
+        """
+        if not self._links:
+            raise TopologyError("topology has no links")
+        tick = 1
+        for link in self._links.values():
+            tick = tick * link.time_unit_ns // math.gcd(tick, link.time_unit_ns)
+        return tick
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`TopologyError`."""
+        if not self._nodes:
+            raise TopologyError("topology has no nodes")
+        if not self._links:
+            raise TopologyError("topology has no links")
+        for name, nbrs in self._adjacency.items():
+            if not nbrs:
+                raise TopologyError(f"node {name!r} is isolated")
+
+    def describe(self) -> str:
+        """One-line-per-element text rendering, for logs and docs."""
+        lines = [f"Topology: {len(self.switches)} switches, {len(self.devices)} devices"]
+        for node in self._nodes.values():
+            lines.append(f"  {node.kind:6s} {node.name}")
+        seen = set()
+        for link in self._links.values():
+            pair = frozenset(link.key)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            lines.append(
+                f"  link   {link.src} <-> {link.dst}  "
+                f"{link.bandwidth_bps // 1_000_000} Mb/s, "
+                f"prop {link.propagation_ns} ns, tu {link.time_unit_ns} ns"
+            )
+        return "\n".join(lines)
+
+
+def line_topology(device_names: Iterable[str], switch_names: Iterable[str],
+                  bandwidth_bps: int = MBPS_100,
+                  propagation_ns: int = 0,
+                  time_unit_ns: int = 1) -> Topology:
+    """Devices hanging off a chain of switches; a common testbed shape.
+
+    The first half of ``device_names`` attaches to the first switch, the
+    second half to the last switch.  For finer control build the topology
+    by hand.
+    """
+    topo = Topology()
+    switches = list(switch_names)
+    devices = list(device_names)
+    if not switches or not devices:
+        raise TopologyError("need at least one switch and one device")
+    for s in switches:
+        topo.add_switch(s)
+    for d in devices:
+        topo.add_device(d)
+    for a, b in zip(switches, switches[1:]):
+        topo.add_link(a, b, bandwidth_bps, propagation_ns, time_unit_ns)
+    half = (len(devices) + 1) // 2
+    for d in devices[:half]:
+        topo.add_link(d, switches[0], bandwidth_bps, propagation_ns, time_unit_ns)
+    for d in devices[half:]:
+        topo.add_link(d, switches[-1], bandwidth_bps, propagation_ns, time_unit_ns)
+    return topo

@@ -1,0 +1,157 @@
+"""Integer time and rate arithmetic for the whole library.
+
+Everything in this code base keeps time as an ``int`` number of
+*nanoseconds*.  Floating point never touches a timestamp: the simulator
+claims (like the paper's FPGA toolkit) 10 ns measurement accuracy, and
+integer math is the only way to make discrete-event execution and the SMT
+scheduler agree bit-for-bit.
+
+The helpers here exist so that call sites read in natural units::
+
+    period = milliseconds(10)
+    slot   = transmission_time_ns(frame_bytes=1522, bandwidth_bps=MBPS_100)
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+#: Common industrial Ethernet link speeds, in bits per second.
+MBPS_10 = 10_000_000
+MBPS_100 = 100_000_000
+GBPS_1 = 1_000_000_000
+
+#: Ethernet framing overhead added to the payload of every frame, in bytes:
+#: 14 (header) + 4 (FCS) + 8 (preamble + SFD) + 12 (inter-frame gap).
+ETHERNET_OVERHEAD_BYTES = 14 + 4 + 8 + 12
+
+#: Maximum transmission unit: the largest Ethernet *payload*, in bytes.
+ETHERNET_MTU_BYTES = 1500
+
+#: Smallest legal Ethernet payload.
+ETHERNET_MIN_PAYLOAD_BYTES = 46
+
+
+def nanoseconds(value: int) -> int:
+    """Identity, for symmetry with the other constructors."""
+    return int(value)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * NS_PER_US)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * NS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * NS_PER_S)
+
+
+def ns_to_us(value_ns: int) -> float:
+    """Express a nanosecond duration in microseconds (for reporting only)."""
+    return value_ns / NS_PER_US
+
+
+def ns_to_ms(value_ns: int) -> float:
+    """Express a nanosecond duration in milliseconds (for reporting only)."""
+    return value_ns / NS_PER_MS
+
+
+def transmission_time_ns(frame_bytes: int, bandwidth_bps: int) -> int:
+    """Time to clock ``frame_bytes`` onto a link of ``bandwidth_bps``.
+
+    The result is rounded *up*: a schedule that under-estimates wire time
+    would produce gate windows that truncate frames.
+    """
+    if frame_bytes <= 0:
+        raise ValueError(f"frame_bytes must be positive, got {frame_bytes}")
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
+    bits = frame_bytes * 8
+    return -(-bits * NS_PER_S // bandwidth_bps)  # ceiling division
+
+
+def wire_bytes(payload_bytes: int) -> int:
+    """Total on-wire size (including all Ethernet overhead) of one frame.
+
+    Payloads shorter than the Ethernet minimum are padded, as a real MAC
+    would do.
+    """
+    if payload_bytes <= 0:
+        raise ValueError(f"payload_bytes must be positive, got {payload_bytes}")
+    if payload_bytes > ETHERNET_MTU_BYTES:
+        raise ValueError(
+            f"payload of {payload_bytes} B exceeds the Ethernet MTU "
+            f"({ETHERNET_MTU_BYTES} B); segment it into frames first"
+        )
+    return max(payload_bytes, ETHERNET_MIN_PAYLOAD_BYTES) + ETHERNET_OVERHEAD_BYTES
+
+
+def frames_for_payload(message_bytes: int) -> list:
+    """Split a message into MTU-sized frame payloads.
+
+    The paper's ECT messages range from 1 to 5 MTUs (Sec. VI-C); a message
+    longer than one MTU is carried by several back-to-back frames.
+    """
+    if message_bytes <= 0:
+        raise ValueError(f"message_bytes must be positive, got {message_bytes}")
+    sizes = []
+    remaining = message_bytes
+    while remaining > 0:
+        take = min(remaining, ETHERNET_MTU_BYTES)
+        sizes.append(take)
+        remaining -= take
+    return sizes
+
+
+def ceil_to_multiple(value: int, unit: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``unit``."""
+    if unit <= 0:
+        raise ValueError(f"unit must be positive, got {unit}")
+    return -(-value // unit) * unit
+
+
+def is_multiple(value: int, unit: int) -> bool:
+    """True when ``value`` is an exact multiple of ``unit``."""
+    if unit <= 0:
+        raise ValueError(f"unit must be positive, got {unit}")
+    return value % unit == 0
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple (hyperperiod of two periods)."""
+    import math
+
+    if a <= 0 or b <= 0:
+        raise ValueError(f"lcm arguments must be positive, got {a}, {b}")
+    return a // math.gcd(a, b) * b
+
+
+def hyperperiod(periods) -> int:
+    """Least common multiple of an iterable of periods."""
+    result = 1
+    seen_any = False
+    for p in periods:
+        seen_any = True
+        result = lcm(result, p)
+    if not seen_any:
+        raise ValueError("hyperperiod() of an empty collection")
+    return result
+
+
+def format_ns(value_ns: int) -> str:
+    """Human-readable rendering of a nanosecond duration."""
+    if value_ns >= NS_PER_S:
+        return f"{value_ns / NS_PER_S:.3f}s"
+    if value_ns >= NS_PER_MS:
+        return f"{value_ns / NS_PER_MS:.3f}ms"
+    if value_ns >= NS_PER_US:
+        return f"{value_ns / NS_PER_US:.3f}us"
+    return f"{value_ns}ns"

@@ -1,0 +1,91 @@
+"""Best-effort background traffic sources.
+
+The 802.1Q priority model reserves PCP 0 for best-effort traffic; the
+AVB baseline's definition ("ECT ... with a higher priority than
+background traffic", paper Sec. VI-A2) only means anything when such
+traffic exists.  :class:`BeSource` offers a configurable load of
+random-size best-effort frames between two devices; the GCL opens the BE
+gate only in unallocated time, and strict priority keeps BE under every
+critical class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.model.stream import Priorities
+from repro.model.topology import Link
+from repro.model.units import ETHERNET_MIN_PAYLOAD_BYTES, ETHERNET_MTU_BYTES, NS_PER_S, wire_bytes
+from repro.sim.engine import Simulator
+from repro.sim.frames import SimFrame
+from repro.sim.port import EgressPort
+from repro.sim.recorder import LatencyRecorder
+
+
+@dataclass(frozen=True)
+class BeTrafficSpec:
+    """Offered best-effort load between two devices."""
+
+    name: str
+    source: str
+    destination: str
+    #: average offered load as a fraction of the first link's bandwidth
+    load_fraction: float
+    min_payload: int = ETHERNET_MIN_PAYLOAD_BYTES
+    max_payload: int = ETHERNET_MTU_BYTES
+
+    def __post_init__(self) -> None:
+        if not 0 < self.load_fraction < 1:
+            raise ValueError(f"{self.name}: load fraction must be in (0,1)")
+        if not (0 < self.min_payload <= self.max_payload <= ETHERNET_MTU_BYTES):
+            raise ValueError(f"{self.name}: bad payload range")
+
+
+class BeSource:
+    """Injects best-effort frames with exponential inter-arrivals."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: EgressPort,
+        recorder: LatencyRecorder,
+        spec: BeTrafficSpec,
+        path: Tuple[Link, ...],
+        horizon_ns: int,
+        seed: int = 0,
+    ) -> None:
+        self._sim = sim
+        self._port = port
+        self._recorder = recorder
+        self._spec = spec
+        self._path = path
+        self._horizon_ns = horizon_ns
+        self._rng = random.Random(seed)
+        self._message_id = 0
+
+    def start(self) -> None:
+        mean_payload = (self._spec.min_payload + self._spec.max_payload) / 2
+        mean_wire_bits = wire_bytes(int(mean_payload)) * 8
+        rate_bps = self._path[0].bandwidth_bps * self._spec.load_fraction
+        mean_gap_ns = mean_wire_bits * NS_PER_S / rate_bps
+        t = int(self._rng.expovariate(1.0 / mean_gap_ns))
+        while t < self._horizon_ns:
+            self._sim.at(t, lambda when=t: self._fire(when))
+            t += max(1, int(self._rng.expovariate(1.0 / mean_gap_ns)))
+
+    def _fire(self, when: int) -> None:
+        self._message_id += 1
+        payload = self._rng.randint(self._spec.min_payload, self._spec.max_payload)
+        self._recorder.on_inject(self._spec.name)
+        self._port.enqueue(SimFrame(
+            stream=self._spec.name,
+            priority=Priorities.BE,
+            message_id=self._message_id,
+            frame_index=0,
+            frames_in_message=1,
+            payload_bytes=payload,
+            created_ns=when,
+            path=self._path,
+        ))

@@ -1,0 +1,91 @@
+"""Credit-based shaper (802.1Qav) for one traffic-class queue.
+
+Standard semantics:
+
+* a frame may start only when credit >= 0;
+* while transmitting, credit drains at ``send_slope = idle_slope - rate``
+  (negative);
+* while frames wait blocked (by credit or by the gate), credit gains at
+  ``idle_slope``;
+* when the queue goes empty with positive credit, credit resets to 0.
+
+All arithmetic is integer: credit is kept in bit-nanoseconds (credit in
+bits times 1e9), so slopes in bits-per-second multiply plainly with
+nanosecond durations.
+"""
+
+from __future__ import annotations
+
+
+class CreditBasedShaper:
+    """CBS state for one queue on one port."""
+
+    def __init__(self, idle_slope_bps: int, link_rate_bps: int) -> None:
+        if not 0 < idle_slope_bps <= link_rate_bps:
+            raise ValueError(
+                f"idle slope {idle_slope_bps} must be in (0, link rate "
+                f"{link_rate_bps}]"
+            )
+        self.idle_slope_bps = idle_slope_bps
+        self.send_slope_bps = idle_slope_bps - link_rate_bps
+        self._credit = 0  # bit-nanoseconds
+        self._updated_ns = 0
+        self._gaining = False  # frames waiting, not transmitting
+        self._recovering = False  # queue empty with a deficit (Annex L)
+
+    # ------------------------------------------------------------------
+    def _advance(self, now_ns: int) -> None:
+        elapsed = now_ns - self._updated_ns
+        if elapsed > 0:
+            if self._gaining:
+                self._credit += elapsed * self.idle_slope_bps
+            elif self._recovering and self._credit < 0:
+                # 802.1Q Annex L: with the queue empty, negative credit
+                # recovers at idleSlope but saturates at zero.
+                self._credit = min(
+                    0, self._credit + elapsed * self.idle_slope_bps
+                )
+        self._updated_ns = max(self._updated_ns, now_ns)
+
+    def credit_bits(self, now_ns: int) -> float:
+        """Current credit in bits (reporting only)."""
+        self._advance(now_ns)
+        return self._credit / 1_000_000_000
+
+    # ------------------------------------------------------------------
+    def can_send(self, now_ns: int) -> bool:
+        self._advance(now_ns)
+        return self._credit >= 0
+
+    def eligible_at(self, now_ns: int) -> int:
+        """Earliest time credit reaches zero if frames keep waiting."""
+        self._advance(now_ns)
+        if self._credit >= 0:
+            return now_ns
+        deficit = -self._credit
+        wait = -(-deficit // self.idle_slope_bps)  # ceil
+        return now_ns + wait
+
+    # ------------------------------------------------------------------
+    def on_wait_start(self, now_ns: int) -> None:
+        """Frames became pending (and are not being transmitted)."""
+        self._advance(now_ns)
+        self._gaining = True
+        self._recovering = False
+
+    def on_transmit(self, start_ns: int, duration_ns: int) -> None:
+        """Account one transmission of ``duration_ns`` starting now."""
+        self._advance(start_ns)
+        self._gaining = False
+        self._recovering = False
+        self._credit += duration_ns * self.send_slope_bps
+        self._updated_ns = start_ns + duration_ns
+
+    def on_queue_empty(self, now_ns: int) -> None:
+        """Queue drained: positive credit is forfeited; a deficit starts
+        recovering toward zero (Qav rules)."""
+        self._advance(now_ns)
+        self._gaining = False
+        self._recovering = True
+        if self._credit > 0:
+            self._credit = 0

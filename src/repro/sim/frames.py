@@ -1,0 +1,96 @@
+"""On-wire frame objects for the simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.model.topology import Link
+from repro.model.units import frames_for_payload, wire_bytes
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class SimFrame:
+    """One Ethernet frame in flight.
+
+    stream
+        Name of the stream the frame belongs to (TCT stream name or ECT
+        stream name — probabilistic possibilities never materialize as
+        frames; they are scheduling artifacts).
+    message_id
+        Groups the frames of one message; latency is measured when the
+        last frame of a message reaches the listener.
+    created_ns
+        Global time the message entered the network: the scheduled
+        injection instant for TCT, the event occurrence for ECT.
+    path / hop
+        The route and the index of the link the frame travels next.
+    """
+
+    stream: str
+    priority: int
+    message_id: int
+    frame_index: int
+    frames_in_message: int
+    payload_bytes: int
+    created_ns: int
+    path: Tuple[Link, ...]
+    hop: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def wire_bytes(self) -> int:
+        return wire_bytes(self.payload_bytes)
+
+    @property
+    def current_link(self) -> Link:
+        return self.path[self.hop]
+
+    @property
+    def is_last_hop(self) -> bool:
+        return self.hop == len(self.path) - 1
+
+    def advanced(self) -> "SimFrame":
+        """The same frame, one hop further along its path."""
+        if self.is_last_hop:
+            raise ValueError(f"frame {self.frame_id} is already on its last hop")
+        return SimFrame(
+            stream=self.stream,
+            priority=self.priority,
+            message_id=self.message_id,
+            frame_index=self.frame_index,
+            frames_in_message=self.frames_in_message,
+            payload_bytes=self.payload_bytes,
+            created_ns=self.created_ns,
+            path=self.path,
+            hop=self.hop + 1,
+            frame_id=self.frame_id,
+        )
+
+
+def message_frames(
+    stream: str,
+    priority: int,
+    message_id: int,
+    message_bytes: int,
+    created_ns: int,
+    path: Tuple[Link, ...],
+) -> List[SimFrame]:
+    """Split one message into its MTU-sized frames."""
+    payloads = frames_for_payload(message_bytes)
+    return [
+        SimFrame(
+            stream=stream,
+            priority=priority,
+            message_id=message_id,
+            frame_index=i,
+            frames_in_message=len(payloads),
+            payload_bytes=payload,
+            created_ns=created_ns,
+            path=path,
+        )
+        for i, payload in enumerate(payloads)
+    ]

@@ -1,0 +1,172 @@
+"""The 802.1Qbv egress port: queues, gates, and transmission selection.
+
+Implements the output-port model of paper Fig. 3: eight priority FIFOs,
+each behind a gate driven by the port's GCL, with strict-priority
+selection among open gates.  Two refinements complete the model:
+
+* **Guard banding** (Qbv look-ahead): a frame starts only if it finishes
+  before its gate's window closes, so a late ECT frame can never clip a
+  protected window.
+* **Owner windows** (flow isolation): a window owned by stream ``s``
+  serves only ``s``'s frames from the queue, so FIFO order inside a
+  shared queue cannot leak one stream's reservation to another.  Windows
+  with no owner (EP complements, best-effort gaps) serve any frame.
+
+A queue may carry a credit-based shaper (:mod:`repro.sim.cbs`) — that is
+how the AVB baseline forwards ECT.
+
+Gate state is evaluated in the *node-local clock*; wake-ups are converted
+back to global simulator time, so clock error degrades gating exactly as
+it would in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.gcl import PortGcl
+from repro.model.topology import Link
+from repro.sim.cbs import CreditBasedShaper
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.frames import SimFrame
+
+DeliverFn = Callable[[SimFrame, int], None]
+
+
+class PortStats:
+    """Counters for one egress port."""
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.busy_ns = 0
+        self.guard_band_blocks = 0
+        self.cbs_blocks = 0
+        self.max_backlog_frames = 0
+
+
+class EgressPort:
+    """One directed link's transmitter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        gcl: PortGcl,
+        clock: Clock,
+        deliver: DeliverFn,
+        shapers: Optional[Dict[int, CreditBasedShaper]] = None,
+    ) -> None:
+        self._sim = sim
+        self._link = link
+        self._gcl = gcl
+        self._clock = clock
+        self._deliver = deliver
+        self._shapers = shapers or {}
+        self._queues: Dict[int, List[SimFrame]] = {q: [] for q in range(8)}
+        self._busy_until = 0
+        self._wake_at: Optional[int] = None
+        self.stats = PortStats()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, frame: SimFrame) -> None:
+        """A frame arrived for this port (from a talker or switch fabric)."""
+        queue = self._queues[frame.priority]
+        queue.append(frame)
+        backlog = self.queued_frames()
+        if backlog > self.stats.max_backlog_frames:
+            self.stats.max_backlog_frames = backlog
+        shaper = self._shapers.get(frame.priority)
+        if shaper is not None and self._sim.now >= self._busy_until:
+            shaper.on_wait_start(self._sim.now)
+        self._try_transmit()
+
+    def queued_frames(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    def _try_transmit(self) -> None:
+        now = self._sim.now
+        if now < self._busy_until:
+            return  # _on_tx_done will re-invoke
+        local = self._clock.local(now)
+        wake_local: List[int] = []
+        wake_global: List[int] = []
+        for queue_id in range(7, -1, -1):
+            fifo = self._queues[queue_id]
+            if not fifo:
+                continue
+            is_open, owner, boundary_local = self._gcl.state_at(queue_id, local)
+            if not is_open:
+                wake_local.append(boundary_local)
+                continue
+            index = self._select_frame(fifo, owner)
+            if index is None:
+                wake_local.append(boundary_local)
+                continue
+            frame = fifo[index]
+            duration = self._link.transmission_ns(frame.wire_bytes)
+            if local + duration > boundary_local:
+                # Guard band: would overrun the window; a shorter frame of
+                # the same queue cannot jump it (FIFO per stream), so wait.
+                self.stats.guard_band_blocks += 1
+                wake_local.append(boundary_local)
+                continue
+            shaper = self._shapers.get(queue_id)
+            if shaper is not None and not shaper.can_send(now):
+                self.stats.cbs_blocks += 1
+                wake_global.append(shaper.eligible_at(now))
+                continue
+            self._transmit(queue_id, index, frame, duration)
+            return
+        self._schedule_wake(wake_local, wake_global)
+
+    @staticmethod
+    def _select_frame(fifo: List[SimFrame], owner: Optional[str]) -> Optional[int]:
+        if owner is None:
+            return 0
+        for index, frame in enumerate(fifo):
+            if frame.stream == owner:
+                return index
+        return None
+
+    def _transmit(self, queue_id: int, index: int, frame: SimFrame, duration: int) -> None:
+        now = self._sim.now
+        fifo = self._queues[queue_id]
+        fifo.pop(index)
+        shaper = self._shapers.get(queue_id)
+        if shaper is not None:
+            shaper.on_transmit(now, duration)
+            if not fifo:
+                shaper.on_queue_empty(now)
+        self._busy_until = now + duration
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.wire_bytes
+        self.stats.busy_ns += duration
+        arrival = now + duration + self._link.propagation_ns
+        self._sim.at(arrival, lambda f=frame, t=arrival: self._deliver(f, t))
+        self._sim.at(self._busy_until, self._on_tx_done)
+
+    def _on_tx_done(self) -> None:
+        now = self._sim.now
+        for queue_id, shaper in self._shapers.items():
+            if self._queues[queue_id]:
+                shaper.on_wait_start(now)
+        self._try_transmit()
+
+    def _schedule_wake(self, wake_local: List[int], wake_global: List[int]) -> None:
+        candidates = [self._clock.to_global(t) for t in wake_local]
+        candidates.extend(wake_global)
+        if not candidates:
+            return
+        wake = max(min(candidates), self._sim.now + 1)
+        if self._wake_at is not None and self._wake_at <= wake and self._wake_at > self._sim.now:
+            return  # an earlier (or equal) wake is already pending
+        self._wake_at = wake
+        self._sim.at(wake, self._on_wake)
+
+    def _on_wake(self) -> None:
+        if self._wake_at == self._sim.now:
+            self._wake_at = None
+        self._try_transmit()

@@ -1,0 +1,25 @@
+"""A from-scratch SMT solver for integer difference logic (QF_IDL).
+
+Replaces z3 in the paper's pipeline: a CDCL SAT core (:mod:`repro.smt.sat`)
+drives an incremental negative-cycle theory solver
+(:mod:`repro.smt.theory`) through the DPLL(T) loop in
+:mod:`repro.smt.solver`.
+"""
+
+from repro.smt.sat import SatSolver
+from repro.smt.solver import DlSmtSolver, SmtResult
+from repro.smt.terms import ZERO, Atom, diff_ge, diff_le, var_ge, var_le
+from repro.smt.theory import DifferenceLogic
+
+__all__ = [
+    "Atom",
+    "DifferenceLogic",
+    "DlSmtSolver",
+    "SatSolver",
+    "SmtResult",
+    "ZERO",
+    "diff_ge",
+    "diff_le",
+    "var_ge",
+    "var_le",
+]

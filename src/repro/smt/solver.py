@@ -1,0 +1,145 @@
+"""DPLL(T) for integer difference logic: the solver the scheduler calls.
+
+Glues :class:`repro.smt.sat.SatSolver` (boolean search) to
+:class:`repro.smt.theory.DifferenceLogic` (conjunctive consistency).
+Clients build a formula from :class:`repro.smt.terms.Atom` disjunctions —
+exactly the shape of the paper's Eqs. 1-7 — and read back an integer model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.smt.sat import SatSolver
+from repro.smt.terms import Atom
+from repro.smt.theory import DifferenceLogic
+
+
+class SmtResult:
+    """Outcome of a :meth:`DlSmtSolver.check` call."""
+
+    def __init__(self, sat: bool, model: Optional[Dict[str, int]], stats: Dict[str, int]):
+        self.sat = sat
+        self._model = model
+        self.stats = stats
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    @property
+    def model(self) -> Dict[str, int]:
+        if not self.sat or self._model is None:
+            raise RuntimeError("no model: formula is unsatisfiable")
+        return self._model
+
+
+class _DlTheoryAdapter:
+    """Bridges SAT literals to difference-logic assertions."""
+
+    def __init__(self, dl: DifferenceLogic) -> None:
+        self._dl = dl
+        self._atom_of_var: Dict[int, Atom] = {}
+        self._depths: List[int] = []  # DL stack depth before each assertion
+
+    def register(self, var: int, atom: Atom) -> None:
+        self._atom_of_var[var] = atom
+
+    def relevant(self, var: int) -> bool:
+        return var in self._atom_of_var
+
+    def on_assign(self, lit: int) -> Optional[List[int]]:
+        atom = self._atom_of_var[abs(lit)]
+        if lit < 0:
+            atom = atom.negate()
+        depth_before = self._dl.num_asserted
+        conflict = self._dl.assert_atom(atom, token=lit)
+        if conflict is not None:
+            return conflict
+        self._depths.append(depth_before)
+        return None
+
+    def on_backtrack(self, num_assigned: int) -> None:
+        if num_assigned < len(self._depths):
+            depth = self._depths[num_assigned]
+            del self._depths[num_assigned:]
+            self._dl.backtrack_to(depth)
+
+
+class DlSmtSolver:
+    """Public SMT interface: assert atoms/clauses over integer variables.
+
+    Usage::
+
+        solver = DlSmtSolver()
+        solver.require(var_ge("phi", 0))
+        solver.add_clause([diff_ge("a", "b", 10), diff_ge("b", "a", 10)])
+        result = solver.check()
+        if result:
+            print(result.model["phi"])
+    """
+
+    def __init__(self) -> None:
+        self._dl = DifferenceLogic()
+        self._adapter = _DlTheoryAdapter(self._dl)
+        self._sat = SatSolver(theory=self._adapter)
+        self._vars_of_atom: Dict[Atom, int] = {}
+        self._int_vars: List[str] = []
+        self._int_var_set = set()
+        self._num_clauses = 0
+        self._checked: Optional[SmtResult] = None
+
+    # ------------------------------------------------------------------
+    def int_var(self, name: str) -> str:
+        """Declare an integer variable (idempotent)."""
+        if name not in self._int_var_set:
+            self._int_var_set.add(name)
+            self._int_vars.append(name)
+        return name
+
+    def _literal(self, atom: Atom) -> int:
+        canonical, sign = atom.canonical()
+        var = self._vars_of_atom.get(canonical)
+        if var is None:
+            var = self._sat.new_var()
+            self._vars_of_atom[canonical] = var
+            self._adapter.register(var, canonical)
+        for name in (atom.x, atom.y):
+            self.int_var(name)
+        return sign * var
+
+    def require(self, atom: Atom) -> None:
+        """Assert ``atom`` unconditionally (a unit clause)."""
+        self.add_clause([atom])
+
+    def add_clause(self, atoms: Sequence[Atom]) -> None:
+        """Assert the disjunction of ``atoms``."""
+        if not atoms:
+            raise ValueError("empty clause is trivially unsatisfiable")
+        self._checked = None
+        lits = [self._literal(a) for a in atoms]
+        self._num_clauses += 1
+        self._sat.add_clause(lits)
+
+    # ------------------------------------------------------------------
+    def check(self) -> SmtResult:
+        """Run the DPLL(T) search."""
+        sat = self._sat.solve()
+        model: Optional[Dict[str, int]] = None
+        if sat:
+            values = self._dl.model()
+            from repro.smt.terms import ZERO
+
+            model = {
+                name: values.get(name, 0)
+                for name in self._int_vars
+                if name != ZERO
+            }
+        stats = {
+            "atoms": len(self._vars_of_atom),
+            "clauses": self._num_clauses,
+            "conflicts": self._sat.num_conflicts,
+            "decisions": self._sat.num_decisions,
+            "restarts": self._sat.num_restarts,
+        }
+        self._checked = SmtResult(sat, model, stats)
+        return self._checked

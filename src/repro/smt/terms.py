@@ -1,0 +1,79 @@
+"""Atoms of quantifier-free integer difference logic (QF_IDL).
+
+Every constraint the E-TSN formalization needs (paper Eqs. 1-7) is of the
+form ``x - y <= c`` over integer variables, possibly with ``y`` (or ``x``)
+being the designated zero variable.  Disjunctions of such atoms express
+the frame non-overlap constraints (Eq. 5).
+
+The integer negation of ``x - y <= c`` is ``y - x <= -c - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Name of the designated zero variable.  ``x <= c`` is encoded as
+#: ``x - ZERO <= c``.
+ZERO = "<zero>"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """The difference constraint ``x - y <= c`` over integers."""
+
+    x: str
+    y: str
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.x == self.y:
+            raise ValueError(f"degenerate atom over single variable {self.x!r}")
+
+    def negate(self) -> "Atom":
+        """Integer negation: ``not (x - y <= c)``  ==  ``y - x <= -c - 1``."""
+        return Atom(self.y, self.x, -self.c - 1)
+
+    def canonical(self) -> Tuple["Atom", int]:
+        """A canonical (atom, sign) pair.
+
+        Complementary atoms map to the same canonical atom with opposite
+        signs, so the boolean abstraction never allocates two variables
+        for one constraint and its negation.
+        """
+        if (self.x, self.y) <= (self.y, self.x):
+            return self, 1
+        return self.negate(), -1
+
+    def holds(self, values: dict) -> bool:
+        """Evaluate under an assignment (``ZERO`` defaults to 0)."""
+        vx = values.get(self.x, 0) if self.x != ZERO else 0
+        vy = values.get(self.y, 0) if self.y != ZERO else 0
+        return vx - vy <= self.c
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.y == ZERO:
+            return f"{self.x} <= {self.c}"
+        if self.x == ZERO:
+            return f"{self.y} >= {-self.c}"
+        return f"{self.x} - {self.y} <= {self.c}"
+
+
+def var_le(x: str, c: int) -> Atom:
+    """``x <= c``"""
+    return Atom(x, ZERO, c)
+
+
+def var_ge(x: str, c: int) -> Atom:
+    """``x >= c``"""
+    return Atom(ZERO, x, -c)
+
+
+def diff_le(x: str, y: str, c: int) -> Atom:
+    """``x - y <= c``"""
+    return Atom(x, y, c)
+
+
+def diff_ge(x: str, y: str, c: int) -> Atom:
+    """``x - y >= c``"""
+    return Atom(y, x, -c)

@@ -1,0 +1,19 @@
+"""Workload generation: IEC/IEEE 60802-style TCT and ECT event processes."""
+
+from repro.traffic.events import (
+    burst_events,
+    poisson_events,
+    uniform_gap_events,
+    validate_min_spacing,
+)
+from repro.traffic.generator import GeneratedTraffic, TrafficConfig, generate_tct
+
+__all__ = [
+    "GeneratedTraffic",
+    "TrafficConfig",
+    "burst_events",
+    "generate_tct",
+    "poisson_events",
+    "uniform_gap_events",
+    "validate_min_spacing",
+]

@@ -1,0 +1,175 @@
+"""Industrial traffic generation in the style of IEC/IEEE 60802.
+
+The paper's evaluation (Secs. VI-B, VI-C) generates TCT randomly per the
+industrial-automation TSN profile: random source/destination end devices,
+periods drawn from a small set, "and the payload length of the streams is
+adjusted to form different network load status".  This module implements
+exactly that: draw the stream population, then size one common payload so
+the most-loaded link carries the target fraction of its bandwidth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.stream import Priorities, Stream, StreamError, StreamType
+from repro.model.topology import Topology
+from repro.model.units import (
+    ETHERNET_MIN_PAYLOAD_BYTES,
+    ETHERNET_MTU_BYTES,
+    NS_PER_S,
+    frames_for_payload,
+    wire_bytes,
+)
+
+
+@dataclass
+class TrafficConfig:
+    """Knobs of the random TCT population."""
+
+    num_streams: int
+    periods_ns: Sequence[int]
+    target_load: float  #: utilization of the most-loaded link, in (0, 1)
+    seed: int = 0
+    share: bool = True  #: whether generated streams share slots with ECT
+    #: how many streams are *not* shared (taken from the front of the
+    #: population, for the paper's Fig. 15 scenario).
+    num_nonshared: int = 0
+    max_frames_per_message: int = 10
+    #: restrict endpoints to these device names (default: all devices)
+    devices: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_streams < 1:
+            raise ValueError("need at least one stream")
+        if not self.periods_ns:
+            raise ValueError("need at least one period")
+        if not 0 < self.target_load < 1:
+            raise ValueError(f"target load must be in (0,1), got {self.target_load}")
+        if not 0 <= self.num_nonshared <= self.num_streams:
+            raise ValueError("num_nonshared out of range")
+
+
+@dataclass
+class GeneratedTraffic:
+    """The drawn population plus what load it actually achieves."""
+
+    streams: List[Stream]
+    payload_bytes: int
+    achieved_load: float
+    link_loads: Dict[Tuple[str, str], float]
+
+    @property
+    def most_loaded_link(self) -> Tuple[str, str]:
+        return max(self.link_loads, key=self.link_loads.get)
+
+
+def _stream_bps(payload_bytes: int, period_ns: int) -> float:
+    """Bandwidth one stream consumes, all framing overhead included."""
+    total_wire = sum(wire_bytes(p) for p in frames_for_payload(payload_bytes))
+    return total_wire * 8 * NS_PER_S / period_ns
+
+
+def _link_loads(
+    routes: Sequence[Tuple[Tuple[Tuple[str, str], ...], int]],
+    payload_bytes: int,
+    bandwidth: Dict[Tuple[str, str], int],
+) -> Dict[Tuple[str, str], float]:
+    loads: Dict[Tuple[str, str], float] = {}
+    for links, period_ns in routes:
+        bps = _stream_bps(payload_bytes, period_ns)
+        for key in links:
+            loads[key] = loads.get(key, 0.0) + bps / bandwidth[key]
+    return loads
+
+
+def generate_tct(topology: Topology, config: TrafficConfig) -> GeneratedTraffic:
+    """Draw the TCT population and size payloads to the target load.
+
+    Raises :class:`StreamError` when the target load is unreachable:
+    below the minimum Ethernet payload's load, or above what
+    ``max_frames_per_message`` MTUs per message can produce.
+    """
+    rng = random.Random(config.seed)
+    device_names = (
+        list(config.devices)
+        if config.devices is not None
+        else [d.name for d in topology.devices]
+    )
+    if len(device_names) < 2:
+        raise StreamError("need at least two end devices to draw streams")
+
+    drawn: List[Tuple[str, str, int, Tuple]] = []
+    routes: List[Tuple[Tuple[Tuple[str, str], ...], int]] = []
+    for i in range(config.num_streams):
+        src, dst = rng.sample(device_names, 2)
+        period = rng.choice(list(config.periods_ns))
+        path = tuple(topology.shortest_path(src, dst))
+        drawn.append((src, dst, period, path))
+        routes.append((tuple(link.key for link in path), period))
+
+    bandwidth = {link.key: link.bandwidth_bps for link in topology.links}
+    payload = _fit_payload(routes, bandwidth, config)
+    loads = _link_loads(routes, payload, bandwidth)
+    achieved = max(loads.values())
+
+    streams: List[Stream] = []
+    for i, (src, dst, period, path) in enumerate(drawn):
+        shared = config.share and i >= config.num_nonshared
+        if shared:
+            priority = Priorities.SH_PL + i % (Priorities.SH_PH - Priorities.SH_PL + 1)
+        else:
+            priority = Priorities.NSH_PL + i % (Priorities.NSH_PH - Priorities.NSH_PL + 1)
+        streams.append(
+            Stream(
+                name=f"tct{i + 1}",
+                path=path,
+                e2e_ns=period,
+                priority=priority,
+                length_bytes=payload,
+                period_ns=period,
+                type=StreamType.DET,
+                share=shared,
+            )
+        )
+    return GeneratedTraffic(
+        streams=streams,
+        payload_bytes=payload,
+        achieved_load=achieved,
+        link_loads=loads,
+    )
+
+
+def _fit_payload(
+    routes,
+    bandwidth: Dict[Tuple[str, str], int],
+    config: TrafficConfig,
+) -> int:
+    """Largest common payload whose max-link load stays <= target."""
+    low = ETHERNET_MIN_PAYLOAD_BYTES
+    high = config.max_frames_per_message * ETHERNET_MTU_BYTES
+
+    def load_at(payload: int) -> float:
+        return max(_link_loads(routes, payload, bandwidth).values())
+
+    if load_at(low) > config.target_load:
+        raise StreamError(
+            f"target load {config.target_load:.0%} is below what even "
+            f"minimum payloads produce ({load_at(low):.1%}); draw fewer "
+            f"streams or use a different seed"
+        )
+    if load_at(high) < config.target_load:
+        raise StreamError(
+            f"target load {config.target_load:.0%} is unreachable with "
+            f"{config.max_frames_per_message} MTU messages "
+            f"(max {load_at(high):.1%}); draw more streams"
+        )
+    while high - low > 1:
+        mid = (low + high) // 2
+        if load_at(mid) <= config.target_load:
+            low = mid
+        else:
+            high = mid
+    return low

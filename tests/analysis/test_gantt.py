@@ -1,0 +1,76 @@
+"""ASCII Gantt renderer tests."""
+
+import pytest
+
+from repro.analysis.gantt import EMPTY, EXTRA_FILL, FILL, OVERLAP, legend, render_gantt, render_link_gantt
+from repro.core.baselines import schedule_etsn
+
+
+@pytest.fixture
+def schedule(paper_example):
+    topo, s1, s2 = paper_example
+    return schedule_etsn(topo, [s1], [s2], backend="smt")
+
+
+class TestRenderLink:
+    def test_rows_for_every_stream(self, schedule):
+        text = render_link_gantt(schedule, ("SW1", "D3"), width=60)
+        for name in ("s1", "s2#ps1", "s2#ps5", "(all)"):
+            assert name in text
+
+    def test_width_respected(self, schedule):
+        text = render_link_gantt(schedule, ("SW1", "D3"), width=40)
+        rows = [line for line in text.splitlines() if "|" in line]
+        for row in rows:
+            body = row.split("|")[1]
+            assert len(body) == 40
+
+    def test_superposition_marked(self, schedule):
+        text = render_link_gantt(schedule, ("SW1", "D3"), width=60)
+        combined = [l for l in text.splitlines() if "(all)" in l][0]
+        assert OVERLAP in combined
+
+    def test_extras_marked(self, schedule):
+        text = render_link_gantt(schedule, ("SW1", "D3"), width=60)
+        s1_row = [l for l in text.splitlines() if l.strip().startswith("s1 ")][0]
+        assert EXTRA_FILL in s1_row
+
+    def test_wrapped_slot_rendered(self, schedule):
+        """A possibility scheduled past the period end must appear at the
+        start of the cycle."""
+        text = render_link_gantt(schedule, ("SW1", "D3"), width=60)
+        late_rows = [
+            line for line in text.splitlines()
+            if line.strip().startswith("s2#ps5")
+        ]
+        assert late_rows and FILL in late_rows[0]
+
+    def test_empty_link(self, schedule):
+        assert "no slots" in render_link_gantt(schedule, ("D3", "SW1"))
+
+    def test_occupancy_matches_slots(self, schedule):
+        """Every stream row's filled fraction approximates duration/cycle."""
+        width = 100
+        text = render_link_gantt(schedule, ("D1", "SW1"), width=width)
+        s1_row = [l for l in text.splitlines() if l.strip().startswith("s1 ")][0]
+        body = s1_row.split("|")[1]
+        filled = sum(1 for c in body if c != EMPTY)
+        # s1 sends 3 MTU frames per 5-frame period: 60% of the cycle
+        assert 0.5 <= filled / width <= 0.72
+
+
+class TestRenderAll:
+    def test_all_links_present(self, schedule):
+        text = render_gantt(schedule, width=50)
+        for link in ("<D1,SW1>", "<D2,SW1>", "<SW1,D3>"):
+            assert link in text
+
+    def test_subset(self, schedule):
+        text = render_gantt(schedule, links=[("D1", "SW1")], width=50)
+        assert "<D1,SW1>" in text
+        assert "<SW1,D3>" not in text
+
+    def test_legend_mentions_all_glyphs(self):
+        text = legend()
+        for glyph in (FILL, EXTRA_FILL, OVERLAP, EMPTY):
+            assert glyph in text

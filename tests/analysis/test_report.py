@@ -1,0 +1,62 @@
+"""Analysis/report helper tests."""
+
+import pytest
+
+from repro.analysis.report import (
+    cdf_percentiles,
+    format_table,
+    reduction_percent,
+    speedup,
+    stats_row,
+)
+from repro.sim.recorder import LatencyStats
+
+
+class TestStatsRow:
+    def test_microsecond_fields(self):
+        stats = LatencyStats(count=10, average_ns=423_000, minimum_ns=100_000,
+                             maximum_ns=515_000, stddev_ns=39_000)
+        row = stats_row(stats)
+        assert row["count"] == 10
+        assert row["avg_us"] == pytest.approx(423.0)
+        assert row["max_us"] == pytest.approx(515.0)
+        assert row["jitter_us"] == pytest.approx(39.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5" in text and "3.2" in text and "xyz" in text
+
+    def test_empty_rows(self):
+        text = format_table(["h1"], [])
+        assert "h1" in text
+
+
+class TestRatios:
+    def test_reduction(self):
+        assert reduction_percent(100.0, 12.0) == pytest.approx(88.0)
+
+    def test_speedup(self):
+        assert speedup(1000.0, 100.0) == pytest.approx(10.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            reduction_percent(0, 5)
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+
+class TestCdfPercentiles:
+    def test_samples_fractions(self):
+        cdf = [(10, 0.25), (20, 0.5), (30, 0.75), (40, 1.0)]
+        result = cdf_percentiles(cdf, fractions=(0.5, 0.9, 1.0))
+        assert result[0.5] == 20
+        assert result[0.9] == 40
+        assert result[1.0] == 40
+
+    def test_empty_cdf(self):
+        assert cdf_percentiles([], fractions=(0.5,)) == {0.5: 0}

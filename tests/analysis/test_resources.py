@@ -1,0 +1,95 @@
+"""Resource-metric tests (bandwidth reservation, GCL table cost)."""
+
+import pytest
+
+from repro.analysis.resources import (
+    fits_hardware,
+    gcl_table_sizes,
+    link_reservations,
+    max_gcl_table_size,
+    reservation_overhead,
+)
+from repro.core.baselines import schedule_etsn
+from repro.core.gcl import build_gcl
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from tests.conftest import MTU_WIRE_NS
+
+
+def _schedule(topo, share=True, with_ect=True):
+    tct = [Stream(
+        name="t1", path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(4),
+        priority=Priorities.SH_PL if share else Priorities.NSH_PL,
+        length_bytes=2 * 1500, period_ns=milliseconds(4), share=share,
+    )]
+    ects = []
+    if with_ect:
+        ects.append(EctStream("e", "D2", "D3",
+                              min_interevent_ns=milliseconds(16),
+                              length_bytes=1500, possibilities=4))
+    return schedule_etsn(topo, tct, ects)
+
+
+class TestLinkReservations:
+    def test_message_time_matches_stream(self, star_topology):
+        schedule = _schedule(star_topology, with_ect=False)
+        reservations = link_reservations(schedule)
+        cycle = schedule.hyperperiod_ns
+        r = reservations[("D1", "SW1")]
+        # 2 MTU frames per 4 ms period over the hyperperiod
+        assert r.message_ns == 2 * MTU_WIRE_NS * (cycle // milliseconds(4))
+        assert r.extra_ns == 0
+        assert r.probabilistic_ns == 0
+
+    def test_extras_and_prob_split(self, star_topology):
+        schedule = _schedule(star_topology)
+        r = link_reservations(schedule)[("SW1", "D3")]
+        assert r.extra_ns > 0  # prudent reservation acted here
+        assert r.probabilistic_ns > 0  # possibility slots exist
+        assert 0 < r.tct_fraction < 1
+
+    def test_overhead_zero_without_sharing(self, star_topology):
+        schedule = _schedule(star_topology, share=False)
+        assert reservation_overhead(schedule) == 0.0
+
+    def test_overhead_positive_with_sharing(self, star_topology):
+        schedule = _schedule(star_topology)
+        overhead = reservation_overhead(schedule)
+        assert 0 < overhead < 0.5
+
+
+class TestGclTables:
+    def test_sizes_per_port(self, star_topology):
+        schedule = _schedule(star_topology)
+        gcl = build_gcl(schedule, mode="etsn")
+        sizes = gcl_table_sizes(gcl)
+        assert set(sizes) == set(gcl.ports)
+        assert all(size >= 1 for size in sizes.values())
+
+    def test_strict_mode_needs_more_entries(self, star_topology):
+        """Materializing every possibility window costs table rows."""
+        schedule = _schedule(star_topology)
+        loose = max_gcl_table_size(build_gcl(schedule, mode="etsn"))
+        strict = max_gcl_table_size(build_gcl(schedule, mode="etsn-strict"))
+        assert strict >= loose
+
+    def test_fits_hardware(self, star_topology):
+        schedule = _schedule(star_topology)
+        gcl = build_gcl(schedule, mode="etsn")
+        assert fits_hardware(gcl, table_limit=1024)
+        assert not fits_hardware(gcl, table_limit=1)
+        with pytest.raises(ValueError):
+            fits_hardware(gcl, table_limit=0)
+
+    def test_realistic_deployment_fits_real_switches(self):
+        """The paper's Fig. 13 workload at 50% load must fit a typical
+        1024-entry Qbv table."""
+        from repro.core.gcl import build_gcl as _build
+        from repro.experiments import simulation_workload
+
+        workload = simulation_workload(0.5, seed=1)
+        schedule = schedule_etsn(workload.topology, workload.tct_streams,
+                                 workload.ect_streams)
+        gcl = _build(schedule, mode="etsn")
+        assert fits_hardware(gcl, table_limit=1024)

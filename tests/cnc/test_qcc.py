@@ -1,0 +1,169 @@
+"""Qcc configuration-plane tests (CUC, CNC, hardware GCL export)."""
+
+import json
+
+import pytest
+
+from repro.cnc import CNC, CUC, entries_total_ns, gcl_to_entries
+from repro.model.stream import EctStream, Priorities, StreamError, TctRequirement
+from repro.model.units import milliseconds
+from repro.sim import SimConfig, TsnSimulation
+
+
+def _cuc():
+    cuc = CUC()
+    cuc.register_tct(TctRequirement(
+        "flow1", "D1", "D3", period_ns=milliseconds(4), length_bytes=800,
+        share=True, priority=Priorities.SH_PL,
+    ))
+    cuc.register_tct(TctRequirement(
+        "flow2", "D2", "D1", period_ns=milliseconds(8), length_bytes=200,
+    ))
+    cuc.register_ect(EctStream(
+        "alarm", "D2", "D3", min_interevent_ns=milliseconds(16),
+        length_bytes=1500, possibilities=4,
+    ))
+    return cuc
+
+
+class TestCuc:
+    def test_collects_requirements(self):
+        cuc = _cuc()
+        assert [r.name for r in cuc.tct_requirements] == ["flow1", "flow2"]
+        assert [e.name for e in cuc.ect_streams] == ["alarm"]
+
+    def test_rejects_duplicate_names(self):
+        cuc = _cuc()
+        with pytest.raises(StreamError):
+            cuc.register_tct(TctRequirement(
+                "flow1", "D1", "D2", period_ns=milliseconds(4), length_bytes=100,
+            ))
+        with pytest.raises(StreamError):
+            cuc.register_ect(EctStream(
+                "alarm", "D1", "D2", min_interevent_ns=milliseconds(16),
+                length_bytes=100,
+            ))
+
+
+class TestCnc:
+    def test_compute_produces_deployment(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        assert deployment.schedule.meta["backend"] == "heuristic"
+        assert deployment.gcl.mode == "etsn"
+        # one talker per real TCT stream (no proxies, no possibilities)
+        assert sorted(t.stream for t in deployment.talkers) == ["flow1", "flow2"]
+
+    def test_talker_offsets_match_schedule(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        for talker in deployment.talkers:
+            stream = deployment.schedule.stream(talker.stream)
+            slots = deployment.schedule.slots[(talker.stream, stream.path[0].key)]
+            assert talker.offsets_ns == [
+                s.offset_ns for s in slots[: stream.frames_per_period()]
+            ]
+            assert talker.device == stream.source
+
+    def test_period_method(self, star_topology):
+        deployment = CNC(star_topology, method="period").compute(_cuc())
+        assert deployment.gcl.mode == "period"
+        # proxies excluded from talkers
+        assert sorted(t.stream for t in deployment.talkers) == ["flow1", "flow2"]
+
+    def test_deployment_simulates(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        sim = TsnSimulation(
+            deployment.schedule, deployment.gcl,
+            SimConfig(duration_ns=milliseconds(100), seed=1),
+        )
+        report = sim.run()
+        assert report.recorder.delivered("flow1") > 0
+        assert report.recorder.delivered("alarm") > 0
+
+    def test_config_dict_is_jsonable(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        config = deployment.to_config_dict()
+        text = json.dumps(config)
+        assert "D1->SW1" in text
+        assert config["mode"] == "etsn"
+        assert config["cycle_ns"] == deployment.gcl.cycle_ns
+
+
+class TestGclEntries:
+    def test_entries_cover_cycle(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        for port_gcl in deployment.gcl.ports.values():
+            entries = gcl_to_entries(port_gcl)
+            assert entries_total_ns(entries) == port_gcl.cycle_ns
+
+    def test_consecutive_entries_differ(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        for port_gcl in deployment.gcl.ports.values():
+            entries = gcl_to_entries(port_gcl)
+            for a, b in zip(entries, entries[1:]):
+                assert a.gate_states != b.gate_states
+
+    def test_masks_reflect_windows(self, star_topology):
+        deployment = CNC(star_topology).compute(_cuc())
+        port_gcl = deployment.gcl.port(("SW1", "D3"))
+        entries = gcl_to_entries(port_gcl)
+        cursor = 0
+        for entry in entries:
+            probe = cursor + entry.interval_ns // 2
+            for queue in range(8):
+                is_open, _, _ = port_gcl.state_at(queue, probe)
+                bit = bool(entry.gate_states & (1 << queue))
+                assert bit == is_open, (queue, probe)
+            cursor += entry.interval_ns
+
+
+class TestRedundantEct:
+    def _ring(self):
+        from repro.model.topology import Topology
+
+        topo = Topology()
+        switches = ["SW1", "SW2", "SW3", "SW4"]
+        for s in switches:
+            topo.add_switch(s)
+        for a, b in zip(switches, switches[1:] + switches[:1]):
+            topo.add_link(a, b)
+        topo.add_device("A")
+        topo.add_link("A", "SW1")
+        topo.add_link("A", "SW3")
+        topo.add_device("B")
+        topo.add_link("B", "SW2")
+        topo.add_link("B", "SW4")
+        return topo
+
+    def test_cnc_deploys_frer_members(self):
+        topo = self._ring()
+        cuc = CUC()
+        cuc.register_ect(EctStream(
+            "estop", "A", "B", min_interevent_ns=milliseconds(16),
+            length_bytes=256, possibilities=4), redundant=True)
+        deployment = CNC(topo).compute(cuc)
+        members = deployment.schedule.meta["frer_members"]
+        assert set(members.values()) == {"estop"}
+        assert len(members) == 2
+
+    def test_redundant_requires_etsn_method(self):
+        topo = self._ring()
+        cuc = CUC()
+        cuc.register_ect(EctStream(
+            "estop", "A", "B", min_interevent_ns=milliseconds(16),
+            length_bytes=256, possibilities=4), redundant=True)
+        with pytest.raises(StreamError):
+            CNC(topo, method="avb").compute(cuc)
+
+    def test_redundant_deployment_simulates(self):
+        topo = self._ring()
+        cuc = CUC()
+        cuc.register_ect(EctStream(
+            "estop", "A", "B", min_interevent_ns=milliseconds(16),
+            length_bytes=256, possibilities=4), redundant=True)
+        deployment = CNC(topo).compute(cuc)
+        report = TsnSimulation(
+            deployment.schedule, deployment.gcl,
+            SimConfig(duration_ns=milliseconds(200), seed=1),
+        ).run()
+        rec = report.recorder
+        assert rec.delivered("estop") == rec.injected("estop") > 0

@@ -1,0 +1,75 @@
+"""Shared fixtures: small canonical networks and streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.topology import Topology
+from repro.model.units import MBPS_100, milliseconds, transmission_time_ns, wire_bytes
+
+#: Wire time of one max-size frame on a 100 Mb/s link (~123 us).
+MTU_WIRE_NS = transmission_time_ns(wire_bytes(1500), MBPS_100)
+
+
+@pytest.fixture
+def star_topology() -> Topology:
+    """Paper Fig. 2: three devices around one switch."""
+    topo = Topology()
+    topo.add_switch("SW1")
+    for device in ("D1", "D2", "D3"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    return topo
+
+
+@pytest.fixture
+def two_switch_topology() -> Topology:
+    """Paper Fig. 10: the 2-switch, 4-device testbed."""
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for device in ("D1", "D2"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    for device in ("D3", "D4"):
+        topo.add_device(device)
+        topo.add_link(device, "SW2", bandwidth_bps=MBPS_100)
+    topo.add_link("SW1", "SW2", bandwidth_bps=MBPS_100)
+    return topo
+
+
+@pytest.fixture
+def paper_example(star_topology):
+    """The Sec. III-B example: TCT s1 (3 frames / 5T) + ECT s2 (N=5)."""
+    period = 5 * MTU_WIRE_NS
+    s1 = Stream(
+        name="s1",
+        path=tuple(star_topology.shortest_path("D1", "D3")),
+        e2e_ns=period,
+        priority=Priorities.SH_PL,
+        length_bytes=3 * 1500,
+        period_ns=period,
+        share=True,
+    )
+    s2 = EctStream(
+        name="s2",
+        source="D2",
+        destination="D3",
+        min_interevent_ns=period,
+        length_bytes=1500,
+        possibilities=5,
+    )
+    return star_topology, s1, s2
+
+
+@pytest.fixture
+def simple_tct(star_topology) -> Stream:
+    return Stream(
+        name="tct-a",
+        path=tuple(star_topology.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(4),
+        priority=Priorities.NSH_PH,
+        length_bytes=400,
+        period_ns=milliseconds(4),
+    )

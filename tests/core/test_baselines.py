@@ -1,0 +1,106 @@
+"""PERIOD and AVB baseline scheduling tests."""
+
+import pytest
+
+from repro.core.baselines import schedule_avb, schedule_etsn, schedule_period
+from repro.core.schedule import validate
+from repro.model.stream import EctStream, Priorities, Stream, StreamError, StreamType
+from repro.model.units import milliseconds
+
+
+def _tct(topo, name="t1", share=True, period=None):
+    period = period or milliseconds(8)
+    return Stream(
+        name=name, path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=period, priority=Priorities.SH_PL if share else Priorities.NSH_PL,
+        length_bytes=800, period_ns=period, share=share,
+    )
+
+
+def _ect(possibilities=4):
+    return EctStream(
+        name="e1", source="D2", destination="D3",
+        min_interevent_ns=milliseconds(16), length_bytes=1500,
+        possibilities=possibilities,
+    )
+
+
+class TestEtsnFacade:
+    def test_backend_selection(self, star_topology):
+        for backend in ("heuristic", "smt"):
+            schedule = schedule_etsn(star_topology, [_tct(star_topology)],
+                                     [_ect()], backend=backend)
+            validate(schedule)
+
+    def test_unknown_backend(self, star_topology):
+        with pytest.raises(ValueError):
+            schedule_etsn(star_topology, [_tct(star_topology)], backend="magic")
+
+
+class TestPeriod:
+    def test_proxy_period_matches_possibility_count(self, star_topology):
+        schedule = schedule_period(star_topology, [_tct(star_topology)], [_ect(4)])
+        proxy = schedule.stream("e1#period")
+        assert proxy.period_ns == milliseconds(16) // 4
+        assert proxy.type == StreamType.DET
+        assert not proxy.share
+
+    def test_multiplier_shrinks_period(self, star_topology):
+        schedule = schedule_period(star_topology, [_tct(star_topology)], [_ect(4)],
+                                   slot_multiplier=2)
+        proxy = schedule.stream("e1#period")
+        assert proxy.period_ns == milliseconds(16) // 8
+
+    def test_proxies_meta(self, star_topology):
+        schedule = schedule_period(star_topology, [_tct(star_topology)], [_ect(4)])
+        assert schedule.meta["ect_proxies"] == {"e1#period": "e1"}
+        assert schedule.meta["method"] == "period_x1"
+        assert [e.name for e in schedule.ect_streams] == ["e1"]
+
+    def test_no_probabilistic_streams(self, star_topology):
+        schedule = schedule_period(star_topology, [_tct(star_topology)], [_ect(4)])
+        assert not schedule.probabilistic_streams()
+
+    def test_share_flags_stripped(self, star_topology):
+        schedule = schedule_period(star_topology, [_tct(star_topology, share=True)],
+                                   [_ect(4)])
+        tct = schedule.stream("t1")
+        assert not tct.share
+        assert Priorities.is_nonshared_tct(tct.priority)
+
+    def test_validates(self, star_topology):
+        schedule = schedule_period(star_topology, [_tct(star_topology)], [_ect(4)])
+        validate(schedule)
+
+    def test_bad_multiplier(self, star_topology):
+        with pytest.raises(ValueError):
+            schedule_period(star_topology, [], [_ect(4)], slot_multiplier=0)
+
+    def test_non_dividing_slots_rejected(self, star_topology):
+        ect = EctStream(name="e1", source="D2", destination="D3",
+                        min_interevent_ns=milliseconds(16) + 1,
+                        length_bytes=1500, possibilities=4)
+        with pytest.raises(StreamError):
+            schedule_period(star_topology, [], [ect])
+
+
+class TestAvb:
+    def test_only_tct_scheduled(self, star_topology):
+        schedule = schedule_avb(star_topology, [_tct(star_topology)], [_ect()])
+        assert [s.name for s in schedule.streams] == ["t1"]
+        assert [e.name for e in schedule.ect_streams] == ["e1"]
+        assert schedule.meta["method"] == "avb"
+
+    def test_share_flags_stripped(self, star_topology):
+        schedule = schedule_avb(star_topology, [_tct(star_topology, share=True)],
+                                [_ect()])
+        tct = schedule.stream("t1")
+        assert not tct.share
+        assert Priorities.is_nonshared_tct(tct.priority)
+
+    def test_validates(self, star_topology):
+        validate(schedule_avb(star_topology, [_tct(star_topology)], [_ect()]))
+
+    def test_no_extra_slots(self, star_topology):
+        schedule = schedule_avb(star_topology, [_tct(star_topology)], [_ect()])
+        assert schedule.meta["extra_slots"] == 0

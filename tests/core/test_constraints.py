@@ -1,0 +1,142 @@
+"""Constraint-generation unit tests (Eqs. 1-7 at the formula level)."""
+
+import pytest
+
+from repro.core.constraints import build_constraints, build_frames, window_max_ns
+from repro.core.probabilistic import expand_ect
+from repro.core.reservation import prudent_reservation
+from repro.model.frame import FrameVar
+from repro.model.stream import EctStream, Priorities, Stream, StreamError, StreamType
+from repro.model.units import milliseconds
+from tests.conftest import MTU_WIRE_NS
+
+
+def _tct(topo, name="t1", share=False, length=1500, period=None):
+    period = period or milliseconds(4)
+    return Stream(
+        name=name, path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=period, priority=Priorities.SH_PL if share else Priorities.NSH_PL,
+        length_bytes=length, period_ns=period, share=share,
+    )
+
+
+class TestWindowMax:
+    def test_det_window(self, star_topology):
+        s = _tct(star_topology)
+        frame = FrameVar(s.name, s.path[0].key, 0, s.period_ns, 1000)
+        assert window_max_ns(s, frame) == s.period_ns - 1000
+
+    def test_prob_window_widens_by_occurrence(self, star_topology):
+        probs = expand_ect(
+            EctStream("e", "D2", "D3", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4),
+            star_topology,
+        )
+        late = probs[-1]
+        frame = FrameVar(late.name, late.path[0].key, 0, late.period_ns, 1000)
+        assert window_max_ns(late, frame) == (
+            late.period_ns - 1000 + late.occurrence_ns
+        )
+
+
+class TestBuildFrames:
+    def test_counts_match_plan(self, star_topology):
+        s = _tct(star_topology, share=True)
+        probs = expand_ect(
+            EctStream("e", "D2", "D3", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4),
+            star_topology,
+        )
+        streams = [s] + probs
+        plan = prudent_reservation(streams)
+        frames = build_frames(streams, plan)
+        for stream in streams:
+            for link in stream.path:
+                assert len(frames[(stream.name, link.key)]) == \
+                    plan.frames_on(stream, link.key)
+
+    def test_guard_margin_inflates_durations(self, star_topology):
+        s = _tct(star_topology)
+        plan = prudent_reservation([s])
+        plain = build_frames([s], plan)
+        padded = build_frames([s], plan, guard_margin_ns=5_000)
+        key = (s.name, s.path[0].key)
+        assert padded[key][0].duration_ns == plain[key][0].duration_ns + 5_000
+
+    def test_robust_extra_durations_applied(self, star_topology):
+        s = _tct(star_topology, share=True, length=400)
+        probs = expand_ect(
+            EctStream("e", "D2", "D3", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4),
+            star_topology,
+        )
+        streams = [s] + probs
+        plan = prudent_reservation(streams, mode="robust")
+        frames = build_frames(streams, plan)
+        extras = [f for f in frames[(s.name, ("SW1", "D3"))] if f.extra]
+        assert extras
+        # event-sized windows: much larger than the 400 B message frame
+        message = [f for f in frames[(s.name, ("SW1", "D3"))] if not f.extra]
+        assert all(e.duration_ns > 3 * message[0].duration_ns for e in extras)
+
+
+class TestSystemShape:
+    def test_unit_constraints_and_clauses_counted(self, star_topology):
+        a = _tct(star_topology, "a")
+        b = Stream(
+            name="b", path=tuple(star_topology.shortest_path("D2", "D3")),
+            e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+            length_bytes=1500, period_ns=milliseconds(4),
+        )
+        system = build_constraints(
+            star_topology, [a, b], prudent_reservation([a, b])
+        )
+        # a and b meet only on SW1->D3: exactly one frame pair there
+        assert system.num_overlap_clauses > 0
+        # 4 frame variables exist (2 streams x 2 links x 1 frame)
+        assert len(system.frames) == 4
+
+    def test_overlap_exemptions_thin_the_formula(self, star_topology):
+        shared = _tct(star_topology, "sh", share=True)
+        nonshared = _tct(star_topology, "ns", share=False)
+        probs = expand_ect(
+            EctStream("e", "D2", "D3", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4),
+            star_topology,
+        )
+        with_shared = build_constraints(
+            star_topology, [shared] + probs,
+            prudent_reservation([shared] + probs),
+        )
+        with_nonshared = build_constraints(
+            star_topology, [nonshared] + probs,
+            prudent_reservation([nonshared] + probs),
+        )
+        # prob-vs-shared pairs are exempt; prob-vs-nonshared are not
+        assert with_nonshared.num_overlap_clauses > with_shared.num_overlap_clauses
+
+    def test_priority_violation_rejected(self, star_topology):
+        bad = Stream(
+            name="bad", path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(4), priority=Priorities.EP,  # EP is ECT-only
+            length_bytes=1500, period_ns=milliseconds(4),
+        )
+        with pytest.raises(StreamError):
+            build_constraints(star_topology, [bad], prudent_reservation([bad]))
+
+    def test_solver_model_respects_every_emitted_constraint(self, paper_example):
+        """Solve the paper example and evaluate the raw formula."""
+        topo, s1, s2 = paper_example
+        streams = [s1] + expand_ect(s2, topo)
+        plan = prudent_reservation(streams)
+        system = build_constraints(topo, streams, plan)
+        result = system.solver.check()
+        assert result.sat
+        model = result.model
+        # every frame within its window
+        by_name = {s.name: s for s in streams}
+        for (name, _), frame_list in system.frames.items():
+            stream = by_name[name]
+            for frame in frame_list:
+                phi = model[frame.var_name]
+                assert 0 <= phi <= window_max_ns(stream, frame)

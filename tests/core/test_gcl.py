@@ -1,0 +1,238 @@
+"""GCL synthesis tests: windows, complements, modes, runtime queries."""
+
+import pytest
+
+from repro.core.baselines import schedule_avb, schedule_etsn, schedule_period
+from repro.core.gcl import (
+    GateWindow,
+    PortGcl,
+    build_gcl,
+    complement_intervals,
+    merge_intervals,
+)
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from tests.conftest import MTU_WIRE_NS
+
+
+class TestIntervalHelpers:
+    def test_merge_disjoint(self):
+        assert merge_intervals([(0, 5), (10, 15)]) == [(0, 5), (10, 15)]
+
+    def test_merge_overlapping(self):
+        assert merge_intervals([(0, 5), (3, 8), (8, 9)]) == [(0, 9)]
+
+    def test_merge_unsorted(self):
+        assert merge_intervals([(10, 12), (0, 5)]) == [(0, 5), (10, 12)]
+
+    def test_complement_full_cycle(self):
+        assert complement_intervals([], 100) == [(0, 100)]
+
+    def test_complement_with_busy(self):
+        assert complement_intervals([(10, 20), (50, 60)], 100) == [
+            (0, 10), (20, 50), (60, 100),
+        ]
+
+    def test_complement_busy_at_edges(self):
+        assert complement_intervals([(0, 10), (90, 100)], 100) == [(10, 90)]
+
+    def test_complement_fully_busy(self):
+        assert complement_intervals([(0, 100)], 100) == []
+
+
+class TestGateWindow:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            GateWindow(5, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GateWindow(-1, 5)
+
+    def test_duration(self):
+        assert GateWindow(5, 9).duration_ns == 4
+
+
+class TestPortGcl:
+    def _gcl(self):
+        gcl = PortGcl(link=("A", "B"), cycle_ns=1000)
+        gcl.add_window(7, GateWindow(100, 200, owner=None))
+        gcl.add_window(7, GateWindow(500, 700, owner=None))
+        gcl.add_window(3, GateWindow(0, 50, owner="s1"))
+        gcl.finalize()
+        return gcl
+
+    def test_open_state(self):
+        gcl = self._gcl()
+        is_open, owner, boundary = gcl.state_at(7, 150)
+        assert is_open and owner is None and boundary == 200
+
+    def test_closed_state_reports_next_opening(self):
+        gcl = self._gcl()
+        is_open, _, boundary = gcl.state_at(7, 250)
+        assert not is_open and boundary == 500
+
+    def test_wraps_to_next_cycle(self):
+        gcl = self._gcl()
+        is_open, _, boundary = gcl.state_at(7, 800)
+        assert not is_open and boundary == 1100  # next cycle's 100
+
+    def test_cycle_relative(self):
+        gcl = self._gcl()
+        is_open, _, boundary = gcl.state_at(7, 3150)  # 3 cycles + 150
+        assert is_open and boundary == 3200
+
+    def test_exact_end_is_closed(self):
+        gcl = self._gcl()
+        is_open, _, _ = gcl.state_at(7, 200)
+        assert not is_open
+
+    def test_owner_propagated(self):
+        gcl = self._gcl()
+        is_open, owner, _ = gcl.state_at(3, 10)
+        assert is_open and owner == "s1"
+
+    def test_always_closed_queue(self):
+        gcl = self._gcl()
+        assert gcl.is_always_closed(5)
+        is_open, _, boundary = gcl.state_at(5, 10)
+        assert not is_open and boundary == 1010
+
+    def test_overlapping_windows_rejected(self):
+        gcl = PortGcl(link=("A", "B"), cycle_ns=1000)
+        gcl.add_window(7, GateWindow(100, 200))
+        gcl.add_window(7, GateWindow(150, 300))
+        with pytest.raises(ValueError):
+            gcl.finalize()
+
+    def test_window_beyond_cycle_rejected(self):
+        gcl = PortGcl(link=("A", "B"), cycle_ns=1000)
+        with pytest.raises(ValueError):
+            gcl.add_window(7, GateWindow(900, 1100))
+
+    def test_bad_queue_rejected(self):
+        gcl = PortGcl(link=("A", "B"), cycle_ns=1000)
+        with pytest.raises(ValueError):
+            gcl.add_window(8, GateWindow(0, 10))
+
+
+def _paper_setup(star_topology):
+    period = 5 * MTU_WIRE_NS
+    s1 = Stream(
+        name="s1", path=tuple(star_topology.shortest_path("D1", "D3")),
+        e2e_ns=period, priority=Priorities.SH_PL, length_bytes=3 * 1500,
+        period_ns=period, share=True,
+    )
+    nonshared = Stream(
+        name="ns1", path=tuple(star_topology.shortest_path("D1", "D2")),
+        e2e_ns=period, priority=Priorities.NSH_PL, length_bytes=1500,
+        period_ns=period, share=False,
+    )
+    ect = EctStream(
+        name="e1", source="D2", destination="D3",
+        min_interevent_ns=period, length_bytes=1500, possibilities=5,
+    )
+    return s1, nonshared, ect
+
+
+class TestBuildModes:
+    def test_etsn_ep_complement_of_nonshared(self, star_topology):
+        s1, ns1, ect = _paper_setup(star_topology)
+        schedule = schedule_etsn(star_topology, [s1, ns1], [ect])
+        gcl = build_gcl(schedule, mode="etsn")
+        # On SW1->D2 (non-shared stream's link) EP must be closed during
+        # ns1's window.
+        port = gcl.port(("SW1", "D2"))
+        ns_window = port.windows[Priorities.NSH_PL][0]
+        mid = (ns_window.start_ns + ns_window.end_ns) // 2
+        is_open, _, _ = port.state_at(Priorities.EP, mid)
+        assert not is_open
+        # ...but open right after it.
+        is_open, _, _ = port.state_at(Priorities.EP, ns_window.end_ns)
+        assert is_open
+
+    def test_etsn_ep_open_during_shared_windows(self, star_topology):
+        s1, ns1, ect = _paper_setup(star_topology)
+        schedule = schedule_etsn(star_topology, [s1, ns1], [ect])
+        gcl = build_gcl(schedule, mode="etsn")
+        port = gcl.port(("SW1", "D3"))
+        shared = port.windows[Priorities.SH_PL][0]
+        is_open, owner, _ = port.state_at(Priorities.EP, shared.start_ns)
+        assert is_open and owner is None
+
+    def test_etsn_strict_ep_only_in_reserved_slots(self, star_topology):
+        s1, ns1, ect = _paper_setup(star_topology)
+        schedule = schedule_etsn(star_topology, [s1, ns1], [ect])
+        strict = build_gcl(schedule, mode="etsn-strict")
+        loose = build_gcl(schedule, mode="etsn")
+        for key in strict.ports:
+            strict_open = sum(
+                w.duration_ns for w in strict.ports[key].windows.get(Priorities.EP, [])
+            )
+            loose_open = sum(
+                w.duration_ns for w in loose.ports[key].windows.get(Priorities.EP, [])
+            )
+            assert strict_open <= loose_open
+
+    def test_period_ep_only_in_proxy_windows(self, star_topology):
+        # N=2 so the proxy (period = min_interevent / 2) leaves room for
+        # the store-and-forward pipeline.
+        ect = EctStream(
+            name="e1", source="D2", destination="D3",
+            min_interevent_ns=5 * MTU_WIRE_NS, length_bytes=1500,
+            possibilities=2,
+        )
+        schedule = schedule_period(star_topology, [], [ect])
+        gcl = build_gcl(schedule, mode="period",
+                        ect_proxies=schedule.meta["ect_proxies"])
+        port = gcl.port(("SW1", "D3"))
+        ep_windows = port.windows[Priorities.EP]
+        assert ep_windows
+        assert all(w.owner == "e1" for w in ep_windows)
+        # one dedicated window per proxy period over the cycle
+        cycle = schedule.hyperperiod_ns
+        proxy_period = ect.min_interevent_ns // 2
+        assert len(ep_windows) == cycle // proxy_period
+
+    def test_avb_ep_is_tct_complement(self, star_topology):
+        s1, ns1, ect = _paper_setup(star_topology)
+        schedule = schedule_avb(star_topology, [s1, ns1], [ect])
+        gcl = build_gcl(schedule, mode="avb")
+        port = gcl.port(("SW1", "D3"))
+        busy = sorted(
+            (w.start_ns, w.end_ns)
+            for q, ws in port.windows.items()
+            if q not in (Priorities.EP, Priorities.BE)
+            for w in ws
+        )
+        for window in port.windows[Priorities.EP]:
+            for start, end in busy:
+                assert window.end_ns <= start or window.start_ns >= end
+
+    def test_unknown_mode_rejected(self, star_topology):
+        s1, ns1, ect = _paper_setup(star_topology)
+        schedule = schedule_etsn(star_topology, [s1, ns1], [ect])
+        with pytest.raises(ValueError):
+            build_gcl(schedule, mode="wrong")
+
+    def test_be_gate_open_only_when_unallocated(self, star_topology):
+        s1, ns1, ect = _paper_setup(star_topology)
+        schedule = schedule_etsn(star_topology, [s1, ns1], [ect])
+        gcl = build_gcl(schedule, mode="etsn")
+        port = gcl.port(("SW1", "D3"))
+        tct_windows = [
+            w for q, ws in port.windows.items()
+            if q not in (Priorities.EP, Priorities.BE)
+            for w in ws
+        ]
+        for be_window in port.windows[Priorities.BE]:
+            for tct in tct_windows:
+                assert (be_window.end_ns <= tct.start_ns
+                        or be_window.start_ns >= tct.end_ns)
+
+    def test_ect_path_ports_exist_even_without_tct(self, star_topology):
+        _, _, ect = _paper_setup(star_topology)
+        schedule = schedule_etsn(star_topology, [], [ect])
+        gcl = build_gcl(schedule, mode="etsn")
+        assert ("D2", "SW1") in gcl.ports
+        assert ("SW1", "D3") in gcl.ports

@@ -1,0 +1,157 @@
+"""GCL-audit tests, including a property sweep across modes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import schedule_avb, schedule_etsn, schedule_period
+from repro.core.gcl import GateWindow, build_gcl
+from repro.core.gcl_audit import GclAuditError, audit_gcl
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.topology import Topology
+from repro.model.units import milliseconds
+
+
+def _setup(topo):
+    tct = [
+        Stream(name="sh", path=tuple(topo.shortest_path("D1", "D3")),
+               e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+               length_bytes=1500, period_ns=milliseconds(4), share=True),
+        Stream(name="ns", path=tuple(topo.shortest_path("D1", "D2")),
+               e2e_ns=milliseconds(8), priority=Priorities.NSH_PL,
+               length_bytes=800, period_ns=milliseconds(8), share=False),
+    ]
+    ects = [EctStream("alarm", "D2", "D3", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4)]
+    return tct, ects
+
+
+class TestCleanAudits:
+    @pytest.mark.parametrize("mode", ["etsn", "etsn-strict"])
+    def test_etsn_modes_audit_clean(self, star_topology, mode):
+        tct, ects = _setup(star_topology)
+        schedule = schedule_etsn(star_topology, tct, ects)
+        audit_gcl(schedule, build_gcl(schedule, mode=mode))
+
+    def test_period_audits_clean(self, star_topology):
+        tct, ects = _setup(star_topology)
+        schedule = schedule_period(star_topology, tct, ects)
+        gcl = build_gcl(schedule, mode="period",
+                        ect_proxies=schedule.meta["ect_proxies"])
+        audit_gcl(schedule, gcl)
+
+    def test_avb_audits_clean(self, star_topology):
+        tct, ects = _setup(star_topology)
+        schedule = schedule_avb(star_topology, tct, ects)
+        audit_gcl(schedule, build_gcl(schedule, mode="avb"))
+
+
+class TestTamperedGcl:
+    def _clean(self, star_topology):
+        tct, ects = _setup(star_topology)
+        schedule = schedule_etsn(star_topology, tct, ects)
+        return schedule, build_gcl(schedule, mode="etsn")
+
+    def test_missing_window_detected(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        # drop the shared stream's windows on its last link
+        port.windows[Priorities.SH_PL] = []
+        port.finalize()
+        with pytest.raises(GclAuditError):
+            audit_gcl(schedule, gcl)
+
+    def test_wrong_owner_detected(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        port.windows[Priorities.SH_PL] = [
+            GateWindow(w.start_ns, w.end_ns, owner="intruder")
+            for w in port.windows[Priorities.SH_PL]
+        ]
+        port.finalize()
+        with pytest.raises(GclAuditError):
+            audit_gcl(schedule, gcl)
+
+    def test_ep_leak_into_nonshared_detected(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D2"))  # the non-shared stream's last link
+        port.windows[Priorities.EP] = [GateWindow(0, gcl.cycle_ns, owner=None)]
+        port.finalize()
+        with pytest.raises(GclAuditError):
+            audit_gcl(schedule, gcl)
+
+    def test_be_leak_into_tct_detected(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        port.windows[Priorities.BE] = [GateWindow(0, gcl.cycle_ns, owner=None)]
+        port.finalize()
+        with pytest.raises(GclAuditError):
+            audit_gcl(schedule, gcl)
+
+    def test_overlapping_windows_detected(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        first = port.windows[Priorities.SH_PL][0]
+        port.windows[Priorities.SH_PL].append(
+            GateWindow(first.start_ns, first.end_ns + 1, owner=first.owner)
+        )
+        # bypass finalize's own check by not re-finalizing; audit catches it
+        with pytest.raises(GclAuditError):
+            audit_gcl(schedule, gcl)
+
+
+DEVICES = ["D1", "D2", "D3", "D4"]
+
+
+@st.composite
+def audit_scenario(draw):
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for device, switch in (("D1", "SW1"), ("D2", "SW1"),
+                           ("D3", "SW2"), ("D4", "SW2")):
+        topo.add_device(device)
+        topo.add_link(device, switch)
+    topo.add_link("SW1", "SW2")
+    streams = []
+    for i in range(draw(st.integers(0, 4))):
+        src = draw(st.sampled_from(DEVICES))
+        dst = draw(st.sampled_from([d for d in DEVICES if d != src]))
+        period = draw(st.sampled_from([milliseconds(4), milliseconds(8)]))
+        share = draw(st.booleans())
+        streams.append(Stream(
+            name=f"t{i}", path=tuple(topo.shortest_path(src, dst)),
+            e2e_ns=period,
+            priority=Priorities.SH_PL if share else Priorities.NSH_PL,
+            length_bytes=draw(st.sampled_from([200, 1500, 3000])),
+            period_ns=period, share=share,
+        ))
+    ects = []
+    if draw(st.booleans()):
+        src = draw(st.sampled_from(DEVICES))
+        dst = draw(st.sampled_from([d for d in DEVICES if d != src]))
+        ects.append(EctStream("e", src, dst,
+                              min_interevent_ns=milliseconds(16),
+                              length_bytes=1500, possibilities=4))
+    mode = draw(st.sampled_from(["etsn", "etsn-strict", "avb"]))
+    return topo, streams, ects, mode
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(audit_scenario())
+def test_every_synthesized_gcl_audits_clean(case):
+    from repro.core.schedule import InfeasibleError
+
+    topo, streams, ects, mode = case
+    if not streams and not ects:
+        return  # nothing scheduled; no GCL to audit
+    try:
+        if mode == "avb":
+            schedule = schedule_avb(topo, streams, ects)
+        else:
+            schedule = schedule_etsn(topo, streams, ects)
+    except InfeasibleError:
+        return
+    gcl = build_gcl(schedule, mode=mode)
+    audit_gcl(schedule, gcl)

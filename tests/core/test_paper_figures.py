@@ -1,0 +1,189 @@
+"""Literal reconstructions of the paper's worked examples.
+
+These tests hand-build the slot tables the paper draws (Figs. 4 and 6)
+and pass them through the independent Eq. 1-7 validator — the strongest
+fidelity check available: our constraint semantics accept exactly the
+schedules the paper presents as valid.
+"""
+
+import pytest
+
+from repro.core.schedule import NetworkSchedule, ScheduleError, validate
+from repro.model.frame import FrameSlot
+from repro.model.stream import EctStream, Priorities, Stream, StreamType
+from repro.model.topology import Topology
+from repro.model.units import MBPS_100, transmission_time_ns, wire_bytes
+
+T = transmission_time_ns(wire_bytes(1500), MBPS_100)  # 'T' of the figures
+
+
+@pytest.fixture
+def fig2_network():
+    """Fig. 2's right side: D1, D2, D3 around SW1."""
+    topo = Topology()
+    topo.add_switch("SW1")
+    for device in ("D1", "D2", "D3"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    return topo
+
+
+def _slot(stream, link, index, offset, period, extra=False):
+    return FrameSlot(stream=stream, link=link, index=index,
+                     offset_ns=offset, period_ns=period,
+                     duration_ns=T, extra=extra)
+
+
+class TestFig4:
+    """Sec. II: two TCT streams; the drawn schedule gives s2 latency 2T."""
+
+    def _streams(self, topo):
+        period = 5 * T
+        s1 = Stream(name="s1", path=tuple(topo.shortest_path("D1", "D3")),
+                    e2e_ns=period, priority=Priorities.NSH_PL,
+                    length_bytes=3 * 1500, period_ns=period)
+        s2 = Stream(name="s2", path=tuple(topo.shortest_path("D2", "D3")),
+                    e2e_ns=period, priority=Priorities.NSH_PH,
+                    length_bytes=1500, period_ns=period)
+        return s1, s2
+
+    def _figure_slots(self, period):
+        """Exactly the slots drawn in Fig. 4."""
+        return {
+            # s1: three frames back-to-back from t=0 on D1->SW1
+            ("s1", ("D1", "SW1")): [
+                _slot("s1", ("D1", "SW1"), j, j * T, period) for j in range(3)
+            ],
+            # forwarded one slot later on SW1->D3
+            ("s1", ("SW1", "D3")): [
+                _slot("s1", ("SW1", "D3"), j, (j + 1) * T, period) for j in range(3)
+            ],
+            # s2: sent at t=3T, forwarded at t=4T  ->  latency 2T
+            ("s2", ("D2", "SW1")): [_slot("s2", ("D2", "SW1"), 0, 3 * T, period)],
+            ("s2", ("SW1", "D3")): [_slot("s2", ("SW1", "D3"), 0, 4 * T, period)],
+        }
+
+    def test_figure_schedule_is_valid(self, fig2_network):
+        s1, s2 = self._streams(fig2_network)
+        schedule = NetworkSchedule(
+            topology=fig2_network, streams=[s1, s2],
+            slots=self._figure_slots(5 * T),
+        )
+        validate(schedule)
+        # "the latency of s2 is 2T" (Sec. II)
+        assert schedule.scheduled_latency_ns("s2") == 2 * T
+
+    def test_overlapping_variant_is_rejected(self, fig2_network):
+        """Sec. III-B: scheduling f1_s1 and f3_s1 at the same time on
+        SW1-D3 'is invalid' for plain TCT."""
+        s1, s2 = self._streams(fig2_network)
+        slots = self._figure_slots(5 * T)
+        # collide s2's forwarding slot with s1's on the shared link
+        slots[("s2", ("SW1", "D3"))] = [
+            _slot("s2", ("SW1", "D3"), 0, 2 * T, 5 * T)
+        ]
+        schedule = NetworkSchedule(
+            topology=fig2_network, streams=[s1, s2], slots=slots,
+        )
+        with pytest.raises(ScheduleError):
+            validate(schedule)
+
+
+class TestFig6:
+    """Sec. III-B: s2 becomes ECT, modeled by five possibilities; slots
+    may superpose and the last possibility wraps into the next cycle."""
+
+    def _streams(self, topo):
+        period = 5 * T
+        s1 = Stream(name="s1", path=tuple(topo.shortest_path("D1", "D3")),
+                    e2e_ns=period, priority=Priorities.SH_PL,
+                    length_bytes=3 * 1500, period_ns=period, share=True)
+        possibilities = [
+            Stream(name=f"ps2{i + 1}",
+                   path=tuple(topo.shortest_path("D2", "D3")),
+                   e2e_ns=4 * T,  # 5T - 5T/N with N=5
+                   priority=Priorities.EP, length_bytes=1500,
+                   period_ns=period, type=StreamType.PROB,
+                   occurrence_ns=i * T, parent="s2")
+            for i in range(5)
+        ]
+        return s1, possibilities
+
+    def _figure_slots(self, period):
+        slots = {
+            ("s1", ("D1", "SW1")): [
+                _slot("s1", ("D1", "SW1"), j, j * T, period) for j in range(3)
+            ],
+            # three message slots plus the '+1' prudent-reservation extra
+            ("s1", ("SW1", "D3")): [
+                _slot("s1", ("SW1", "D3"), 0, 1 * T, period),
+                _slot("s1", ("SW1", "D3"), 1, 2 * T, period),
+                _slot("s1", ("SW1", "D3"), 2, 3 * T, period),
+                _slot("s1", ("SW1", "D3"), 3, 4 * T, period, extra=True),
+            ],
+        }
+        # each possibility starts at its occurrence time on D2->SW1 and
+        # forwards in the next slot; ps24/ps25 superpose with s1's slots
+        # and ps25's forwarding wraps past the period end
+        for i in range(5):
+            name = f"ps2{i + 1}"
+            slots[(name, ("D2", "SW1"))] = [
+                _slot(name, ("D2", "SW1"), 0, i * T, period)
+            ]
+            slots[(name, ("SW1", "D3"))] = [
+                _slot(name, ("SW1", "D3"), 0, (i + 1) * T, period)
+            ]
+        return slots
+
+    def test_figure_schedule_is_valid(self, fig2_network):
+        s1, possibilities = self._streams(fig2_network)
+        schedule = NetworkSchedule(
+            topology=fig2_network, streams=[s1] + possibilities,
+            slots=self._figure_slots(5 * T),
+        )
+        validate(schedule)
+
+    def test_superposition_present(self, fig2_network):
+        """Possibility slots overlap s1's shared slots on SW1->D3 — the
+        'superposition state' the figure highlights."""
+        from repro.core.schedule import periodic_overlap
+
+        s1, possibilities = self._streams(fig2_network)
+        slots = self._figure_slots(5 * T)
+        s1_slots = slots[("s1", ("SW1", "D3"))]
+        overlapping = 0
+        for i in range(5):
+            ps_slot = slots[(f"ps2{i + 1}", ("SW1", "D3"))][0]
+            for tct_slot in s1_slots:
+                if periodic_overlap(
+                    ps_slot.offset_ns, ps_slot.duration_ns, ps_slot.period_ns,
+                    tct_slot.offset_ns, tct_slot.duration_ns, tct_slot.period_ns,
+                ):
+                    overlapping += 1
+        assert overlapping >= 3
+
+    def test_wrap_around_slot_required(self, fig2_network):
+        """ps25 cannot fit without wrapping: pinning its forwarding slot
+        inside the period violates adjacency or the occurrence time."""
+        s1, possibilities = self._streams(fig2_network)
+        slots = self._figure_slots(5 * T)
+        # the figure's ps25 forwarding slot starts at 5T (== period)
+        assert slots[("ps25", ("SW1", "D3"))][0].offset_ns == 5 * T
+        # moving it inside the period breaks Eq. 7
+        slots[("ps25", ("SW1", "D3"))] = [
+            _slot("ps25", ("SW1", "D3"), 0, 4 * T, 5 * T)
+        ]
+        schedule = NetworkSchedule(
+            topology=fig2_network, streams=[s1] + possibilities, slots=slots,
+        )
+        with pytest.raises(ScheduleError):
+            validate(schedule)
+
+    def test_each_possibility_within_budget(self, fig2_network):
+        s1, possibilities = self._streams(fig2_network)
+        schedule = NetworkSchedule(
+            topology=fig2_network, streams=[s1] + possibilities,
+            slots=self._figure_slots(5 * T),
+        )
+        for ps in possibilities:
+            assert schedule.scheduled_latency_ns(ps.name) <= ps.e2e_ns

@@ -1,0 +1,121 @@
+"""Probabilistic stream expansion tests (paper Sec. III-B)."""
+
+import pytest
+
+from repro.core.probabilistic import (
+    expand_ect,
+    possibility_for_occurrence,
+    quantization_delay_ns,
+)
+from repro.model.stream import EctStream, Priorities, StreamError, StreamType
+from repro.model.units import milliseconds
+
+
+def _ect(possibilities=8, min_interevent=milliseconds(16), e2e=None):
+    return EctStream(
+        name="e1", source="D2", destination="D3",
+        min_interevent_ns=min_interevent, length_bytes=1500,
+        possibilities=possibilities, e2e_ns=e2e,
+    )
+
+
+class TestExpansion:
+    def test_count_and_naming(self, star_topology):
+        streams = expand_ect(_ect(possibilities=5), star_topology)
+        assert len(streams) == 5
+        assert [s.name for s in streams] == [f"e1#ps{i}" for i in range(1, 6)]
+
+    def test_occurrence_times_evenly_spread(self, star_topology):
+        streams = expand_ect(_ect(possibilities=4), star_topology)
+        step = milliseconds(16) // 4
+        assert [s.occurrence_ns for s in streams] == [0, step, 2 * step, 3 * step]
+
+    def test_all_probabilistic_with_ep_priority(self, star_topology):
+        for s in expand_ect(_ect(), star_topology):
+            assert s.type == StreamType.PROB
+            assert s.priority == Priorities.EP
+            assert s.parent == "e1"
+
+    def test_period_is_min_interevent(self, star_topology):
+        for s in expand_ect(_ect(), star_topology):
+            assert s.period_ns == milliseconds(16)
+
+    def test_budget_shrinks_by_quantization_step(self, star_topology):
+        streams = expand_ect(_ect(possibilities=8), star_topology)
+        step = milliseconds(16) // 8
+        assert all(s.e2e_ns == milliseconds(16) - step for s in streams)
+
+    def test_explicit_deadline_respected(self, star_topology):
+        streams = expand_ect(_ect(possibilities=8, e2e=milliseconds(8)), star_topology)
+        step = milliseconds(16) // 8
+        assert all(s.e2e_ns == milliseconds(8) - step for s in streams)
+
+    def test_same_route_as_parent(self, star_topology):
+        ect = _ect()
+        expected = ect.route(star_topology)
+        for s in expand_ect(ect, star_topology):
+            assert s.path == expected
+
+    def test_rejects_non_dividing_n(self, star_topology):
+        with pytest.raises(StreamError):
+            expand_ect(_ect(possibilities=7), star_topology)
+
+    def test_rejects_budget_exhausted(self, star_topology):
+        # deadline equal to the quantization step leaves nothing
+        with pytest.raises(StreamError):
+            expand_ect(
+                _ect(possibilities=2, e2e=milliseconds(8)), star_topology
+            )
+
+    def test_rejects_misaligned_macrotick(self):
+        from repro.model.topology import Topology
+
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("D2")
+        topo.add_device("D3")
+        topo.add_link("D2", "SW1", time_unit_ns=3_000_000)
+        topo.add_link("D3", "SW1", time_unit_ns=3_000_000)
+        # step = 16 ms / 8 = 2 ms, not a multiple of tu 3 ms
+        with pytest.raises(StreamError):
+            expand_ect(_ect(possibilities=8), topo)
+
+
+class TestQuantization:
+    def test_delay_bound(self):
+        assert quantization_delay_ns(_ect(possibilities=8)) == milliseconds(2)
+        assert quantization_delay_ns(_ect(possibilities=4)) == milliseconds(4)
+
+    def test_possibility_for_exact_offsets(self):
+        ect = _ect(possibilities=4)
+        step = milliseconds(4)
+        # event exactly at an offset rides that possibility
+        assert possibility_for_occurrence(ect, 0) == 0
+        assert possibility_for_occurrence(ect, step) == 1
+        assert possibility_for_occurrence(ect, 3 * step) == 3
+
+    def test_possibility_between_offsets_rides_next(self):
+        ect = _ect(possibilities=4)
+        step = milliseconds(4)
+        assert possibility_for_occurrence(ect, 1) == 1
+        assert possibility_for_occurrence(ect, step + 1) == 2
+        # past the last offset it wraps to the next cycle's first
+        assert possibility_for_occurrence(ect, 3 * step + 1) == 0
+
+    def test_wraps_across_periods(self):
+        ect = _ect(possibilities=4)
+        assert possibility_for_occurrence(ect, milliseconds(16)) == 0
+        assert possibility_for_occurrence(ect, milliseconds(16) + 1) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            possibility_for_occurrence(_ect(), -1)
+
+    def test_delay_never_exceeds_step(self):
+        ect = _ect(possibilities=8)
+        step = quantization_delay_ns(ect)
+        for t in range(0, milliseconds(32), milliseconds(1)):
+            index = possibility_for_occurrence(ect, t)
+            offset = index * step
+            delay = (offset - t) % ect.min_interevent_ns
+            assert delay <= step

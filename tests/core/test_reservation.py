@@ -1,0 +1,172 @@
+"""Prudent reservation tests (paper Alg. 1)."""
+
+import pytest
+
+from repro.core.probabilistic import expand_ect
+from repro.core.reservation import prudent_reservation, total_extra_slots
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from tests.conftest import MTU_WIRE_NS
+
+
+def _tct(topo, name, src, dst, share, length=1500, period=None):
+    period = period or milliseconds(16)
+    priority = Priorities.SH_PL if share else Priorities.NSH_PL
+    return Stream(
+        name=name, path=tuple(topo.shortest_path(src, dst)),
+        e2e_ns=period, priority=priority, length_bytes=length,
+        period_ns=period, share=share,
+    )
+
+
+def _ect(src="D2", dst="D3", length=1500, possibilities=4):
+    return EctStream(
+        name="e1", source=src, destination=dst,
+        min_interevent_ns=milliseconds(16), length_bytes=length,
+        possibilities=possibilities,
+    )
+
+
+class TestAlgorithmOne:
+    def test_no_ect_no_extras(self, star_topology):
+        s = _tct(star_topology, "t1", "D1", "D3", share=True)
+        plan = prudent_reservation([s])
+        assert total_extra_slots(plan) == 0
+        for link in s.path:
+            assert plan.frames_on(s, link.key) == 1
+
+    def test_nonshared_gets_no_extras(self, star_topology):
+        s = _tct(star_topology, "t1", "D1", "D3", share=False)
+        probs = expand_ect(_ect(), star_topology)
+        plan = prudent_reservation([s] + probs)
+        assert total_extra_slots(plan) == 0
+
+    def test_extras_only_on_overlapping_links(self, star_topology):
+        """Paper Sec. III-D: s1 (D1->D3) and ECT (D2->D3) only overlap on
+        SW1->D3; the D1->SW1 link must not get extras."""
+        s = _tct(star_topology, "t1", "D1", "D3", share=True)
+        probs = expand_ect(_ect(), star_topology)
+        plan = prudent_reservation([s] + probs)
+        assert plan.extra_on(s, ("D1", "SW1")) == 0
+        assert plan.extra_on(s, ("SW1", "D3")) >= 1
+
+    def test_extra_count_formula(self, star_topology):
+        """Paper mode: n = ect_frames * ceil(tct_wire_time / min_interevent)."""
+        s = _tct(star_topology, "t1", "D1", "D3", share=True, length=3 * 1500)
+        probs = expand_ect(_ect(length=1500), star_topology)
+        plan = prudent_reservation([s] + probs, mode="paper")
+        tct_wire = 3 * MTU_WIRE_NS
+        expected = 1 * -(-tct_wire // milliseconds(16))  # = 1
+        assert plan.extra_on(s, ("SW1", "D3")) == expected
+
+    def test_multi_frame_ect_multiplies_extras(self, star_topology):
+        s = _tct(star_topology, "t1", "D1", "D3", share=True)
+        probs = expand_ect(_ect(length=3 * 1500), star_topology)
+        plan = prudent_reservation([s] + probs, mode="paper")
+        assert plan.extra_on(s, ("SW1", "D3")) == 3
+
+    def test_extras_counted_once_per_parent_not_per_possibility(self, star_topology):
+        s = _tct(star_topology, "t1", "D1", "D3", share=True)
+        few = prudent_reservation([s] + expand_ect(_ect(possibilities=2), star_topology))
+        many = prudent_reservation([s] + expand_ect(_ect(possibilities=8), star_topology))
+        assert (few.extra_on(s, ("SW1", "D3"))
+                == many.extra_on(s, ("SW1", "D3")))
+
+    def test_two_ect_streams_sum(self, two_switch_topology):
+        s = _tct(two_switch_topology, "t1", "D1", "D4", share=True)
+        e1 = EctStream("e1", "D2", "D4", min_interevent_ns=milliseconds(16),
+                       length_bytes=1500, possibilities=4)
+        e2 = EctStream("e2", "D2", "D3", min_interevent_ns=milliseconds(16),
+                       length_bytes=1500, possibilities=4)
+        probs = (expand_ect(e1, two_switch_topology)
+                 + expand_ect(e2, two_switch_topology))
+        plan = prudent_reservation([s] + probs, mode="paper")
+        # both ECT streams cross SW1->SW2; only e1 reaches SW2->D4
+        assert plan.extra_on(s, ("SW1", "SW2")) == 2
+        assert plan.extra_on(s, ("SW2", "D4")) == 1
+        assert plan.extra_on(s, ("D1", "SW1")) == 0
+
+    def test_probabilistic_streams_get_base_counts(self, star_topology):
+        probs = expand_ect(_ect(), star_topology)
+        plan = prudent_reservation(probs)
+        for p in probs:
+            for link in p.path:
+                assert plan.frames_on(p, link.key) == 1
+                assert plan.extra_on(p, link.key) == 0
+
+    def test_slow_ect_can_displace_more(self, star_topology):
+        """A long TCT message spanning several minimum inter-event times
+        must reserve one displacement slot per possible event."""
+        s = _tct(star_topology, "t1", "D1", "D3", share=True,
+                 length=10 * 1500, period=milliseconds(16))
+        fast_ect = EctStream("e1", "D2", "D3",
+                             min_interevent_ns=milliseconds(1),
+                             length_bytes=1500, possibilities=4)
+        probs = expand_ect(fast_ect, star_topology)
+        plan = prudent_reservation([s] + probs, mode="paper")
+        tct_wire = 10 * MTU_WIRE_NS  # ~1.23 ms > 1 ms min inter-event
+        assert plan.extra_on(s, ("SW1", "D3")) == -(-tct_wire // milliseconds(1))
+
+
+class TestAdjacentOffset:
+    def test_offset_matches_count_difference(self, two_switch_topology):
+        s = _tct(two_switch_topology, "t1", "D1", "D4", share=True)
+        probs = expand_ect(
+            EctStream("e1", "D2", "D4", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4),
+            two_switch_topology,
+        )
+        plan = prudent_reservation([s] + probs)
+        # D1->SW1 has no extras; SW1->SW2 has one -> downstream has MORE
+        assert plan.adjacent_offset(s, ("D1", "SW1"), ("SW1", "SW2")) == 0
+        # SW1->SW2 (2 frames) feeds SW2->D4 (2 frames): offset 0
+        assert plan.adjacent_offset(s, ("SW1", "SW2"), ("SW2", "D4")) == 0
+
+    def test_offset_positive_when_upstream_longer(self, star_topology):
+        s = _tct(star_topology, "t1", "D2", "D3", share=True)
+        probs = expand_ect(_ect(src="D2", dst="D3"), star_topology)
+        plan = prudent_reservation([s] + probs)
+        # both links shared: equal counts, offset 0 both ways
+        assert plan.adjacent_offset(s, ("D2", "SW1"), ("SW1", "D3")) == 0
+
+
+class TestRobustMode:
+    """The sound generalization: event-sized extra windows."""
+
+    def test_event_count(self, star_topology):
+        # period 16 ms, min inter-event 16 ms: floor(16/16) + 1 = 2 events
+        s = _tct(star_topology, "t1", "D1", "D3", share=True)
+        probs = expand_ect(_ect(), star_topology)
+        plan = prudent_reservation([s] + probs, mode="robust")
+        assert plan.extra_on(s, ("SW1", "D3")) == 2
+
+    def test_extra_window_sized_for_event_block(self, star_topology):
+        """Each extra window covers the whole event transmission plus two
+        TCT-frame pads — sound even when TCT frames are much shorter than
+        the ECT message."""
+        s = _tct(star_topology, "t1", "D1", "D3", share=True, length=400)
+        probs = expand_ect(_ect(length=1500), star_topology)
+        plan = prudent_reservation([s] + probs, mode="robust")
+        link = next(l for l in s.path if l.key == ("SW1", "D3"))
+        sizes = plan.extra_durations_on(s, ("SW1", "D3"))
+        assert sizes
+        ect_block = probs[0].transmission_ns(link)
+        tct_frame = s.transmission_ns(link)
+        assert all(size == ect_block + 2 * tct_frame for size in sizes)
+
+    def test_robust_reserves_more_time_than_paper_for_short_frames(self, star_topology):
+        from repro.core.reservation import total_extra_time_ns
+
+        s = _tct(star_topology, "t1", "D1", "D3", share=True, length=400)
+        probs = expand_ect(_ect(length=1500), star_topology)
+        streams = [s] + probs
+        paper = prudent_reservation(streams, mode="paper")
+        robust = prudent_reservation(streams, mode="robust")
+        assert (total_extra_time_ns(robust, streams)
+                > total_extra_time_ns(paper, streams))
+
+    def test_unknown_mode_rejected(self, star_topology):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            prudent_reservation([], mode="magic")

@@ -1,0 +1,109 @@
+"""Property-based tests: random scenarios through both scheduler backends.
+
+Every schedule either validates against the independent Eq. 1-7 checker
+or the backend raises InfeasibleError — never an invalid schedule, never
+a crash.  Where both backends run, their feasibility verdicts must agree
+(the heuristic is allowed to be incomplete only in the conservative
+direction: it may miss feasible schedules on pathological instances, so
+agreement is asserted one-way: SMT-infeasible implies heuristic fails).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristic import schedule_heuristic
+from repro.core.schedule import InfeasibleError, validate
+from repro.core.smt_scheduler import schedule_smt
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.topology import Topology
+from repro.model.units import milliseconds
+
+
+def _small_topology():
+    topo = Topology()
+    topo.add_switch("SW1")
+    topo.add_switch("SW2")
+    for d, sw in (("D1", "SW1"), ("D2", "SW1"), ("D3", "SW2"), ("D4", "SW2")):
+        topo.add_device(d)
+        topo.add_link(d, sw)
+    topo.add_link("SW1", "SW2")
+    return topo
+
+
+DEVICES = ["D1", "D2", "D3", "D4"]
+PERIODS = [milliseconds(4), milliseconds(8), milliseconds(16)]
+
+
+@st.composite
+def scenario(draw):
+    topo = _small_topology()
+    num_tct = draw(st.integers(0, 5))
+    streams = []
+    for i in range(num_tct):
+        src = draw(st.sampled_from(DEVICES))
+        dst = draw(st.sampled_from([d for d in DEVICES if d != src]))
+        period = draw(st.sampled_from(PERIODS))
+        share = draw(st.booleans())
+        length = draw(st.sampled_from([100, 800, 1500, 3000]))
+        streams.append(Stream(
+            name=f"t{i}",
+            path=tuple(topo.shortest_path(src, dst)),
+            e2e_ns=period,
+            priority=Priorities.SH_PL if share else Priorities.NSH_PL,
+            length_bytes=length,
+            period_ns=period,
+            share=share,
+        ))
+    ects = []
+    if draw(st.booleans()):
+        src = draw(st.sampled_from(DEVICES))
+        dst = draw(st.sampled_from([d for d in DEVICES if d != src]))
+        ects.append(EctStream(
+            name="e0", source=src, destination=dst,
+            min_interevent_ns=milliseconds(16),
+            length_bytes=draw(st.sampled_from([1500, 3000])),
+            possibilities=draw(st.sampled_from([2, 4, 8])),
+        ))
+    return topo, streams, ects
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario())
+def test_heuristic_output_always_validates(case):
+    topo, streams, ects = case
+    try:
+        schedule = schedule_heuristic(topo, streams, ects)
+    except InfeasibleError:
+        return
+    validate(schedule)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario())
+def test_smt_output_always_validates(case):
+    topo, streams, ects = case
+    try:
+        schedule = schedule_smt(topo, streams, ects)
+    except InfeasibleError:
+        return
+    validate(schedule)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario())
+def test_smt_infeasible_implies_heuristic_infeasible(case):
+    """The heuristic must never 'succeed' where the complete SMT search
+    proves no schedule exists (that would mean an unsound schedule)."""
+    topo, streams, ects = case
+    try:
+        schedule_smt(topo, streams, ects)
+        smt_feasible = True
+    except InfeasibleError:
+        smt_feasible = False
+    if not smt_feasible:
+        with pytest.raises(InfeasibleError):
+            schedule_heuristic(topo, streams, ects)

@@ -1,0 +1,150 @@
+"""Experiment scaffolding tests: topologies, workloads, runner, and quick
+(short-duration) versions of every figure to prove the harness end-to-end."""
+
+import pytest
+
+from repro.experiments import fig11, fig12, fig14, fig15, fig16, run_method
+from repro.experiments import simulation_topology, simulation_workload
+from repro.experiments import testbed_topology as make_testbed_topology
+from repro.experiments import testbed_workload as make_testbed_workload
+from repro.model.units import milliseconds
+
+QUICK = milliseconds(300)
+
+
+class TestTopologies:
+    def test_testbed_shape(self):
+        topo = make_testbed_topology()
+        assert len(topo.switches) == 2
+        assert len(topo.devices) == 4
+        assert len(topo.shortest_path("D2", "D4")) == 3
+
+    def test_simulation_shape(self):
+        topo = simulation_topology()
+        assert len(topo.switches) == 4
+        assert len(topo.devices) == 12
+        assert len(topo.shortest_path("D1", "D12")) == 5
+
+    def test_propagation_default(self):
+        topo = make_testbed_topology(propagation_ns=700)
+        assert topo.link("D1", "SW1").propagation_ns == 700
+
+
+class TestWorkloads:
+    def test_testbed_workload(self):
+        w = make_testbed_workload(0.5, seed=1)
+        assert len(w.tct_streams) == 10
+        assert all(s.share for s in w.tct_streams)
+        assert w.ect_streams[0].source == "D2"
+        assert w.ect_streams[0].destination == "D4"
+        assert 0.4 < w.achieved_load <= 0.5
+
+    def test_simulation_workload(self):
+        w = simulation_workload(0.5, seed=1)
+        assert len(w.tct_streams) == 40
+        assert w.ect_streams[0].name == "s1e"
+        assert w.ect_streams[0].source == "D1"
+        assert w.ect_streams[0].destination == "D12"
+
+    def test_simulation_nonshared_marking(self):
+        w = simulation_workload(0.5, seed=1, num_nonshared=10)
+        assert sum(1 for s in w.tct_streams if not s.share) == 10
+
+    def test_simulation_multiple_ect(self):
+        w = simulation_workload(0.5, seed=1, num_ect=4)
+        names = [e.name for e in w.ect_streams]
+        assert names == ["s1e", "s2e", "s3e", "s4e"]
+        for e in w.ect_streams[1:]:
+            assert e.source != e.destination
+
+    def test_num_ect_validation(self):
+        with pytest.raises(ValueError):
+            simulation_workload(0.5, num_ect=0)
+
+
+class TestRunner:
+    def test_unknown_method(self):
+        w = make_testbed_workload(0.25, seed=1)
+        with pytest.raises(ValueError):
+            run_method(w.topology, w.tct_streams, w.ect_streams,
+                       "mystery", duration_ns=QUICK)
+
+    def test_run_produces_stats_and_cdf(self):
+        w = make_testbed_workload(0.25, seed=1)
+        result = run_method(w.topology, w.tct_streams, w.ect_streams,
+                            "etsn", duration_ns=QUICK, seed=1)
+        assert "ect1" in result.stats
+        assert result.ect_stats().keys() == {"ect1"}
+        cdf = result.cdf("ect1")
+        assert cdf and cdf[-1][1] == pytest.approx(1.0)
+
+    def test_period_multiplier_parsing(self):
+        w = make_testbed_workload(0.25, seed=1)
+        result = run_method(w.topology, w.tct_streams, w.ect_streams,
+                            "period_x2", duration_ns=QUICK, seed=1)
+        proxy = result.schedule.stream("ect1#period")
+        n = w.ect_streams[0].possibilities
+        assert proxy.period_ns == w.ect_streams[0].min_interevent_ns // (2 * n)
+
+
+class TestFiguresQuick:
+    """Tiny-duration runs of every figure harness: structure over numbers."""
+
+    def test_fig11(self):
+        result = fig11.run(fig11.Fig11Config(
+            loads=(0.25,), methods=("etsn", "avb"), duration_ns=QUICK))
+        assert (0.25, "etsn") in result.stats
+        text = fig11.format_result(result)
+        assert "etsn" in text and "avb" in text
+        numbers = fig11.headline_numbers(result, load=0.25)
+        # at this tiny scale (a dozen events, 25% load) AVB can tie
+        # E-TSN exactly — only never beat it; the full comparison lives
+        # in benchmarks/test_fig11_latency_cdf.py
+        assert numbers["avb_avg_ratio"] >= 1.0
+        assert numbers["avb_worst_ratio"] >= 1.0
+
+    def test_fig12(self):
+        result = fig12.run(fig12.Fig12Config(
+            load=0.25, methods=("etsn", "period"), duration_ns=QUICK))
+        assert result.dedicated_bandwidth["etsn"] == 0.0
+        assert result.dedicated_bandwidth["period"] > 0.0
+        assert "dedicated_bw" in fig12.format_result(result)
+
+    def test_fig12_bandwidth_scales_with_multiplier(self):
+        result = fig12.run(fig12.Fig12Config(
+            load=0.25, methods=("period", "period_x2"), duration_ns=QUICK))
+        assert result.dedicated_bandwidth["period_x2"] == pytest.approx(
+            2 * result.dedicated_bandwidth["period"], rel=0.01)
+
+    def test_fig14(self):
+        result = fig14.run(fig14.Fig14Config(
+            loads=(0.25,), lengths_mtu=(1,), methods=("etsn", "period"),
+            duration_ns=QUICK))
+        assert ("load", 0.25, "etsn") in result.stats
+        assert ("length", 1, "period") in result.stats
+        reductions = fig14.average_reductions(result)
+        assert "period_avg" in reductions
+        assert "Fig. 14" in fig14.format_result(result)
+
+    def test_fig15(self):
+        # the paper's 50% load setting: TCT frames are MTU-scale there,
+        # the regime where Alg. 1's protection holds (see the reservation
+        # ablation for the under-reservation regime)
+        result = fig15.run(fig15.Fig15Config(load=0.50, duration_ns=QUICK))
+        assert len(result.nonshared()) == 3
+        assert len(result.shared()) == 3
+        for impact in result.nonshared():
+            assert impact.unaffected
+        for impact in result.impacts:
+            assert impact.worst_within_budget
+        assert "Fig. 15" in fig15.format_result(result)
+
+    def test_fig16(self):
+        result = fig16.run(fig16.Fig16Config(
+            load=0.25, methods=("etsn", "avb"), duration_ns=QUICK))
+        assert len(result.ect_names) == 4
+        for name in result.ect_names:
+            assert ("etsn", name) in result.stats
+        reductions = fig16.average_reductions(result)
+        assert "avb_latency" in reductions
+        assert "Fig. 16" in fig16.format_result(result)

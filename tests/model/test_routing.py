@@ -1,0 +1,126 @@
+"""k-shortest and disjoint-path routing tests."""
+
+import pytest
+
+from repro.model.routing import disjoint_paths, k_shortest_paths, least_loaded_path
+from repro.model.topology import Topology, TopologyError
+
+
+def _ring_topology():
+    """Dual-homed devices on a 4-switch ring: two disjoint routes exist."""
+    topo = Topology()
+    switches = ["SW1", "SW2", "SW3", "SW4"]
+    for s in switches:
+        topo.add_switch(s)
+    for a, b in zip(switches, switches[1:] + switches[:1]):
+        topo.add_link(a, b)
+    topo.add_device("A")
+    topo.add_link("A", "SW1")
+    topo.add_link("A", "SW3")  # dual-homed talker
+    topo.add_device("B")
+    topo.add_link("B", "SW2")
+    topo.add_link("B", "SW4")  # dual-homed listener
+    return topo
+
+
+class TestKShortest:
+    def test_first_is_shortest(self, two_switch_topology):
+        paths = k_shortest_paths(two_switch_topology, "D1", "D4", 3)
+        assert len(paths[0]) == 3
+        assert [l.key for l in paths[0]] == \
+            [l.key for l in two_switch_topology.shortest_path("D1", "D4")]
+
+    def test_tree_topology_has_single_path(self, two_switch_topology):
+        paths = k_shortest_paths(two_switch_topology, "D1", "D4", 5)
+        assert len(paths) == 1  # no alternative routes in a tree
+
+    def test_ring_offers_alternatives(self):
+        topo = _ring_topology()
+        paths = k_shortest_paths(topo, "A", "B", 4)
+        assert len(paths) >= 2
+        # non-decreasing hop counts, all distinct, all valid
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        keys = {tuple(l.key for l in p) for p in paths}
+        assert len(keys) == len(paths)
+        for path in paths:
+            assert path[0].src == "A" and path[-1].dst == "B"
+            for a, b in zip(path, path[1:]):
+                assert a.dst == b.src
+
+    def test_loop_free(self):
+        topo = _ring_topology()
+        for path in k_shortest_paths(topo, "A", "B", 6):
+            nodes = [path[0].src] + [l.dst for l in path]
+            assert len(nodes) == len(set(nodes))
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_switch("SW2")
+        topo.add_device("A")
+        topo.add_device("B")
+        topo.add_link("A", "SW1")
+        topo.add_link("B", "SW2")
+        with pytest.raises(TopologyError):
+            k_shortest_paths(topo, "A", "B", 2)
+
+    def test_bad_k(self, two_switch_topology):
+        with pytest.raises(ValueError):
+            k_shortest_paths(two_switch_topology, "D1", "D4", 0)
+
+
+class TestDisjoint:
+    def test_ring_gives_two_disjoint(self):
+        topo = _ring_topology()
+        paths = disjoint_paths(topo, "A", "B", 2)
+        assert len(paths) == 2
+        used = set()
+        for path in paths:
+            for link in path:
+                assert link.key not in used
+                assert (link.dst, link.src) not in used
+                used.add(link.key)
+
+    def test_tree_gives_only_one(self, two_switch_topology):
+        paths = disjoint_paths(two_switch_topology, "D1", "D4", 2)
+        assert len(paths) == 1
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("A")
+        topo.add_device("B")
+        topo.add_link("A", "SW1")
+        topo.add_switch("SW2")
+        topo.add_link("B", "SW2")
+        with pytest.raises(TopologyError):
+            disjoint_paths(topo, "A", "B")
+
+    def test_bad_count(self, two_switch_topology):
+        with pytest.raises(ValueError):
+            disjoint_paths(two_switch_topology, "D1", "D4", 0)
+
+
+class TestLeastLoaded:
+    def test_picks_coolest_bottleneck(self):
+        topo = _ring_topology()
+        paths = k_shortest_paths(topo, "A", "B", 3)
+        # heat a link that is NOT on every candidate (alternatives may
+        # share the first hop on a dual-homed ring)
+        all_keys = [set(l.key for l in p) for p in paths]
+        only_first = set.union(*all_keys[:1]) - set.union(*all_keys[1:])
+        assert only_first, "need a link unique to the first path"
+        hot_key = next(iter(only_first))
+        chosen = least_loaded_path(paths, {hot_key: 0.9})
+        assert hot_key not in {l.key for l in chosen}
+
+    def test_ties_break_by_length(self):
+        topo = _ring_topology()
+        paths = k_shortest_paths(topo, "A", "B", 2)
+        chosen = least_loaded_path(paths, {})
+        assert len(chosen) == min(len(p) for p in paths)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            least_loaded_path([], {})

@@ -1,0 +1,246 @@
+"""Stream model tests: the 8-attribute tuple, priorities, overlap rules."""
+
+import pytest
+
+from repro.model.stream import (
+    EctStream,
+    Priorities,
+    Stream,
+    StreamError,
+    StreamType,
+    TctRequirement,
+    may_overlap,
+    streams_by_link,
+)
+from repro.model.units import milliseconds
+
+
+def _path(topo, src, dst):
+    return tuple(topo.shortest_path(src, dst))
+
+
+class TestStreamValidation:
+    def test_valid_tct(self, star_topology):
+        s = Stream(
+            name="s", path=_path(star_topology, "D1", "D3"),
+            e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+            length_bytes=100, period_ns=milliseconds(4),
+        )
+        assert s.source == "D1" and s.destination == "D3"
+        assert s.type == StreamType.DET
+
+    def test_rejects_empty_name(self, star_topology):
+        with pytest.raises(StreamError):
+            Stream(name="", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=1, priority=1, length_bytes=1, period_ns=10)
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(StreamError):
+            Stream(name="s", path=(), e2e_ns=1, priority=1,
+                   length_bytes=1, period_ns=10)
+
+    def test_rejects_discontiguous_path(self, two_switch_topology):
+        a = two_switch_topology.link("D1", "SW1")
+        b = two_switch_topology.link("SW2", "D3")
+        with pytest.raises(StreamError):
+            Stream(name="s", path=(a, b), e2e_ns=1, priority=1,
+                   length_bytes=1, period_ns=10)
+
+    @pytest.mark.parametrize("field,value", [
+        ("e2e_ns", 0), ("length_bytes", 0), ("period_ns", -5), ("priority", 9),
+    ])
+    def test_rejects_bad_scalars(self, star_topology, field, value):
+        kwargs = dict(
+            name="s", path=_path(star_topology, "D1", "D3"),
+            e2e_ns=milliseconds(1), priority=Priorities.NSH_PL,
+            length_bytes=64, period_ns=milliseconds(1),
+        )
+        kwargs[field] = value
+        with pytest.raises(StreamError):
+            Stream(**kwargs)
+
+    def test_prob_requires_parent(self, star_topology):
+        with pytest.raises(StreamError):
+            Stream(name="p", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=100, priority=Priorities.EP, length_bytes=64,
+                   period_ns=1000, type=StreamType.PROB, occurrence_ns=0)
+
+    def test_prob_occurrence_inside_period(self, star_topology):
+        with pytest.raises(StreamError):
+            Stream(name="p", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=100, priority=Priorities.EP, length_bytes=64,
+                   period_ns=1000, type=StreamType.PROB, occurrence_ns=1000,
+                   parent="e")
+
+    def test_det_cannot_have_occurrence(self, star_topology):
+        with pytest.raises(StreamError):
+            Stream(name="s", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=100, priority=Priorities.NSH_PL, length_bytes=64,
+                   period_ns=1000, occurrence_ns=5)
+
+    def test_prob_cannot_share(self, star_topology):
+        with pytest.raises(StreamError):
+            Stream(name="p", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=100, priority=Priorities.EP, length_bytes=64,
+                   period_ns=1000, type=StreamType.PROB, parent="e", share=True)
+
+
+class TestFraming:
+    def test_single_frame_message(self, simple_tct):
+        assert simple_tct.frames_per_period() == 1
+        assert simple_tct.frame_payloads() == [400]
+
+    def test_multi_frame_message(self, star_topology):
+        s = Stream(name="s", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=milliseconds(5), priority=Priorities.NSH_PL,
+                   length_bytes=3 * 1500, period_ns=milliseconds(5))
+        assert s.frames_per_period() == 3
+
+    def test_transmission_time_sums_frames(self, star_topology):
+        link = star_topology.link("D1", "SW1")
+        s = Stream(name="s", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=milliseconds(5), priority=Priorities.NSH_PL,
+                   length_bytes=2 * 1500, period_ns=milliseconds(5))
+        assert s.transmission_ns(link) == 2 * 123_040
+
+    def test_with_share_copies(self, simple_tct):
+        shared = simple_tct.with_share(True)
+        assert shared.share and not simple_tct.share
+        assert shared.name == simple_tct.name
+
+
+class TestPriorities:
+    def test_partition_is_consistent(self):
+        assert Priorities.EP == 7
+        assert Priorities.SH_PH < Priorities.EP
+        assert Priorities.NSH_PH < Priorities.SH_PL
+        assert Priorities.BE < Priorities.NSH_PL
+
+    def test_check_prob_priority(self, star_topology):
+        good = Stream(name="p", path=_path(star_topology, "D2", "D3"),
+                      e2e_ns=100, priority=Priorities.EP, length_bytes=64,
+                      period_ns=1000, type=StreamType.PROB, parent="e")
+        Priorities.check(good)
+
+    def test_check_rejects_prob_wrong_priority(self, star_topology):
+        bad = Stream(name="p", path=_path(star_topology, "D2", "D3"),
+                     e2e_ns=100, priority=5, length_bytes=64,
+                     period_ns=1000, type=StreamType.PROB, parent="e")
+        with pytest.raises(StreamError):
+            Priorities.check(bad)
+
+    def test_check_shared_band(self, star_topology):
+        s = Stream(name="s", path=_path(star_topology, "D1", "D3"),
+                   e2e_ns=100, priority=Priorities.SH_PL, length_bytes=64,
+                   period_ns=1000, share=True)
+        Priorities.check(s)
+        with pytest.raises(StreamError):
+            Priorities.check(s.with_share(False))
+
+    def test_check_nonshared_band(self, simple_tct):
+        Priorities.check(simple_tct)
+        with pytest.raises(StreamError):
+            Priorities.check(simple_tct.with_share(True))
+
+
+class TestTctRequirement:
+    def test_resolve_routes_and_defaults(self, two_switch_topology):
+        req = TctRequirement("r1", "D1", "D4", period_ns=milliseconds(8),
+                             length_bytes=200)
+        s = req.resolve(two_switch_topology)
+        assert s.source == "D1" and s.destination == "D4"
+        assert s.e2e_ns == milliseconds(8)  # implicit deadline
+        assert len(s.path) == 3
+
+    def test_resolve_explicit_deadline(self, two_switch_topology):
+        req = TctRequirement("r1", "D1", "D4", period_ns=milliseconds(8),
+                             length_bytes=200, e2e_ns=milliseconds(2))
+        assert req.resolve(two_switch_topology).e2e_ns == milliseconds(2)
+
+    def test_resolve_checks_priority(self, two_switch_topology):
+        req = TctRequirement("r1", "D1", "D4", period_ns=milliseconds(8),
+                             length_bytes=200, share=True,
+                             priority=Priorities.NSH_PL)
+        with pytest.raises(StreamError):
+            req.resolve(two_switch_topology)
+
+
+class TestEctStream:
+    def test_defaults(self):
+        e = EctStream("e", "D1", "D2", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500)
+        assert e.effective_e2e_ns == milliseconds(16)
+        assert e.possibilities == 8
+
+    def test_explicit_deadline(self):
+        e = EctStream("e", "D1", "D2", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, e2e_ns=milliseconds(8))
+        assert e.effective_e2e_ns == milliseconds(8)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_interevent_ns=0),
+        dict(length_bytes=0),
+        dict(possibilities=0),
+        dict(e2e_ns=0),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        base = dict(name="e", source="D1", destination="D2",
+                    min_interevent_ns=1000, length_bytes=100)
+        base.update(kwargs)
+        with pytest.raises(StreamError):
+            EctStream(**base)
+
+    def test_route(self, two_switch_topology):
+        e = EctStream("e", "D2", "D4", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500)
+        path = e.route(two_switch_topology)
+        assert len(path) == 3
+
+
+class TestOverlapRules:
+    def _prob(self, topo, name, parent):
+        return Stream(name=name, path=_path(topo, "D2", "D3"),
+                      e2e_ns=900, priority=Priorities.EP, length_bytes=64,
+                      period_ns=1000, type=StreamType.PROB, parent=parent)
+
+    def _det(self, topo, name, share):
+        priority = Priorities.SH_PL if share else Priorities.NSH_PL
+        return Stream(name=name, path=_path(topo, "D1", "D3"),
+                      e2e_ns=1000, priority=priority, length_bytes=64,
+                      period_ns=1000, share=share)
+
+    def test_same_parent_possibilities_overlap(self, star_topology):
+        a = self._prob(star_topology, "p1", "e1")
+        b = self._prob(star_topology, "p2", "e1")
+        assert may_overlap(a, b)
+
+    def test_different_parents_do_not(self, star_topology):
+        a = self._prob(star_topology, "p1", "e1")
+        b = self._prob(star_topology, "p2", "e2")
+        assert not may_overlap(a, b)
+
+    def test_prob_with_shared_tct(self, star_topology):
+        p = self._prob(star_topology, "p1", "e1")
+        shared = self._det(star_topology, "t1", share=True)
+        assert may_overlap(p, shared)
+        assert may_overlap(shared, p)
+
+    def test_prob_with_nonshared_tct(self, star_topology):
+        p = self._prob(star_topology, "p1", "e1")
+        plain = self._det(star_topology, "t1", share=False)
+        assert not may_overlap(p, plain)
+
+    def test_det_never_overlap(self, star_topology):
+        a = self._det(star_topology, "t1", share=True)
+        b = self._det(star_topology, "t2", share=True)
+        assert not may_overlap(a, b)
+
+
+class TestIndex:
+    def test_streams_by_link(self, star_topology, simple_tct):
+        other = Stream(name="b", path=_path(star_topology, "D2", "D3"),
+                       e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+                       length_bytes=64, period_ns=milliseconds(4))
+        index = streams_by_link([simple_tct, other])
+        assert {s.name for s in index[("SW1", "D3")]} == {"tct-a", "b"}
+        assert [s.name for s in index[("D1", "SW1")]] == ["tct-a"]

@@ -1,0 +1,203 @@
+"""Topology graph and routing tests."""
+
+import pytest
+
+from repro.model.topology import (
+    Link,
+    Node,
+    NodeKind,
+    Topology,
+    TopologyError,
+    line_topology,
+)
+from repro.model.units import MBPS_100
+
+
+class TestNodes:
+    def test_switch_and_device_kinds(self):
+        assert Node("SW1", NodeKind.SWITCH).is_switch
+        assert not Node("D1", NodeKind.DEVICE).is_switch
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            Node("", NodeKind.DEVICE)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TopologyError):
+            Node("X", "router")
+
+    def test_reregistering_same_kind_is_idempotent(self):
+        topo = Topology()
+        a = topo.add_switch("SW1")
+        b = topo.add_switch("SW1")
+        assert a is b
+
+    def test_reregistering_different_kind_fails(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        with pytest.raises(TopologyError):
+            topo.add_device("SW1")
+
+
+class TestLinks:
+    def test_full_duplex_creates_both_directions(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("D1")
+        forward, backward = topo.add_link("D1", "SW1")
+        assert forward.key == ("D1", "SW1")
+        assert backward.key == ("SW1", "D1")
+        assert topo.has_link("D1", "SW1") and topo.has_link("SW1", "D1")
+
+    def test_link_attributes(self):
+        link = Link("A", "B", bandwidth_bps=MBPS_100, propagation_ns=500, time_unit_ns=8)
+        assert link.bandwidth_bps == MBPS_100
+        assert link.propagation_ns == 500
+        assert link.time_unit_ns == 8
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Link("A", "A")
+
+    def test_rejects_bad_attributes(self):
+        with pytest.raises(TopologyError):
+            Link("A", "B", bandwidth_bps=0)
+        with pytest.raises(TopologyError):
+            Link("A", "B", propagation_ns=-1)
+        with pytest.raises(TopologyError):
+            Link("A", "B", time_unit_ns=0)
+
+    def test_rejects_duplicate_link(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("D1")
+        topo.add_link("D1", "SW1")
+        with pytest.raises(TopologyError):
+            topo.add_link("D1", "SW1")
+
+    def test_rejects_unknown_endpoint(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        with pytest.raises(TopologyError):
+            topo.add_link("D9", "SW1")
+
+    def test_transmission_time(self):
+        link = Link("A", "B", bandwidth_bps=MBPS_100)
+        assert link.transmission_ns(1538) == 123_040
+
+    def test_egress_links(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("D1")
+        topo.add_device("D2")
+        topo.add_link("SW1", "D1")
+        topo.add_link("SW1", "D2")
+        assert {l.dst for l in topo.egress_links("SW1")} == {"D1", "D2"}
+
+
+class TestRouting:
+    def test_one_hop(self, star_topology):
+        path = star_topology.shortest_path("D1", "SW1")
+        assert [l.key for l in path] == [("D1", "SW1")]
+
+    def test_two_hops_through_switch(self, star_topology):
+        path = star_topology.shortest_path("D1", "D3")
+        assert [l.key for l in path] == [("D1", "SW1"), ("SW1", "D3")]
+
+    def test_three_hops_testbed(self, two_switch_topology):
+        path = two_switch_topology.shortest_path("D2", "D4")
+        assert [l.key for l in path] == [
+            ("D2", "SW1"), ("SW1", "SW2"), ("SW2", "D4"),
+        ]
+
+    def test_devices_do_not_forward(self):
+        # D1 - D2 - D3 as a device chain has no route D1 -> D3.
+        topo = Topology()
+        for d in ("D1", "D2", "D3"):
+            topo.add_device(d)
+        topo.add_link("D1", "D2")
+        topo.add_link("D2", "D3")
+        with pytest.raises(TopologyError):
+            topo.shortest_path("D1", "D3")
+
+    def test_no_route(self):
+        topo = Topology()
+        topo.add_device("D1")
+        topo.add_device("D2")
+        topo.add_switch("SW1")
+        topo.add_link("D1", "SW1")
+        topo.add_link("D2", "SW1")
+        topo.add_switch("SW2")
+        topo.add_device("D3")
+        topo.add_link("D3", "SW2")
+        with pytest.raises(TopologyError):
+            topo.shortest_path("D1", "D3")
+
+    def test_same_endpoint_rejected(self, star_topology):
+        with pytest.raises(TopologyError):
+            star_topology.shortest_path("D1", "D1")
+
+    def test_unknown_node_rejected(self, star_topology):
+        with pytest.raises(TopologyError):
+            star_topology.shortest_path("D1", "D99")
+
+    def test_route_is_contiguous_and_shortest(self, two_switch_topology):
+        path = two_switch_topology.shortest_path("D1", "D3")
+        for a, b in zip(path, path[1:]):
+            assert a.dst == b.src
+        assert len(path) == 3
+
+
+class TestDerived:
+    def test_macrotick_lcm(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("D1")
+        topo.add_device("D2")
+        topo.add_link("D1", "SW1", time_unit_ns=4)
+        topo.add_link("D2", "SW1", time_unit_ns=6)
+        assert topo.macrotick_ns() == 12
+
+    def test_macrotick_requires_links(self):
+        with pytest.raises(TopologyError):
+            Topology().macrotick_ns()
+
+    def test_validate_rejects_isolated(self):
+        topo = Topology()
+        topo.add_switch("SW1")
+        topo.add_device("D1")
+        topo.add_device("D2")
+        topo.add_link("D1", "SW1")
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_validate_ok(self, star_topology):
+        star_topology.validate()
+
+    def test_describe_mentions_everything(self, star_topology):
+        text = star_topology.describe()
+        for name in ("SW1", "D1", "D2", "D3"):
+            assert name in text
+
+    def test_contains_and_iter(self, star_topology):
+        assert "SW1" in star_topology
+        assert "XX" not in star_topology
+        assert {n.name for n in star_topology} == {"SW1", "D1", "D2", "D3"}
+
+
+class TestLineTopology:
+    def test_shape(self):
+        topo = line_topology(["D1", "D2", "D3", "D4"], ["SW1", "SW2"])
+        assert len(topo.switches) == 2
+        assert len(topo.devices) == 4
+        # first half on SW1, second half on SW2
+        assert topo.has_link("D1", "SW1")
+        assert topo.has_link("D3", "SW2")
+        path = topo.shortest_path("D1", "D4")
+        assert len(path) == 3
+
+    def test_requires_both_kinds(self):
+        with pytest.raises(TopologyError):
+            line_topology([], ["SW1"])
+        with pytest.raises(TopologyError):
+            line_topology(["D1"], [])

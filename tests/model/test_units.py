@@ -1,0 +1,152 @@
+"""Unit and time-arithmetic tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import units
+
+
+class TestConversions:
+    def test_milliseconds(self):
+        assert units.milliseconds(4) == 4_000_000
+
+    def test_microseconds(self):
+        assert units.microseconds(1.5) == 1_500
+
+    def test_seconds(self):
+        assert units.seconds(2) == 2_000_000_000
+
+    def test_nanoseconds_identity(self):
+        assert units.nanoseconds(17) == 17
+
+    def test_ns_to_us_roundtrip(self):
+        assert units.ns_to_us(units.microseconds(250)) == pytest.approx(250)
+
+    def test_ns_to_ms_roundtrip(self):
+        assert units.ns_to_ms(units.milliseconds(16)) == pytest.approx(16)
+
+
+class TestTransmissionTime:
+    def test_mtu_frame_on_100mbps(self):
+        # 1538 wire bytes at 100 Mb/s = 123.04 us
+        wire = units.wire_bytes(1500)
+        assert wire == 1500 + units.ETHERNET_OVERHEAD_BYTES
+        assert units.transmission_time_ns(wire, units.MBPS_100) == 123_040
+
+    def test_gigabit_is_ten_times_faster(self):
+        wire = units.wire_bytes(1500)
+        slow = units.transmission_time_ns(wire, units.MBPS_100)
+        fast = units.transmission_time_ns(wire, units.GBPS_1)
+        assert slow == 10 * fast
+
+    def test_rounds_up(self):
+        # 1 byte at 1 Gb/s = 8 ns exactly; at 3 bit/ns-ish rates it must ceil
+        assert units.transmission_time_ns(1, units.GBPS_1) == 8
+        assert units.transmission_time_ns(1, 3) == (8 * units.NS_PER_S + 2) // 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.transmission_time_ns(0, units.MBPS_100)
+        with pytest.raises(ValueError):
+            units.transmission_time_ns(100, 0)
+
+
+class TestWireBytes:
+    def test_minimum_padding(self):
+        assert units.wire_bytes(1) == 46 + units.ETHERNET_OVERHEAD_BYTES
+        assert units.wire_bytes(46) == 46 + units.ETHERNET_OVERHEAD_BYTES
+
+    def test_above_minimum(self):
+        assert units.wire_bytes(100) == 100 + units.ETHERNET_OVERHEAD_BYTES
+
+    def test_rejects_above_mtu(self):
+        with pytest.raises(ValueError):
+            units.wire_bytes(1501)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wire_bytes(0)
+
+
+class TestFragmentation:
+    def test_single_frame(self):
+        assert units.frames_for_payload(800) == [800]
+
+    def test_exact_mtu(self):
+        assert units.frames_for_payload(1500) == [1500]
+
+    def test_multi_frame(self):
+        assert units.frames_for_payload(3200) == [1500, 1500, 200]
+
+    def test_five_mtu(self):
+        assert units.frames_for_payload(5 * 1500) == [1500] * 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.frames_for_payload(0)
+
+    @given(st.integers(min_value=1, max_value=20 * 1500))
+    def test_fragments_sum_to_message(self, size):
+        assert sum(units.frames_for_payload(size)) == size
+
+    @given(st.integers(min_value=1, max_value=20 * 1500))
+    def test_only_last_fragment_partial(self, size):
+        frames = units.frames_for_payload(size)
+        assert all(f == units.ETHERNET_MTU_BYTES for f in frames[:-1])
+
+
+class TestRounding:
+    def test_ceil_to_multiple(self):
+        assert units.ceil_to_multiple(10, 4) == 12
+        assert units.ceil_to_multiple(12, 4) == 12
+        assert units.ceil_to_multiple(0, 4) == 0
+
+    def test_is_multiple(self):
+        assert units.is_multiple(12, 4)
+        assert not units.is_multiple(13, 4)
+
+    def test_rejects_bad_unit(self):
+        with pytest.raises(ValueError):
+            units.ceil_to_multiple(5, 0)
+        with pytest.raises(ValueError):
+            units.is_multiple(5, -1)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_ceil_properties(self, value, unit):
+        result = units.ceil_to_multiple(value, unit)
+        assert result >= value
+        assert result % unit == 0
+        assert result - value < unit
+
+
+class TestHyperperiod:
+    def test_lcm(self):
+        assert units.lcm(4, 6) == 12
+        assert units.lcm(5, 10) == 10
+
+    def test_hyperperiod_of_paper_periods(self):
+        ms = units.milliseconds
+        assert units.hyperperiod([ms(4), ms(8), ms(16)]) == ms(16)
+        assert units.hyperperiod([ms(5), ms(10), ms(20)]) == ms(20)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            units.hyperperiod([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            units.lcm(0, 5)
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=6))
+    def test_hyperperiod_divisible_by_all(self, periods):
+        h = units.hyperperiod(periods)
+        assert all(h % p == 0 for p in periods)
+
+
+class TestFormat:
+    def test_scales(self):
+        assert units.format_ns(5) == "5ns"
+        assert units.format_ns(1_500) == "1.500us"
+        assert units.format_ns(2_500_000) == "2.500ms"
+        assert units.format_ns(3_000_000_000) == "3.000s"

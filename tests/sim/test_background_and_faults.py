@@ -1,0 +1,139 @@
+"""Best-effort traffic isolation and fault-injection tests."""
+
+import pytest
+
+from repro.core.baselines import schedule_avb, schedule_etsn
+from repro.core.gcl import build_gcl
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from repro.sim import BeTrafficSpec, SimConfig, TsnSimulation
+
+DURATION = milliseconds(600)
+
+
+def _setup(topo, method="etsn", **config_kwargs):
+    tct = [Stream(
+        name="ctrl", path=tuple(topo.shortest_path("D1", "D4")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=3000, period_ns=milliseconds(4), share=True,
+    )]
+    ects = [EctStream(
+        name="alarm", source="D2", destination="D4",
+        min_interevent_ns=milliseconds(16), length_bytes=1500, possibilities=4,
+    )]
+    if method == "etsn":
+        schedule = schedule_etsn(topo, tct, ects)
+        mode = "etsn"
+    else:
+        schedule = schedule_avb(topo, tct, ects)
+        mode = "avb"
+    gcl = build_gcl(schedule, mode=mode)
+    config = SimConfig(duration_ns=DURATION, seed=2,
+                       cbs_on_ect=(mode == "avb"), **config_kwargs)
+    return schedule, TsnSimulation(schedule, gcl, config).run()
+
+
+def _be(load=0.3):
+    return [BeTrafficSpec(name="bulk", source="D1", destination="D4",
+                          load_fraction=load)]
+
+
+class TestBackgroundTraffic:
+    def test_be_frames_flow_in_unallocated_time(self, two_switch_topology):
+        _, report = _setup(two_switch_topology, be_traffic=_be())
+        assert report.recorder.delivered("bulk") > 10
+
+    def test_be_does_not_move_tct(self, two_switch_topology):
+        _, quiet = _setup(two_switch_topology, ect_event_times={"alarm": []})
+        _, busy = _setup(two_switch_topology, ect_event_times={"alarm": []},
+                         be_traffic=_be())
+        q = quiet.recorder.stats("ctrl")
+        b = busy.recorder.stats("ctrl")
+        # gates + guard bands: BE cannot clip a scheduled window
+        assert (q.minimum_ns, q.maximum_ns) == (b.minimum_ns, b.maximum_ns)
+
+    def test_be_barely_moves_ect_under_etsn(self, two_switch_topology):
+        """A BE frame already on the wire can delay ECT by at most one
+        frame time per hop (no preemption); the jitter stays an order of
+        magnitude below the baselines'."""
+        _, quiet = _setup(two_switch_topology)
+        _, busy = _setup(two_switch_topology, be_traffic=_be())
+        mtu_ns = 123_040
+        hops = 3
+        assert (busy.recorder.stats("alarm").maximum_ns
+                <= quiet.recorder.stats("alarm").maximum_ns + hops * mtu_ns)
+
+    def test_ect_priority_over_be_under_avb(self, two_switch_topology):
+        """The AVB baseline's definition: ECT has priority over background
+        traffic inside unallocated time.  Under heavy BE load the ECT
+        class barely moves from its unloaded latency (it only ever waits
+        for one in-flight BE frame per hop), while BE itself congests."""
+        _, quiet = _setup(two_switch_topology, method="avb")
+        _, busy = _setup(two_switch_topology, method="avb",
+                         be_traffic=_be(load=0.5))
+        mtu_ns = 123_040
+        assert (busy.recorder.stats("alarm").maximum_ns
+                <= quiet.recorder.stats("alarm").maximum_ns + 3 * mtu_ns)
+        bulk = busy.recorder.stats("bulk")
+        # BE sees real queueing: its worst case is far above its floor
+        assert bulk.maximum_ns > bulk.minimum_ns + 3 * mtu_ns
+
+    def test_be_spec_validation(self):
+        with pytest.raises(ValueError):
+            BeTrafficSpec("x", "D1", "D2", load_fraction=0.0)
+        with pytest.raises(ValueError):
+            BeTrafficSpec("x", "D1", "D2", load_fraction=0.5,
+                          min_payload=100, max_payload=50)
+
+    def test_be_route_must_have_ports(self, star_topology):
+        tct = [Stream(
+            name="ctrl", path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+            length_bytes=1500, period_ns=milliseconds(4),
+        )]
+        schedule = schedule_etsn(star_topology, tct, [])
+        gcl = build_gcl(schedule, mode="etsn")
+        config = SimConfig(
+            duration_ns=DURATION,
+            be_traffic=[BeTrafficSpec("x", "D2", "D1", load_fraction=0.2)],
+        )
+        with pytest.raises(ValueError):
+            TsnSimulation(schedule, gcl, config)
+
+
+class TestFaultInjection:
+    def test_lossless_by_default(self, two_switch_topology):
+        _, report = _setup(two_switch_topology)
+        assert report.frames_lost == 0
+        assert report.recorder.lost("ctrl") == 0
+
+    def test_loss_rate_drops_frames(self, two_switch_topology):
+        _, report = _setup(two_switch_topology,
+                           link_loss={("SW1", "SW2"): 0.2})
+        assert report.frames_lost > 0
+        assert report.recorder.lost("ctrl") > 0
+        # delivered messages' latency is still sane
+        assert report.recorder.stats("ctrl").maximum_ns <= milliseconds(4)
+
+    def test_loss_only_on_configured_link(self, two_switch_topology):
+        _, report = _setup(two_switch_topology,
+                           link_loss={("SW2", "D4"): 1.0},
+                           ect_event_times={"alarm": []})
+        # everything on the last hop dies; nothing reaches D4
+        assert report.recorder.delivered("ctrl") == 0
+        assert report.recorder.injected("ctrl") > 0
+
+    def test_loss_accounting_consistent(self, two_switch_topology):
+        _, report = _setup(two_switch_topology,
+                           link_loss={("SW1", "SW2"): 0.3})
+        for stream in ("ctrl", "alarm"):
+            injected = report.recorder.injected(stream)
+            delivered = report.recorder.delivered(stream)
+            assert delivered + report.recorder.lost(stream) == injected
+
+    def test_loss_reproducible_per_seed(self, two_switch_topology):
+        reports = [
+            _setup(two_switch_topology, link_loss={("SW1", "SW2"): 0.25})[1]
+            for _ in range(2)
+        ]
+        assert reports[0].frames_lost == reports[1].frames_lost

@@ -1,0 +1,87 @@
+"""Clock and 802.1AS sync tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import Clock, SyncConfig, SyncDomain
+from repro.sim.engine import Simulator
+from repro.model.units import milliseconds, seconds
+
+
+class TestClock:
+    def test_perfect_clock_is_identity(self):
+        clock = Clock("n")
+        assert clock.local(12345) == 12345
+        assert clock.to_global(12345) == 12345
+
+    def test_offset(self):
+        clock = Clock("n", offset_ns=100)
+        assert clock.local(1000) == 1100
+        assert clock.to_global(1100) == 1000
+
+    def test_drift_accumulates(self):
+        clock = Clock("n", drift_ppb=1000)  # 1000 ppb = 1 us per second
+        assert clock.local(milliseconds(1)) == milliseconds(1) + 1
+        assert clock.local(seconds(1)) == seconds(1) + 1_000
+
+    def test_negative_drift(self):
+        clock = Clock("n", drift_ppb=-500)
+        assert clock.local(seconds(2)) == seconds(2) - 1_000
+
+    def test_correction_resets_reference(self):
+        clock = Clock("n", offset_ns=5000, drift_ppb=1000)
+        clock.correct(seconds(1), residual_ns=10)
+        assert clock.local(seconds(1)) == seconds(1) + 10
+        # drift resumes from the correction point: 1000 ppb over 1 s
+        assert clock.local(seconds(2)) == seconds(2) + 10 + 1_000
+
+    def test_offset_error(self):
+        clock = Clock("n", offset_ns=250)
+        assert clock.offset_error_ns(1000) == 250
+
+    @given(st.integers(-10_000, 10_000), st.integers(-100_000, 100_000),
+           st.integers(0, 10**9))
+    def test_to_global_inverts_local(self, offset, drift, t):
+        clock = Clock("n", offset_ns=offset, drift_ppb=drift)
+        local = clock.local(t)
+        recovered = clock.to_global(local)
+        # exact up to the integer floor of the drift term
+        assert abs(clock.local(recovered) - local) <= 1
+
+
+class TestSyncDomain:
+    def test_sync_bounds_error(self):
+        sim = Simulator()
+        clocks = [Clock(f"n{i}", offset_ns=50_000, drift_ppb=2_000) for i in range(3)]
+        config = SyncConfig(sync_interval_ns=milliseconds(31.25),
+                            residual_error_ns=10)
+        domain = SyncDomain(sim, clocks, config, seed=1)
+        domain.start()
+        sim.run_until(seconds(1))
+        for clock in clocks:
+            # after a sync round the error is residual + accumulated drift
+            assert abs(clock.offset_error_ns(sim.now)) <= domain.worst_case_error_ns()
+
+    def test_worst_case_formula(self):
+        sim = Simulator()
+        clocks = [Clock("a", drift_ppb=1000)]
+        config = SyncConfig(sync_interval_ns=milliseconds(10), residual_error_ns=10)
+        domain = SyncDomain(sim, clocks, config)
+        assert domain.worst_case_error_ns() == 10 + milliseconds(10) * 1000 // 10**9
+
+    def test_observes_initial_error(self):
+        sim = Simulator()
+        clocks = [Clock("a", offset_ns=77_000)]
+        domain = SyncDomain(sim, clocks, SyncConfig(), seed=0)
+        domain.start()
+        sim.run_until(milliseconds(1))
+        assert domain.max_observed_error_ns >= 77_000
+
+    def test_disabled_sync_never_corrects(self):
+        sim = Simulator()
+        clocks = [Clock("a", offset_ns=500)]
+        domain = SyncDomain(sim, clocks, SyncConfig(enabled=False))
+        domain.start()
+        sim.run_until(seconds(1))
+        assert clocks[0].offset_error_ns(sim.now) == 500

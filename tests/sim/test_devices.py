@@ -1,0 +1,117 @@
+"""Talker and event-source tests."""
+
+import pytest
+
+from repro.core.baselines import schedule_etsn
+from repro.core.gcl import build_gcl
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from repro.sim import SimConfig, TsnSimulation
+from repro.traffic.events import validate_min_spacing
+
+
+def _simple_setup(star_topology, with_ect=True):
+    s = Stream(
+        name="t1", path=tuple(star_topology.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=2 * 1500, period_ns=milliseconds(4), share=True,
+    )
+    ects = []
+    if with_ect:
+        ects.append(EctStream(
+            name="e1", source="D2", destination="D3",
+            min_interevent_ns=milliseconds(16), length_bytes=1500,
+            possibilities=4,
+        ))
+    schedule = schedule_etsn(star_topology, [s], ects)
+    gcl = build_gcl(schedule, mode="etsn")
+    return schedule, gcl
+
+
+class TestTtTalker:
+    def test_injects_once_per_period(self, star_topology):
+        schedule, gcl = _simple_setup(star_topology, with_ect=False)
+        duration = milliseconds(40)
+        sim = TsnSimulation(schedule, gcl, SimConfig(duration_ns=duration))
+        report = sim.run()
+        assert report.recorder.injected("t1") == 10  # 40 ms / 4 ms
+        assert report.recorder.delivered("t1") == 10
+
+    def test_quiet_network_matches_scheduled_latency(self, star_topology):
+        """Without ECT, measured TCT latency equals the schedule's
+        worst-case bound exactly (deterministic network)."""
+        schedule, gcl = _simple_setup(star_topology, with_ect=False)
+        sim = TsnSimulation(schedule, gcl, SimConfig(duration_ns=milliseconds(40)))
+        report = sim.run()
+        stats = report.recorder.stats("t1")
+        assert stats.minimum_ns == stats.maximum_ns  # zero jitter
+        assert stats.maximum_ns == schedule.scheduled_latency_ns("t1")
+
+    def test_extra_slots_not_injected(self, star_topology):
+        schedule, gcl = _simple_setup(star_topology, with_ect=True)
+        sim = TsnSimulation(
+            schedule, gcl,
+            SimConfig(duration_ns=milliseconds(40),
+                      ect_event_times={"e1": []}),
+        )
+        report = sim.run()
+        # message has 2 frames; extras never materialize as traffic
+        assert report.recorder.injected("t1") == 10
+        assert report.recorder.delivered("t1") == 10
+
+
+class TestEctSource:
+    def test_min_spacing_respected(self, star_topology):
+        schedule, gcl = _simple_setup(star_topology)
+        sim = TsnSimulation(
+            schedule, gcl, SimConfig(duration_ns=milliseconds(400), seed=5),
+        )
+        sim.run()
+        times = sim.sources[0].event_times
+        assert len(times) > 5
+        validate_min_spacing(times, milliseconds(16))
+
+    def test_explicit_event_times(self, star_topology):
+        schedule, gcl = _simple_setup(star_topology)
+        events = [milliseconds(1), milliseconds(20), milliseconds(40)]
+        sim = TsnSimulation(
+            schedule, gcl,
+            SimConfig(duration_ns=milliseconds(60),
+                      ect_event_times={"e1": events}),
+        )
+        report = sim.run()
+        assert sim.sources[0].event_times == events
+        assert report.recorder.delivered("e1") == 3
+
+    def test_explicit_times_validated(self, star_topology):
+        schedule, gcl = _simple_setup(star_topology)
+        with pytest.raises(ValueError):
+            # sources are armed at build time, so the spacing check fires
+            # in the constructor
+            TsnSimulation(
+                schedule, gcl,
+                SimConfig(duration_ns=milliseconds(60),
+                          ect_event_times={"e1": [0, milliseconds(1)]}),
+            )
+
+    def test_seed_reproducibility(self, star_topology):
+        times = []
+        for _ in range(2):
+            schedule, gcl = _simple_setup(star_topology)
+            sim = TsnSimulation(
+                schedule, gcl, SimConfig(duration_ns=milliseconds(200), seed=9),
+            )
+            sim.run()
+            times.append(tuple(sim.sources[0].event_times))
+        assert times[0] == times[1]
+
+    def test_different_seeds_differ(self, star_topology):
+        results = []
+        for seed in (1, 2):
+            schedule, gcl = _simple_setup(star_topology)
+            sim = TsnSimulation(
+                schedule, gcl, SimConfig(duration_ns=milliseconds(200), seed=seed),
+            )
+            sim.run()
+            results.append(tuple(sim.sources[0].event_times))
+        assert results[0] != results[1]

@@ -1,0 +1,105 @@
+"""Event-loop engine tests."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.at(30, lambda: fired.append(30))
+        sim.at(10, lambda: fired.append(10))
+        sim.at(20, lambda: fired.append(20))
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.at(100, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.at(10, lambda: seen.append(sim.now))
+        sim.at(25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10, 25]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        def chain():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.after(5, chain)
+        sim.at(10, chain)
+        sim.run()
+        assert seen == [10, 15, 20]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(10, lambda: sim.at(5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: fired.append(10))
+        sim.at(50, lambda: fired.append(50))
+        sim.run_until(30)
+        assert fired == [10]
+        assert sim.now == 30
+        assert sim.pending() == 1
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: fired.append(10))
+        sim.at(50, lambda: fired.append(50))
+        sim.run_until(30)
+        sim.run_until(100)
+        assert fired == [10, 50]
+
+    def test_event_at_horizon_included(self):
+        sim = Simulator()
+        fired = []
+        sim.at(30, lambda: fired.append(30))
+        sim.run_until(30)
+        assert fired == [30]
+
+    def test_self_rescheduling_source_is_bounded(self):
+        sim = Simulator()
+        count = [0]
+        def tick():
+            count[0] += 1
+            sim.after(10, tick)
+        sim.at(0, tick)
+        sim.run_until(95)
+        assert count[0] == 10  # t = 0, 10, ..., 90
+
+    def test_reentrancy_rejected(self):
+        sim = Simulator()
+        sim.at(1, lambda: sim.run())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_counts_events(self):
+        sim = Simulator()
+        for t in range(7):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.num_events == 7

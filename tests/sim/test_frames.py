@@ -1,0 +1,49 @@
+"""SimFrame and message fragmentation tests."""
+
+import pytest
+
+from repro.model.topology import Link
+from repro.sim.frames import SimFrame, message_frames
+
+PATH = (Link("A", "B"), Link("B", "C"))
+
+
+class TestSimFrame:
+    def test_wire_bytes_includes_overhead(self):
+        frame = message_frames("s", 7, 0, 100, 0, PATH)[0]
+        assert frame.wire_bytes == 100 + 38
+
+    def test_advancing_hops(self):
+        frame = message_frames("s", 7, 0, 100, 0, PATH)[0]
+        assert frame.current_link.key == ("A", "B")
+        assert not frame.is_last_hop
+        nxt = frame.advanced()
+        assert nxt.current_link.key == ("B", "C")
+        assert nxt.is_last_hop
+        assert nxt.frame_id == frame.frame_id  # identity preserved
+        with pytest.raises(ValueError):
+            nxt.advanced()
+
+    def test_unique_frame_ids(self):
+        a = message_frames("s", 7, 0, 100, 0, PATH)[0]
+        b = message_frames("s", 7, 1, 100, 0, PATH)[0]
+        assert a.frame_id != b.frame_id
+
+
+class TestMessageFrames:
+    def test_single_mtu(self):
+        frames = message_frames("s", 7, 0, 1500, 50, PATH)
+        assert len(frames) == 1
+        assert frames[0].frames_in_message == 1
+        assert frames[0].created_ns == 50
+
+    def test_multi_mtu_split(self):
+        frames = message_frames("s", 7, 3, 3200, 0, PATH)
+        assert [f.payload_bytes for f in frames] == [1500, 1500, 200]
+        assert [f.frame_index for f in frames] == [0, 1, 2]
+        assert all(f.frames_in_message == 3 for f in frames)
+        assert all(f.message_id == 3 for f in frames)
+
+    def test_shared_creation_time(self):
+        frames = message_frames("s", 7, 0, 4000, 777, PATH)
+        assert all(f.created_ns == 777 for f in frames)

@@ -1,0 +1,149 @@
+"""FRER (802.1CB-style seamless redundancy) tests."""
+
+import pytest
+
+from repro.core.frer import frer_guarantee_ns, plan_frer, schedule_etsn_frer
+from repro.core.gcl import build_gcl
+from repro.core.schedule import validate
+from repro.model.stream import EctStream, Priorities, Stream, StreamError
+from repro.model.topology import Topology
+from repro.model.units import milliseconds
+from repro.sim import SimConfig, TsnSimulation
+
+DURATION = milliseconds(600)
+
+
+def _ring_topology():
+    topo = Topology()
+    switches = ["SW1", "SW2", "SW3", "SW4"]
+    for s in switches:
+        topo.add_switch(s)
+    for a, b in zip(switches, switches[1:] + switches[:1]):
+        topo.add_link(a, b)
+    topo.add_device("A")
+    topo.add_link("A", "SW1")
+    topo.add_link("A", "SW3")
+    topo.add_device("B")
+    topo.add_link("B", "SW2")
+    topo.add_link("B", "SW4")
+    return topo
+
+
+def _ect():
+    return EctStream("safety", "A", "B", min_interevent_ns=milliseconds(16),
+                     length_bytes=1500, possibilities=4)
+
+
+def _tct(topo):
+    return Stream(
+        name="loop", path=tuple(topo.shortest_path("A", "B")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=1500, period_ns=milliseconds(4), share=True,
+    )
+
+
+class TestPlanning:
+    def test_members_on_disjoint_paths(self):
+        topo = _ring_topology()
+        members = plan_frer(topo, _ect())
+        assert [m.name for m in members] == ["safety@1", "safety@2"]
+        used = set()
+        for member in members:
+            for link in member.route(topo):
+                assert link.key not in used
+                used.add(link.key)
+                used.add((link.dst, link.src))
+
+    def test_single_homed_talker_rejected(self, two_switch_topology):
+        ect = EctStream("e", "D1", "D4", min_interevent_ns=milliseconds(16),
+                        length_bytes=1500, possibilities=4)
+        with pytest.raises(StreamError):
+            plan_frer(two_switch_topology, ect)
+
+    def test_needs_two_paths_minimum(self):
+        with pytest.raises(ValueError):
+            plan_frer(_ring_topology(), _ect(), num_paths=1)
+
+
+class TestScheduling:
+    def test_schedule_validates_with_members(self):
+        topo = _ring_topology()
+        schedule = schedule_etsn_frer(topo, [_tct(topo)], [_ect()])
+        validate(schedule)
+        assert schedule.meta["frer_members"] == {
+            "safety@1": "safety", "safety@2": "safety",
+        }
+        # each member has its own possibilities
+        parents = {s.parent for s in schedule.probabilistic_streams()}
+        assert parents == {"safety@1", "safety@2"}
+
+    def test_logical_guarantee(self):
+        topo = _ring_topology()
+        schedule = schedule_etsn_frer(topo, [_tct(topo)], [_ect()])
+        bound = frer_guarantee_ns(schedule, "safety")
+        assert bound >= max(
+            schedule.ect_guarantee_ns(m) for m in ("safety@1", "safety@2")
+        ) - 1
+        with pytest.raises(KeyError):
+            frer_guarantee_ns(schedule, "ghost")
+
+
+class TestRuntime:
+    def _run(self, link_loss=None, down_link=None):
+        topo = _ring_topology()
+        schedule = schedule_etsn_frer(topo, [_tct(topo)], [_ect()])
+        gcl = build_gcl(schedule, mode="etsn")
+        loss = dict(link_loss or {})
+        if down_link:
+            loss[down_link] = 1.0
+        sim = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=5, link_loss=loss))
+        return schedule, sim, sim.run()
+
+    def test_duplicates_eliminated_when_healthy(self):
+        _, sim, report = self._run()
+        rec = report.recorder
+        assert rec.delivered("safety") == rec.injected("safety") > 0
+        # the redundant copies arrived and were dropped by elimination
+        assert rec.duplicates_eliminated >= rec.delivered("safety")
+
+    def test_latency_is_fastest_copy(self):
+        """The logical latency is min over members; it must be no worse
+        than running the primary member alone."""
+        topo = _ring_topology()
+        schedule = schedule_etsn_frer(topo, [_tct(topo)], [_ect()])
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=5)).run()
+        assert (report.recorder.stats("safety").maximum_ns
+                <= frer_guarantee_ns(schedule, "safety"))
+
+    def test_survives_total_path_failure(self):
+        """Killing one member's first link loses nothing: the other copy
+        arrives for every event."""
+        topo = _ring_topology()
+        schedule = schedule_etsn_frer(topo, [_tct(topo)], [_ect()])
+        member_path = next(
+            e.route(topo) for e in schedule.ect_streams if e.name == "safety@1"
+        )
+        dead = member_path[1].key  # a backbone hop of member 1
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=5, link_loss={dead: 1.0})).run()
+        rec = report.recorder
+        assert rec.delivered("safety") == rec.injected("safety") > 0
+        assert report.frames_lost > 0  # the dead path really dropped copies
+
+    def test_without_frer_the_same_failure_loses_events(self):
+        topo = _ring_topology()
+        from repro.core.baselines import schedule_etsn
+
+        ect = _ect()
+        schedule = schedule_etsn(topo, [_tct(topo)], [ect])
+        path = ect.route(topo)
+        dead = path[1].key
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=5, link_loss={dead: 1.0})).run()
+        rec = report.recorder
+        assert rec.lost("safety") == rec.injected("safety") > 0

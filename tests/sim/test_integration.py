@@ -1,0 +1,287 @@
+"""End-to-end guarantees: schedule -> GCL -> simulation must honor the
+properties the paper's analysis promises."""
+
+import pytest
+
+from repro.core.baselines import schedule_avb, schedule_etsn, schedule_period
+from repro.core.gcl import build_gcl
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from repro.sim import SimConfig, SyncConfig, TsnSimulation
+from repro.traffic.events import burst_events
+
+
+def _streams(topo):
+    shared = Stream(
+        name="sh1", path=tuple(topo.shortest_path("D1", "D4")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=2 * 1500, period_ns=milliseconds(4), share=True,
+    )
+    nonshared = Stream(
+        name="ns1", path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(8), priority=Priorities.NSH_PL,
+        length_bytes=1500, period_ns=milliseconds(8), share=False,
+    )
+    ect = EctStream(
+        name="e1", source="D2", destination="D4",
+        min_interevent_ns=milliseconds(16), length_bytes=1500,
+        possibilities=4,
+    )
+    return [shared, nonshared], [ect]
+
+
+DURATION = milliseconds(600)
+
+
+def _run(topo, method, mode, duration=DURATION, **config_kwargs):
+    tct, ects = _streams(topo)
+    if method == "etsn":
+        schedule = schedule_etsn(topo, tct, ects)
+    elif method == "period":
+        schedule = schedule_period(topo, tct, ects)
+    else:
+        schedule = schedule_avb(topo, tct, ects)
+    gcl = build_gcl(schedule, mode=mode, ect_proxies=schedule.meta.get("ect_proxies"))
+    config = SimConfig(duration_ns=duration, seed=3,
+                       cbs_on_ect=(mode == "avb"), **config_kwargs)
+    sim = TsnSimulation(schedule, gcl, config)
+    return schedule, sim.run()
+
+
+class TestDeliveryCompleteness:
+    @pytest.mark.parametrize("method,mode", [
+        ("etsn", "etsn"), ("etsn", "etsn-strict"),
+        ("period", "period"), ("avb", "avb"),
+    ])
+    def test_everything_injected_is_delivered(self, two_switch_topology, method, mode):
+        _, report = _run(two_switch_topology, method, mode)
+        rec = report.recorder
+        assert rec.in_flight() == 0
+        for stream in ("sh1", "ns1", "e1"):
+            assert rec.delivered(stream) == rec.injected(stream) > 0
+
+
+class TestTctGuarantees:
+    def test_tct_deadlines_hold_under_random_ect(self, two_switch_topology):
+        schedule, report = _run(two_switch_topology, "etsn", "etsn")
+        for name in ("sh1", "ns1"):
+            stats = report.recorder.stats(name)
+            assert stats.maximum_ns <= schedule.stream(name).e2e_ns
+
+    def test_tct_deadlines_hold_under_worst_case_bursts(self, two_switch_topology):
+        """Events at exactly the minimum inter-event time — the case
+        prudent reservation budgets for."""
+        events = burst_events(
+            horizon_ns=DURATION, min_interevent_ns=milliseconds(16),
+            burst_size=4, burst_gap_ns=milliseconds(64), seed=2,
+        )
+        schedule, report = _run(
+            two_switch_topology, "etsn", "etsn",
+            ect_event_times={"e1": events},
+        )
+        for name in ("sh1", "ns1"):
+            stats = report.recorder.stats(name)
+            assert stats.maximum_ns <= schedule.stream(name).e2e_ns
+
+    def test_nonshared_tct_unaffected_by_ect(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects)
+        gcl = build_gcl(schedule, mode="etsn")
+        quiet = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=3, ect_event_times={"e1": []})).run()
+        noisy = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=3)).run()
+        q = quiet.recorder.stats("ns1")
+        n = noisy.recorder.stats("ns1")
+        assert (q.minimum_ns, q.maximum_ns, q.average_ns) == (
+            n.minimum_ns, n.maximum_ns, n.average_ns)
+
+    def test_shared_tct_latency_grows_but_stays_bounded(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects)
+        gcl = build_gcl(schedule, mode="etsn")
+        quiet = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=3, ect_event_times={"e1": []})).run()
+        noisy = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=3)).run()
+        assert (noisy.recorder.stats("sh1").maximum_ns
+                >= quiet.recorder.stats("sh1").maximum_ns)
+        assert (noisy.recorder.stats("sh1").maximum_ns
+                <= schedule.stream("sh1").e2e_ns)
+
+
+class TestEctGuarantees:
+    def test_etsn_strict_honors_formal_bound(self, two_switch_topology):
+        """The reservation-only GCL realizes the analysis: every event is
+        delivered within the ECT deadline, no matter when it fires."""
+        tct, ects = _streams(two_switch_topology)
+        schedule, report = _run(two_switch_topology, "etsn", "etsn-strict")
+        assert report.recorder.stats("e1").maximum_ns <= ects[0].effective_e2e_ns
+
+    def test_etsn_runtime_at_least_as_good_as_strict(self, two_switch_topology):
+        _, strict = _run(two_switch_topology, "etsn", "etsn-strict")
+        _, loose = _run(two_switch_topology, "etsn", "etsn")
+        assert (loose.recorder.stats("e1").average_ns
+                <= strict.recorder.stats("e1").average_ns)
+
+    def test_period_bounded_by_proxy_period_plus_path(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule, report = _run(two_switch_topology, "period", "period")
+        proxy = schedule.stream("e1#period")
+        # worst case: wait a full proxy period, then the pipeline
+        bound = proxy.period_ns + schedule.scheduled_latency_ns("e1#period")
+        assert report.recorder.stats("e1").maximum_ns <= bound
+
+    def test_etsn_beats_baselines_on_jitter(self, two_switch_topology):
+        _, etsn = _run(two_switch_topology, "etsn", "etsn")
+        _, period = _run(two_switch_topology, "period", "period")
+        _, avb = _run(two_switch_topology, "avb", "avb")
+        e = etsn.recorder.stats("e1").stddev_ns
+        assert e < period.recorder.stats("e1").stddev_ns
+        assert e < avb.recorder.stats("e1").stddev_ns
+
+
+class TestClockSync:
+    def test_synced_drifting_clocks_still_meet_deadlines(self, two_switch_topology):
+        """With realistic drift (tens of ppm), 802.1AS sync, and a guard
+        margin covering the inter-sync error, deadlines hold.
+
+        Back-to-back windows tolerate zero clock error; the guard margin
+        is the CNC-side budget for the sync residual plus drift
+        accumulation (here <= 10 ns + 31.25 ms * 20 ppm ~ 635 ns)."""
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects,
+                                 guard_margin_ns=2_000)
+        gcl = build_gcl(schedule, mode="etsn")
+        config = SimConfig(
+            duration_ns=DURATION, seed=3,
+            clock_drift_ppb={"SW1": 20_000, "SW2": -15_000, "D1": 5_000},
+            sync=SyncConfig(sync_interval_ns=milliseconds(31.25),
+                            residual_error_ns=10),
+        )
+        report = TsnSimulation(schedule, gcl, config).run()
+        assert report.sync_error_ns > 0
+        for name in ("sh1", "ns1"):
+            stats = report.recorder.stats(name)
+            # the schedule (with inflated slots) already bounds latency;
+            # allow the clock-error slack on top
+            assert stats.maximum_ns <= schedule.stream(name).e2e_ns + 3_000
+
+    def test_unsynced_offset_breaks_timeliness(self, two_switch_topology):
+        """Sanity check that clocks matter: a large unsynced offset on a
+        switch visibly degrades TCT latency determinism."""
+        base_schedule, base = _run(two_switch_topology, "etsn", "etsn",
+                                   ect_event_times={"e1": []})
+        _, skewed = _run(
+            two_switch_topology, "etsn", "etsn",
+            ect_event_times={"e1": []},
+            clock_offset_ns={"SW1": 200_000},
+        )
+        assert (skewed.recorder.stats("sh1").maximum_ns
+                > base.recorder.stats("sh1").maximum_ns)
+
+
+class TestReservationSoundness:
+    """The reproduction finding about Alg. 1 (see DESIGN.md, finding 3):
+    with shared TCT frames shorter than the ECT frame, one event straddles
+    several TCT windows; the paper's reservation misses deadlines while
+    the robust mode protects them."""
+
+    def _small_frame_setup(self, two_switch_topology, reservation_mode):
+        tct = [Stream(
+            name="ctrl", path=tuple(two_switch_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(5), priority=Priorities.SH_PL,
+            length_bytes=400, period_ns=milliseconds(5), share=True,
+        )]
+        ects = [EctStream(
+            name="alarm", source="D2", destination="D3",
+            min_interevent_ns=milliseconds(10), length_bytes=1500,
+            possibilities=5,
+        )]
+        schedule = schedule_etsn(two_switch_topology, tct, ects,
+                                 reservation_mode=reservation_mode)
+        gcl = build_gcl(schedule, mode="etsn")
+        # Aim each event so the alarm frame is being forwarded on
+        # SW1->SW2 right when ctrl's window there begins: the 123 us
+        # transmission then straddles ctrl's ~36 us base window *and*
+        # its extra window(s) if they are equally short.
+        link = two_switch_topology.link("D1", "SW1")
+        first_hop_ns = link.transmission_ns(1538) + link.propagation_ns
+        window = schedule.slots[("ctrl", ("SW1", "SW2"))][0]
+        aim = window.offset_ns - first_hop_ns - 10_000
+        events = [
+            k * milliseconds(10) + (aim % milliseconds(5))
+            for k in range(0, int(DURATION // milliseconds(10)) - 1)
+        ]
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=4,
+            ect_event_times={"alarm": events})).run()
+        return schedule, report
+
+    def test_robust_mode_protects_small_frames(self, two_switch_topology):
+        schedule, report = self._small_frame_setup(two_switch_topology, "robust")
+        stats = report.recorder.stats("ctrl")
+        assert stats.maximum_ns <= schedule.stream("ctrl").e2e_ns
+
+    def test_paper_mode_underreserves_small_frames(self, two_switch_topology):
+        """Documents the unsoundness: this is expected to *violate* the
+        budget under adversarial bursts.  If this test ever fails, the
+        paper-mode semantics changed — re-check DESIGN.md finding 3."""
+        schedule, report = self._small_frame_setup(two_switch_topology, "paper")
+        stats = report.recorder.stats("ctrl")
+        assert stats.maximum_ns > schedule.stream("ctrl").e2e_ns
+
+    def test_robust_mode_reserves_more(self, two_switch_topology):
+        from repro.core.probabilistic import expand_ect
+        from repro.core.reservation import prudent_reservation, total_extra_time_ns
+
+        tct = [Stream(
+            name="ctrl", path=tuple(two_switch_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(5), priority=Priorities.SH_PL,
+            length_bytes=400, period_ns=milliseconds(5), share=True,
+        )]
+        ect = EctStream(
+            name="alarm", source="D2", destination="D3",
+            min_interevent_ns=milliseconds(10), length_bytes=1500,
+            possibilities=5,
+        )
+        streams = tct + expand_ect(ect, two_switch_topology)
+        paper = prudent_reservation(streams, mode="paper")
+        robust = prudent_reservation(streams, mode="robust")
+        assert (total_extra_time_ns(robust, streams)
+                > 3 * total_extra_time_ns(paper, streams))
+
+
+class TestFormalGuarantee:
+    """schedule.ect_guarantee_ns() must upper-bound what the strict GCL
+    measures, for any occurrence pattern."""
+
+    def test_strict_gcl_realizes_bound(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects)
+        bound = schedule.ect_guarantee_ns("e1")
+        gcl = build_gcl(schedule, mode="etsn-strict")
+        for seed in (1, 2, 3):
+            report = TsnSimulation(schedule, gcl, SimConfig(
+                duration_ns=DURATION, seed=seed)).run()
+            assert report.recorder.stats("e1").maximum_ns <= bound
+
+    def test_loose_gcl_also_within_bound(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects)
+        bound = schedule.ect_guarantee_ns("e1")
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(schedule, gcl, SimConfig(
+            duration_ns=DURATION, seed=9)).run()
+        assert report.recorder.stats("e1").maximum_ns <= bound
+
+    def test_bound_within_deadline(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects)
+        assert schedule.ect_guarantee_ns("e1") <= ects[0].effective_e2e_ns
+
+    def test_unknown_ect_raises(self, two_switch_topology):
+        tct, ects = _streams(two_switch_topology)
+        schedule = schedule_etsn(two_switch_topology, tct, ects)
+        with pytest.raises(KeyError):
+            schedule.ect_guarantee_ns("ghost")

@@ -1,0 +1,191 @@
+"""Egress port tests: gating, strict priority, guard bands, owners, CBS."""
+
+import pytest
+
+from repro.core.gcl import GateWindow, PortGcl
+from repro.model.topology import Link
+from repro.model.units import MBPS_100
+from repro.sim.cbs import CreditBasedShaper
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.frames import SimFrame
+from repro.sim.port import EgressPort
+
+CYCLE = 1_000_000  # 1 ms
+
+
+def _frame(stream="s", priority=5, payload=100, created=0, link=None):
+    link = link or Link("A", "B", bandwidth_bps=MBPS_100)
+    return SimFrame(
+        stream=stream, priority=priority, message_id=0, frame_index=0,
+        frames_in_message=1, payload_bytes=payload, created_ns=created,
+        path=(link,),
+    )
+
+
+def _port(windows, shapers=None, link=None):
+    """Build a port; windows = [(queue, start, end, owner), ...]."""
+    sim = Simulator()
+    link = link or Link("A", "B", bandwidth_bps=MBPS_100)
+    gcl = PortGcl(link=link.key, cycle_ns=CYCLE)
+    for queue, start, end, owner in windows:
+        gcl.add_window(queue, GateWindow(start, end, owner=owner))
+    gcl.finalize()
+    delivered = []
+    port = EgressPort(
+        sim=sim, link=link, gcl=gcl, clock=Clock("A"),
+        deliver=lambda f, t: delivered.append((f, t)),
+        shapers=shapers,
+    )
+    return sim, port, delivered, link
+
+
+class TestGating:
+    def test_transmits_inside_open_window(self):
+        sim, port, delivered, link = _port([(5, 0, CYCLE, None)])
+        frame = _frame()
+        sim.at(0, lambda: port.enqueue(frame))
+        sim.run_until(CYCLE)
+        assert len(delivered) == 1
+        _, arrival = delivered[0]
+        assert arrival == link.transmission_ns(frame.wire_bytes)
+
+    def test_waits_for_gate_to_open(self):
+        sim, port, delivered, link = _port([(5, 500_000, CYCLE, None)])
+        sim.at(0, lambda: port.enqueue(_frame()))
+        sim.run_until(CYCLE)
+        assert len(delivered) == 1
+        _, arrival = delivered[0]
+        assert arrival == 500_000 + link.transmission_ns(_frame().wire_bytes)
+
+    def test_closed_queue_never_transmits(self):
+        sim, port, delivered, _ = _port([(5, 0, CYCLE, None)])
+        sim.at(0, lambda: port.enqueue(_frame(priority=3)))
+        sim.run_until(3 * CYCLE)
+        assert not delivered
+        assert port.queued_frames() == 1
+
+    def test_wraps_to_next_cycle(self):
+        sim, port, delivered, _ = _port([(5, 0, 100_000, None)])
+        # enqueue after this cycle's window closed
+        sim.at(200_000, lambda: port.enqueue(_frame()))
+        sim.run_until(2 * CYCLE)
+        assert len(delivered) == 1
+        _, arrival = delivered[0]
+        assert arrival >= CYCLE  # waited for next cycle's window
+
+
+class TestGuardBand:
+    def test_frame_that_does_not_fit_waits(self):
+        # window of 50 us cannot carry a 123 us MTU frame; the second
+        # window is long enough.
+        sim, port, delivered, link = _port([
+            (5, 0, 50_000, None),
+            (5, 500_000, 700_000, None),
+        ])
+        sim.at(0, lambda: port.enqueue(_frame(payload=1500)))
+        sim.run_until(CYCLE)
+        assert len(delivered) == 1
+        _, arrival = delivered[0]
+        assert arrival == 500_000 + link.transmission_ns(_frame(payload=1500).wire_bytes)
+        assert port.stats.guard_band_blocks >= 1
+
+    def test_fitting_frame_uses_short_window(self):
+        sim, port, delivered, _ = _port([
+            (5, 0, 50_000, None),
+            (5, 500_000, 700_000, None),
+        ])
+        sim.at(0, lambda: port.enqueue(_frame(payload=100)))  # ~13 us
+        sim.run_until(CYCLE)
+        _, arrival = delivered[0]
+        assert arrival < 50_000
+
+
+class TestStrictPriority:
+    def test_higher_queue_wins(self):
+        # both frames sit queued before the gates open; selection at the
+        # window start must pick the higher priority
+        sim, port, delivered, _ = _port([
+            (5, 300_000, CYCLE, None), (7, 300_000, CYCLE, None),
+        ])
+        low = _frame(stream="low", priority=5)
+        high = _frame(stream="high", priority=7)
+        sim.at(0, lambda: port.enqueue(low))
+        sim.at(1, lambda: port.enqueue(high))
+        sim.run_until(CYCLE)
+        assert [f.stream for f, _ in delivered] == ["high", "low"]
+
+    def test_no_preemption_of_started_frame(self):
+        sim, port, delivered, _ = _port([
+            (5, 0, CYCLE, None), (7, 0, CYCLE, None),
+        ])
+        low = _frame(stream="low", priority=5, payload=1500)
+        high = _frame(stream="high", priority=7)
+        sim.at(0, lambda: port.enqueue(low))
+        sim.at(1000, lambda: port.enqueue(high))  # low already on the wire
+        sim.run_until(CYCLE)
+        assert [f.stream for f, _ in delivered] == ["low", "high"]
+
+    def test_lower_queue_fills_blocked_higher_window(self):
+        # queue 7's window is too short for its big frame; queue 5 may go.
+        sim, port, delivered, _ = _port([
+            (7, 0, 50_000, None), (5, 0, CYCLE, None),
+        ])
+        sim.at(0, lambda: port.enqueue(_frame(stream="big7", priority=7, payload=1500)))
+        sim.at(0, lambda: port.enqueue(_frame(stream="ok5", priority=5, payload=100)))
+        sim.run_until(CYCLE)
+        assert delivered and delivered[0][0].stream == "ok5"
+
+
+class TestOwnerWindows:
+    def test_owner_filters_queue(self):
+        sim, port, delivered, _ = _port([
+            (5, 0, 200_000, "want"), (5, 500_000, 900_000, "other"),
+        ])
+        other = _frame(stream="other", priority=5)
+        want = _frame(stream="want", priority=5)
+        sim.at(0, lambda: port.enqueue(other))   # FIFO head, wrong owner
+        sim.at(0, lambda: port.enqueue(want))
+        sim.run_until(CYCLE)
+        assert [f.stream for f, _ in delivered] == ["want", "other"]
+        # "want" went out in the first window despite being behind in FIFO
+        assert delivered[0][1] < 200_000
+
+    def test_ownerless_window_serves_fifo_head(self):
+        sim, port, delivered, _ = _port([(5, 0, CYCLE, None)])
+        first = _frame(stream="a", priority=5)
+        second = _frame(stream="b", priority=5)
+        sim.at(0, lambda: port.enqueue(first))
+        sim.at(0, lambda: port.enqueue(second))
+        sim.run_until(CYCLE)
+        assert [f.stream for f, _ in delivered] == ["a", "b"]
+
+
+class TestCbsIntegration:
+    def test_shaper_throttles_queue(self):
+        link = Link("A", "B", bandwidth_bps=MBPS_100)
+        shaper = CreditBasedShaper(MBPS_100 // 2, MBPS_100)
+        sim, port, delivered, _ = _port(
+            [(6, 0, CYCLE, None)], shapers={6: shaper}, link=link,
+        )
+        for i in range(4):
+            sim.at(0, lambda i=i: port.enqueue(_frame(stream=f"f{i}", priority=6,
+                                                      payload=1500)))
+        sim.run_until(2 * CYCLE)
+        assert len(delivered) == 4
+        times = [t for _, t in delivered]
+        wire = link.transmission_ns(_frame(payload=1500).wire_bytes)
+        # with idleSlope at half rate, frames 2..4 wait a full recovery gap
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g >= 2 * wire - 2 for g in gaps)
+        assert port.stats.cbs_blocks >= 1
+
+
+class TestStats:
+    def test_counters(self):
+        sim, port, delivered, link = _port([(5, 0, CYCLE, None)])
+        sim.at(0, lambda: port.enqueue(_frame(payload=1500)))
+        sim.run_until(CYCLE)
+        assert port.stats.frames_sent == 1
+        assert port.stats.bytes_sent == _frame(payload=1500).wire_bytes
+        assert port.stats.busy_ns == link.transmission_ns(_frame(payload=1500).wire_bytes)

@@ -1,0 +1,116 @@
+"""Latency recorder and statistics tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.topology import Link
+from repro.sim.frames import SimFrame
+from repro.sim.recorder import LatencyRecorder
+
+LINK = Link("A", "B")
+
+
+def _frame(stream="s", message_id=0, frame_index=0, frames_in_message=1, created=0):
+    return SimFrame(
+        stream=stream, priority=7, message_id=message_id,
+        frame_index=frame_index, frames_in_message=frames_in_message,
+        payload_bytes=100, created_ns=created, path=(LINK,),
+    )
+
+
+class TestMessageCompletion:
+    def test_single_frame_message(self):
+        rec = LatencyRecorder()
+        rec.on_deliver(_frame(created=100), 350)
+        assert rec.latencies("s") == [250]
+
+    def test_multi_frame_waits_for_last(self):
+        rec = LatencyRecorder()
+        rec.on_deliver(_frame(frame_index=0, frames_in_message=3, created=0), 100)
+        rec.on_deliver(_frame(frame_index=1, frames_in_message=3, created=0), 200)
+        assert rec.latencies("s") == []
+        assert rec.in_flight() == 1
+        rec.on_deliver(_frame(frame_index=2, frames_in_message=3, created=0), 450)
+        assert rec.latencies("s") == [450]
+        assert rec.in_flight() == 0
+
+    def test_messages_tracked_independently(self):
+        rec = LatencyRecorder()
+        rec.on_deliver(_frame(message_id=1, created=0), 100)
+        rec.on_deliver(_frame(message_id=2, created=1000), 1300)
+        assert sorted(rec.latencies("s")) == [100, 300]
+
+    def test_streams_tracked_independently(self):
+        rec = LatencyRecorder()
+        rec.on_deliver(_frame(stream="a", created=0), 10)
+        rec.on_deliver(_frame(stream="b", created=0), 20)
+        assert rec.streams() == ["a", "b"]
+        assert rec.latencies("a") == [10]
+        assert rec.latencies("b") == [20]
+
+    def test_injection_counting(self):
+        rec = LatencyRecorder()
+        rec.on_inject("s")
+        rec.on_inject("s")
+        rec.on_deliver(_frame(), 10)
+        assert rec.injected("s") == 2
+        assert rec.delivered("s") == 1
+
+
+class TestStats:
+    def test_basic_stats(self):
+        rec = LatencyRecorder()
+        for i, latency in enumerate([100, 200, 300]):
+            rec.on_deliver(_frame(message_id=i, created=0), latency)
+        stats = rec.stats("s")
+        assert stats.count == 3
+        assert stats.average_ns == 200
+        assert stats.minimum_ns == 100
+        assert stats.maximum_ns == 300
+        assert stats.stddev_ns == pytest.approx(math.sqrt(20000 / 3))
+        assert stats.jitter_ns == stats.stddev_ns
+
+    def test_stats_empty_raises(self):
+        rec = LatencyRecorder()
+        with pytest.raises(KeyError):
+            rec.stats("missing")
+
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.on_deliver(_frame(message_id=i, created=0), i + 1)
+        assert rec.percentile("s", 0.5) == 50
+        assert rec.percentile("s", 0.99) == 99
+        assert rec.percentile("s", 1.0) == 100
+
+    def test_percentile_bounds(self):
+        rec = LatencyRecorder()
+        rec.on_deliver(_frame(), 10)
+        with pytest.raises(ValueError):
+            rec.percentile("s", 0)
+        with pytest.raises(ValueError):
+            rec.percentile("s", 1.5)
+
+    def test_cdf_monotone_and_complete(self):
+        rec = LatencyRecorder()
+        for i, latency in enumerate([30, 10, 20]):
+            rec.on_deliver(_frame(message_id=i, created=0), latency)
+        cdf = rec.cdf("s")
+        assert [v for v, _ in cdf] == [10, 20, 30]
+        assert [f for _, f in cdf] == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    @given(st.lists(st.integers(1, 10**6), min_size=1, max_size=50))
+    def test_stats_match_reference(self, latencies):
+        rec = LatencyRecorder()
+        for i, latency in enumerate(latencies):
+            rec.on_deliver(_frame(message_id=i, created=0), latency)
+        stats = rec.stats("s")
+        mean = sum(latencies) / len(latencies)
+        assert stats.average_ns == pytest.approx(mean)
+        assert stats.minimum_ns == min(latencies)
+        assert stats.maximum_ns == max(latencies)
+        variance = sum((x - mean) ** 2 for x in latencies) / len(latencies)
+        assert stats.stddev_ns == pytest.approx(math.sqrt(variance))

@@ -1,0 +1,133 @@
+"""Deeper SAT-core behaviors: learning, restarts, phase saving, scale."""
+
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver
+
+
+def _pigeonhole(solver, pigeons, holes):
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[(p, h)] = solver.new_var()
+    for p in range(pigeons):
+        solver.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return var
+
+
+class TestLearning:
+    def test_unsat_proof_uses_conflicts(self):
+        solver = SatSolver()
+        _pigeonhole(solver, 5, 4)
+        assert not solver.solve()
+        assert solver.num_conflicts > 0
+
+    def test_sat_side_scales(self):
+        solver = SatSolver()
+        var = _pigeonhole(solver, 10, 10)
+        assert solver.solve()
+        # valid perfect matching extracted
+        seats = {}
+        for p in range(10):
+            mine = [h for h in range(10) if solver.value(var[(p, h)])]
+            assert mine, f"pigeon {p} unseated"
+            seats.setdefault(mine[0], []).append(p)
+        # at-most-one enforced per hole actually used
+        for hole, users in seats.items():
+            assert len(users) == 1
+
+    def test_restart_counter_moves_on_hard_instances(self):
+        solver = SatSolver()
+        _pigeonhole(solver, 7, 6)
+        assert not solver.solve()
+        # PHP(7,6) needs thousands of conflicts -> at least one restart
+        assert solver.num_restarts >= 1
+
+
+class TestChainedImplications:
+    def test_long_chain_unit_propagates_without_decisions(self):
+        solver = SatSolver()
+        vs = [solver.new_var() for _ in range(500)]
+        solver.add_clause([vs[0]])
+        for a, b in zip(vs, vs[1:]):
+            solver.add_clause([-a, b])
+        assert solver.solve()
+        assert all(solver.value(v) for v in vs)
+        assert solver.num_decisions <= 1
+
+    def test_diamond_implications(self):
+        # a -> b, a -> c, (b & c) -> d, plus -d forces -a
+        solver = SatSolver()
+        a, b, c, d = (solver.new_var() for _ in range(4))
+        solver.add_clause([-a, b])
+        solver.add_clause([-a, c])
+        solver.add_clause([-b, -c, d])
+        solver.add_clause([-d])
+        assert solver.solve()
+        assert solver.value(a) is False
+
+
+class TestLargeRandomSatisfiable:
+    def test_under_constrained_random_3sat(self):
+        """Clause/variable ratio 2.0: essentially always satisfiable, and
+        the model must check out."""
+        rng = random.Random(99)
+        solver = SatSolver()
+        num_vars = 300
+        for _ in range(num_vars):
+            solver.new_var()
+        clauses = []
+        for _ in range(2 * num_vars):
+            clause = list({
+                rng.randint(1, num_vars) * rng.choice([1, -1])
+                for _ in range(3)
+            })
+            clauses.append(clause)
+            solver.add_clause(clause)
+        assert solver.solve()
+        for clause in clauses:
+            taut = any(-l in clause for l in clause)
+            assert taut or any(
+                solver.value(abs(l)) == (l > 0) for l in clause
+            )
+
+
+class TestGraphColoring:
+    def _color(self, edges, nodes, colors):
+        solver = SatSolver()
+        var = {(n, c): solver.new_var() for n in range(nodes) for c in range(colors)}
+        for n in range(nodes):
+            solver.add_clause([var[(n, c)] for c in range(colors)])
+        for (u, v) in edges:
+            for c in range(colors):
+                solver.add_clause([-var[(u, c)], -var[(v, c)]])
+        return solver.solve(), solver, var
+
+    def test_triangle_needs_three_colors(self):
+        triangle = [(0, 1), (1, 2), (0, 2)]
+        sat2, _, _ = self._color(triangle, 3, 2)
+        assert not sat2
+        sat3, solver, var = self._color(triangle, 3, 3)
+        assert sat3
+        coloring = {
+            n: next(c for c in range(3) if solver.value(var[(n, c)]))
+            for n in range(3)
+        }
+        for (u, v) in triangle:
+            assert coloring[u] != coloring[v]
+
+    def test_odd_cycle_not_two_colorable(self):
+        cycle = [(i, (i + 1) % 5) for i in range(5)]
+        sat, _, _ = self._color(cycle, 5, 2)
+        assert not sat
+
+    def test_even_cycle_two_colorable(self):
+        cycle = [(i, (i + 1) % 6) for i in range(6)]
+        sat, _, _ = self._color(cycle, 6, 2)
+        assert sat

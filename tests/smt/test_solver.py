@@ -1,0 +1,168 @@
+"""DPLL(T) end-to-end tests for the difference-logic SMT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import DlSmtSolver, diff_ge, diff_le, var_ge, var_le
+from repro.smt.terms import Atom
+
+
+class TestConjunctions:
+    def test_simple_sat_model(self):
+        s = DlSmtSolver()
+        s.require(var_ge("a", 0))
+        s.require(diff_le("a", "b", -5))
+        s.require(var_le("b", 20))
+        result = s.check()
+        assert result.sat
+        m = result.model
+        assert m["a"] >= 0 and m["b"] - m["a"] >= 5 and m["b"] <= 20
+
+    def test_simple_unsat(self):
+        s = DlSmtSolver()
+        s.require(var_ge("a", 10))
+        s.require(var_le("a", 5))
+        assert not s.check().sat
+
+    def test_unsat_has_no_model(self):
+        s = DlSmtSolver()
+        s.require(var_ge("a", 10))
+        s.require(var_le("a", 5))
+        result = s.check()
+        with pytest.raises(RuntimeError):
+            _ = result.model
+
+    def test_equalities_via_two_bounds(self):
+        s = DlSmtSolver()
+        s.require(diff_le("x", "y", 3))
+        s.require(diff_ge("x", "y", 3))
+        result = s.check()
+        assert result.sat
+        assert result.model["x"] - result.model["y"] == 3
+
+    def test_transitivity_conflict(self):
+        s = DlSmtSolver()
+        s.require(diff_le("a", "b", -1))
+        s.require(diff_le("b", "c", -1))
+        s.require(diff_le("c", "a", 1))  # would need a < c <= a + 1 - impossible with a<b<c
+        assert not s.check().sat
+
+
+class TestDisjunctions:
+    def test_forced_order(self):
+        s = DlSmtSolver()
+        s.require(var_ge("x", 0)); s.require(var_le("x", 15))
+        s.require(var_ge("y", 0)); s.require(var_le("y", 15))
+        s.add_clause([diff_ge("x", "y", 10), diff_ge("y", "x", 10)])
+        result = s.check()
+        assert result.sat
+        assert abs(result.model["x"] - result.model["y"]) >= 10
+
+    def test_disjunction_unsat_when_window_too_tight(self):
+        s = DlSmtSolver()
+        s.require(var_ge("x", 0)); s.require(var_le("x", 5))
+        s.require(var_ge("y", 0)); s.require(var_le("y", 5))
+        s.add_clause([diff_ge("x", "y", 10), diff_ge("y", "x", 10)])
+        assert not s.check().sat
+
+    def test_empty_clause_rejected(self):
+        s = DlSmtSolver()
+        with pytest.raises(ValueError):
+            s.add_clause([])
+
+    def test_three_way_clause(self):
+        s = DlSmtSolver()
+        s.require(var_ge("x", 0))
+        s.require(var_le("x", 2))
+        s.add_clause([var_ge("x", 10), var_le("x", -10), diff_le("x", "x2", 0)])
+        s.require(var_le("x2", 100))
+        result = s.check()
+        assert result.sat
+        assert result.model["x"] <= result.model["x2"]
+
+    def test_packing_exact_fit(self):
+        s = DlSmtSolver()
+        names = [f"j{i}" for i in range(10)]
+        for n in names:
+            s.require(var_ge(n, 0))
+            s.require(var_le(n, 45))
+        for a, b in itertools.combinations(names, 2):
+            s.add_clause([diff_ge(a, b, 5), diff_ge(b, a, 5)])
+        result = s.check()
+        assert result.sat
+        values = sorted(result.model[n] for n in names)
+        assert all(b - a >= 5 for a, b in zip(values, values[1:]))
+
+    def test_packing_one_too_many(self):
+        s = DlSmtSolver()
+        names = [f"j{i}" for i in range(4)]
+        for n in names:
+            s.require(var_ge(n, 0))
+            s.require(var_le(n, 9))  # horizon 14 fits only 3 jobs of 5
+        for a, b in itertools.combinations(names, 2):
+            s.add_clause([diff_ge(a, b, 5), diff_ge(b, a, 5)])
+        assert not s.check().sat
+
+
+class TestStats:
+    def test_stats_populated(self):
+        s = DlSmtSolver()
+        s.require(var_ge("a", 0))
+        s.add_clause([var_le("a", 5), var_ge("a", 10)])
+        result = s.check()
+        assert result.sat
+        assert result.stats["clauses"] == 2
+        assert result.stats["atoms"] >= 2
+
+    def test_bool_protocol(self):
+        s = DlSmtSolver()
+        s.require(var_ge("a", 0))
+        assert s.check()
+
+
+def _brute_force_idl(variables, hard, clauses, lo=0, hi=6):
+    for values in itertools.product(range(lo, hi + 1), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if not all(a.holds(assignment) for a in hard):
+            continue
+        if all(any(a.holds(assignment) for a in clause) for clause in clauses):
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_random_formulas_match_brute_force(data):
+    num_vars = data.draw(st.integers(2, 4))
+    variables = [f"v{i}" for i in range(num_vars)]
+    clauses = []
+    for _ in range(data.draw(st.integers(1, 8))):
+        clause = []
+        for _ in range(data.draw(st.integers(1, 3))):
+            x, y = data.draw(st.sampled_from([
+                (a, b) for a in variables for b in variables if a != b
+            ]))
+            clause.append(Atom(x, y, data.draw(st.integers(-4, 4))))
+        clauses.append(clause)
+
+    solver = DlSmtSolver()
+    hard = []
+    for v in variables:
+        hard.append(var_ge(v, 0))
+        hard.append(var_le(v, 6))
+        solver.require(hard[-2])
+        solver.require(hard[-1])
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.check()
+    expected = _brute_force_idl(variables, hard, clauses)
+    assert result.sat == expected
+    if result.sat:
+        model = result.model
+        assert all(a.holds(model) for a in hard)
+        for clause in clauses:
+            assert any(a.holds(model) for a in clause)

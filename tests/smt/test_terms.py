@@ -1,0 +1,62 @@
+"""Difference-logic atom tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt.terms import ZERO, Atom, diff_ge, diff_le, var_ge, var_le
+
+
+class TestAtom:
+    def test_negation_is_involutive(self):
+        a = Atom("x", "y", 5)
+        assert a.negate().negate() == a
+
+    def test_negation_semantics(self):
+        # not(x - y <= 5)  ==  y - x <= -6
+        n = Atom("x", "y", 5).negate()
+        assert n == Atom("y", "x", -6)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Atom("x", "x", 0)
+
+    def test_canonical_pairs_complements(self):
+        a = Atom("x", "y", 5)
+        ca, sa = a.canonical()
+        cn, sn = a.negate().canonical()
+        assert ca == cn
+        assert sa == -sn
+
+    def test_holds(self):
+        assert Atom("x", "y", 5).holds({"x": 3, "y": 0})
+        assert not Atom("x", "y", 5).holds({"x": 9, "y": 0})
+        assert Atom("x", ZERO, 5).holds({"x": 5})
+
+    @given(st.integers(-100, 100), st.integers(-100, 100), st.integers(-50, 50))
+    def test_exactly_one_of_atom_and_negation_holds(self, x, y, c):
+        atom = Atom("x", "y", c)
+        values = {"x": x, "y": y}
+        assert atom.holds(values) != atom.negate().holds(values)
+
+
+class TestConstructors:
+    def test_var_le(self):
+        assert var_le("x", 7) == Atom("x", ZERO, 7)
+
+    def test_var_ge(self):
+        # x >= 7  ==  ZERO - x <= -7
+        a = var_ge("x", 7)
+        assert a.holds({"x": 7})
+        assert a.holds({"x": 100})
+        assert not a.holds({"x": 6})
+
+    def test_diff_le_ge_duality(self):
+        le = diff_le("x", "y", 3)
+        ge = diff_ge("x", "y", 3)
+        values_low = {"x": 0, "y": 0}
+        assert le.holds(values_low)
+        assert not ge.holds(values_low)
+        values_high = {"x": 10, "y": 0}
+        assert not le.holds(values_high)
+        assert ge.holds(values_high)

@@ -1,0 +1,161 @@
+"""Incremental difference-logic theory solver tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.terms import ZERO, Atom, diff_le, var_ge, var_le
+from repro.smt.theory import DifferenceLogic
+
+
+class TestBasics:
+    def test_consistent_chain(self):
+        dl = DifferenceLogic()
+        assert dl.assert_atom(diff_le("a", "b", -1), "t1") is None  # a < b
+        assert dl.assert_atom(diff_le("b", "c", -1), "t2") is None  # b < c
+        assert dl.assert_atom(diff_le("a", "c", 10), "t3") is None
+        model = dl.model()
+        assert model["a"] < model["b"] < model["c"]
+
+    def test_negative_cycle_detected(self):
+        dl = DifferenceLogic()
+        assert dl.assert_atom(diff_le("a", "b", -1), "t1") is None
+        conflict = dl.assert_atom(diff_le("b", "a", -1), "t2")
+        assert conflict is not None
+        assert set(conflict) == {"t1", "t2"}
+
+    def test_longer_cycle_conflict_tokens(self):
+        dl = DifferenceLogic()
+        dl.assert_atom(diff_le("a", "b", -2), 1)
+        dl.assert_atom(diff_le("b", "c", -2), 2)
+        conflict = dl.assert_atom(diff_le("c", "a", 3), 3)
+        assert conflict is not None
+        assert set(conflict) == {1, 2, 3}
+
+    def test_zero_weight_cycle_is_fine(self):
+        dl = DifferenceLogic()
+        assert dl.assert_atom(diff_le("a", "b", 0), 1) is None
+        assert dl.assert_atom(diff_le("b", "a", 0), 2) is None
+        model = dl.model()
+        assert model["a"] == model["b"]
+
+    def test_bounds_through_zero_var(self):
+        dl = DifferenceLogic()
+        assert dl.assert_atom(var_ge("x", 10), 1) is None
+        assert dl.assert_atom(var_le("x", 20), 2) is None
+        assert 10 <= dl.model()["x"] <= 20
+
+    def test_contradictory_bounds(self):
+        dl = DifferenceLogic()
+        assert dl.assert_atom(var_ge("x", 10), 1) is None
+        conflict = dl.assert_atom(var_le("x", 9), 2)
+        assert conflict is not None
+        assert set(conflict) == {1, 2}
+
+
+class TestBacktracking:
+    def test_pop_restores_consistency(self):
+        dl = DifferenceLogic()
+        dl.assert_atom(diff_le("a", "b", -1), 1)
+        depth = dl.num_asserted
+        assert dl.assert_atom(diff_le("b", "c", -1), 2) is None
+        dl.backtrack_to(depth)
+        # now b -> a is fine again through c not being constrained
+        assert dl.assert_atom(diff_le("c", "b", -100), 3) is None
+
+    def test_conflicting_edge_not_recorded(self):
+        dl = DifferenceLogic()
+        dl.assert_atom(var_ge("x", 10), 1)
+        depth = dl.num_asserted
+        assert dl.assert_atom(var_le("x", 0), 2) is not None
+        assert dl.num_asserted == depth  # rejected edge left no trace
+        assert dl.assert_atom(var_le("x", 15), 3) is None
+
+    def test_backtrack_then_reassert(self):
+        dl = DifferenceLogic()
+        base = dl.num_asserted
+        dl.assert_atom(diff_le("a", "b", -5), 1)
+        dl.backtrack_to(base)
+        conflict = dl.assert_atom(diff_le("b", "a", -5), 2)
+        assert conflict is None  # the popped constraint no longer conflicts
+
+    def test_bad_depth_rejected(self):
+        dl = DifferenceLogic()
+        with pytest.raises(ValueError):
+            dl.backtrack_to(5)
+        with pytest.raises(ValueError):
+            dl.backtrack_to(-1)
+
+
+class TestModelSoundness:
+    def test_model_satisfies_all_asserted(self):
+        rng = random.Random(3)
+        dl = DifferenceLogic()
+        asserted = []
+        names = [f"v{i}" for i in range(8)]
+        for token in range(200):
+            a, b = rng.sample(names, 2)
+            atom = Atom(a, b, rng.randint(-4, 12))
+            if dl.assert_atom(atom, token) is None:
+                asserted.append(atom)
+        model = dl.model()
+        for atom in asserted:
+            assert atom.holds(model), atom
+
+    def test_check_full_agrees(self):
+        dl = DifferenceLogic()
+        dl.assert_atom(diff_le("a", "b", -1), 1)
+        dl.assert_atom(diff_le("b", "c", -1), 2)
+        assert dl.check_full()
+
+
+def _bellman_ford_feasible(atoms):
+    """Independent reference: negative-cycle check over x - y <= c edges."""
+    names = sorted({n for a in atoms for n in (a.x, a.y)})
+    dist = {n: 0 for n in names}
+    for _ in range(len(names) + 1):
+        changed = False
+        for atom in atoms:
+            candidate = dist[atom.y] + atom.c  # edge y -> x, weight c
+            if candidate < dist[atom.x]:
+                dist[atom.x] = candidate
+                changed = True
+        if not changed:
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(-4, 6)),
+    min_size=1, max_size=25,
+))
+def test_incremental_matches_bellman_ford(constraints):
+    """The incremental solver and batch Bellman-Ford must agree."""
+    dl = DifferenceLogic()
+    accepted = []
+    for token, (i, j, c) in enumerate(constraints):
+        if i == j:
+            continue
+        atom = Atom(f"v{i}", f"v{j}", c)
+        conflict = dl.assert_atom(atom, token)
+        if conflict is not None:
+            # The incremental solver says accepted + atom is infeasible;
+            # the reference check must concur, and the conflict subset
+            # itself must be infeasible too.
+            assert not _bellman_ford_feasible(accepted + [atom])
+            token_map = {
+                t: Atom(f"v{a}", f"v{b}", w)
+                for t, (a, b, w) in enumerate(constraints)
+                if a != b
+            }
+            conflict_atoms = [atom if t == token else token_map[t] for t in conflict]
+            assert not _bellman_ford_feasible(conflict_atoms)
+            return
+        accepted.append(atom)
+    assert _bellman_ford_feasible(accepted)
+    model = dl.model()
+    for atom in accepted:
+        assert atom.holds(model)

@@ -1,0 +1,34 @@
+"""CLI tests (in-process, via main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--width", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "legend" in out
+        assert "s2#ps5" in out
+
+    def test_fig12_short(self, capsys):
+        assert main(["fig12", "--duration-ms", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out
+        assert "period_x8" in out
+
+    def test_fig15_short(self, capsys):
+        assert main(["fig15", "--duration-ms", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 15" in out
+        assert "non-shared" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,134 @@
+"""Assorted edge-case coverage across modules."""
+
+import pytest
+
+from repro.core import schedule_etsn
+from repro.core.frer import schedule_etsn_frer
+from repro.core.incremental import remove_stream
+from repro.core.schedule import validate
+from repro.model.stream import EctStream, Priorities, Stream, StreamError
+from repro.model.topology import Topology
+from repro.model.units import milliseconds
+from repro.serialization import schedule_from_dict, schedule_to_dict
+
+
+def _ring():
+    topo = Topology()
+    switches = ["SW1", "SW2", "SW3", "SW4"]
+    for s in switches:
+        topo.add_switch(s)
+    for a, b in zip(switches, switches[1:] + switches[:1]):
+        topo.add_link(a, b)
+    topo.add_device("A")
+    topo.add_link("A", "SW1")
+    topo.add_link("A", "SW3")
+    topo.add_device("B")
+    topo.add_link("B", "SW2")
+    topo.add_link("B", "SW4")
+    return topo
+
+
+class TestFrerComposition:
+    def test_frer_schedule_serializes(self):
+        """FRER members carry explicit routes (via); the round trip must
+        preserve them and the member mapping."""
+        topo = _ring()
+        ect = EctStream("estop", "A", "B", min_interevent_ns=milliseconds(16),
+                        length_bytes=256, possibilities=4)
+        schedule = schedule_etsn_frer(topo, [], [ect])
+        loaded = schedule_from_dict(schedule_to_dict(schedule))
+        assert loaded.meta["frer_members"] == schedule.meta["frer_members"]
+        for member in loaded.ect_streams:
+            assert member.via is not None
+            assert member.route(loaded.topology)
+        validate(loaded)
+
+    def test_remove_frer_member_parent(self):
+        topo = _ring()
+        ect = EctStream("estop", "A", "B", min_interevent_ns=milliseconds(16),
+                        length_bytes=256, possibilities=4)
+        schedule = schedule_etsn_frer(topo, [], [ect])
+        # removing one *member* retires that member's possibilities only
+        after = remove_stream(schedule, "estop@1")
+        validate(after)
+        assert [e.name for e in after.ect_streams] == ["estop@2"]
+        parents = {s.parent for s in after.probabilistic_streams()}
+        assert parents == {"estop@2"}
+
+
+class TestExplicitRoutes:
+    def test_via_must_match_endpoints(self):
+        with pytest.raises(StreamError):
+            EctStream("e", "A", "B", min_interevent_ns=milliseconds(16),
+                      length_bytes=100, via=("X", "SW1", "B"))
+
+    def test_via_needs_two_nodes(self):
+        with pytest.raises(StreamError):
+            EctStream("e", "A", "B", min_interevent_ns=milliseconds(16),
+                      length_bytes=100, via=("A",))
+
+    def test_via_routes_through_named_nodes(self):
+        topo = _ring()
+        ect = EctStream("e", "A", "B", min_interevent_ns=milliseconds(16),
+                        length_bytes=100, via=("A", "SW3", "SW4", "B"))
+        path = ect.route(topo)
+        assert [l.key for l in path] == [
+            ("A", "SW3"), ("SW3", "SW4"), ("SW4", "B"),
+        ]
+
+    def test_via_over_missing_link_fails(self):
+        topo = _ring()
+        ect = EctStream("e", "A", "B", min_interevent_ns=milliseconds(16),
+                        length_bytes=100, via=("A", "SW2", "B"))
+        with pytest.raises(Exception):
+            ect.route(topo)  # A-SW2 link does not exist
+
+
+class TestHeuristicKnobs:
+    def test_max_restarts_zero_still_tries_once(self, star_topology):
+        from repro.core.heuristic import schedule_heuristic
+
+        s = Stream(
+            name="t", path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+            length_bytes=800, period_ns=milliseconds(4),
+        )
+        schedule = schedule_heuristic(star_topology, [s], max_restarts=0)
+        validate(schedule)
+
+    def test_guard_margin_visible_in_slots(self, star_topology):
+        s = Stream(
+            name="t", path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+            length_bytes=1500, period_ns=milliseconds(4),
+        )
+        plain = schedule_etsn(star_topology, [s], [])
+        padded = schedule_etsn(star_topology, [s], [], guard_margin_ns=7_000)
+        key = ("t", ("D1", "SW1"))
+        assert (padded.slots[key][0].duration_ns
+                == plain.slots[key][0].duration_ns + 7_000)
+
+
+class TestGanttEdges:
+    def test_width_larger_than_slots(self, star_topology):
+        from repro.analysis import render_link_gantt
+
+        s = Stream(
+            name="t", path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(4), priority=Priorities.NSH_PL,
+            length_bytes=100, period_ns=milliseconds(4),
+        )
+        schedule = schedule_etsn(star_topology, [s], [])
+        text = render_link_gantt(schedule, ("D1", "SW1"), width=200)
+        body = [l for l in text.splitlines() if l.strip().startswith("t ")][0]
+        assert len(body.split("|")[1]) == 200
+
+
+class TestCliFigures:
+    def test_figures_command_runs_all(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures", "--duration-ms", "120"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("Fig. 11", "Fig. 12", "Fig. 14", "Fig. 15", "Fig. 16"):
+            assert fig in out

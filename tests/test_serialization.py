@@ -1,0 +1,151 @@
+"""Round-trip tests for JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.baselines import schedule_etsn, schedule_period
+from repro.core.gcl import build_gcl
+from repro.core.schedule import ScheduleError, validate
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from repro.serialization import (
+    gcl_from_dict,
+    gcl_to_dict,
+    load_deployment,
+    save_deployment,
+    schedule_from_dict,
+    schedule_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.sim import SimConfig, TsnSimulation
+
+
+def _schedule(topo):
+    tct = [Stream(
+        name="sh", path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(4), priority=Priorities.SH_PL,
+        length_bytes=1500, period_ns=milliseconds(4), share=True,
+    )]
+    ects = [EctStream("alarm", "D2", "D3", min_interevent_ns=milliseconds(16),
+                      length_bytes=1500, possibilities=4)]
+    return schedule_etsn(topo, tct, ects)
+
+
+class TestTopologyRoundTrip:
+    def test_structure_preserved(self, two_switch_topology):
+        data = topology_to_dict(two_switch_topology)
+        json.dumps(data)  # must be JSON-able
+        loaded = topology_from_dict(data)
+        assert {n.name for n in loaded.switches} == \
+            {n.name for n in two_switch_topology.switches}
+        assert {n.name for n in loaded.devices} == \
+            {n.name for n in two_switch_topology.devices}
+        for link in two_switch_topology.links:
+            twin = loaded.link(*link.key)
+            assert twin.bandwidth_bps == link.bandwidth_bps
+            assert twin.propagation_ns == link.propagation_ns
+            assert twin.time_unit_ns == link.time_unit_ns
+
+    def test_routes_identical(self, two_switch_topology):
+        loaded = topology_from_dict(topology_to_dict(two_switch_topology))
+        original = [l.key for l in two_switch_topology.shortest_path("D1", "D4")]
+        assert [l.key for l in loaded.shortest_path("D1", "D4")] == original
+
+
+class TestScheduleRoundTrip:
+    def test_slots_and_streams_preserved(self, star_topology):
+        schedule = _schedule(star_topology)
+        loaded = schedule_from_dict(schedule_to_dict(schedule))
+        assert {s.name for s in loaded.streams} == \
+            {s.name for s in schedule.streams}
+        assert loaded.slots.keys() == schedule.slots.keys()
+        for key in schedule.slots:
+            assert loaded.slots[key] == schedule.slots[key]
+        assert [e.name for e in loaded.ect_streams] == ["alarm"]
+        assert loaded.hyperperiod_ns == schedule.hyperperiod_ns
+
+    def test_loaded_schedule_revalidates(self, star_topology):
+        schedule = _schedule(star_topology)
+        loaded = schedule_from_dict(schedule_to_dict(schedule))
+        validate(loaded)
+
+    def test_tampered_file_rejected(self, star_topology):
+        schedule = _schedule(star_topology)
+        data = schedule_to_dict(schedule)
+        # corrupt one slot so two streams collide
+        entry = next(e for e in data["slots"] if e["stream"] == "sh")
+        entry["frames"][0]["offset_ns"] = milliseconds(5)  # beyond period
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data)
+
+    def test_guarantee_survives_round_trip(self, star_topology):
+        schedule = _schedule(star_topology)
+        loaded = schedule_from_dict(schedule_to_dict(schedule))
+        assert loaded.ect_guarantee_ns("alarm") == schedule.ect_guarantee_ns("alarm")
+
+    def test_version_checked(self, star_topology):
+        data = schedule_to_dict(_schedule(star_topology))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            schedule_from_dict(data)
+
+
+class TestGclRoundTrip:
+    def test_windows_preserved(self, star_topology):
+        schedule = _schedule(star_topology)
+        gcl = build_gcl(schedule, mode="etsn")
+        loaded = gcl_from_dict(gcl_to_dict(gcl))
+        assert loaded.mode == gcl.mode
+        assert loaded.cycle_ns == gcl.cycle_ns
+        assert loaded.ports.keys() == gcl.ports.keys()
+        for key, port in gcl.ports.items():
+            twin = loaded.port(key)
+            assert twin.windows == port.windows
+
+    def test_state_queries_identical(self, star_topology):
+        schedule = _schedule(star_topology)
+        gcl = build_gcl(schedule, mode="etsn")
+        loaded = gcl_from_dict(gcl_to_dict(gcl))
+        for key, port in gcl.ports.items():
+            twin = loaded.port(key)
+            for probe in range(0, gcl.cycle_ns, gcl.cycle_ns // 37):
+                for queue in (0, 4, 7):
+                    assert twin.state_at(queue, probe) == port.state_at(queue, probe)
+
+
+class TestDeploymentFile:
+    def test_save_load_and_simulate(self, star_topology, tmp_path):
+        schedule = _schedule(star_topology)
+        gcl = build_gcl(schedule, mode="etsn")
+        path = tmp_path / "deployment.json"
+        save_deployment(str(path), schedule, gcl)
+        loaded_schedule, loaded_gcl = load_deployment(str(path))
+
+        # the loaded deployment must simulate identically (deterministic)
+        def run(s, g):
+            report = TsnSimulation(
+                s, g, SimConfig(duration_ns=milliseconds(200), seed=4)
+            ).run()
+            return report.recorder.latencies("alarm")
+
+        assert run(loaded_schedule, loaded_gcl) == run(schedule, gcl)
+
+    def test_period_mode_meta_survives(self, star_topology, tmp_path):
+        tct = [Stream(
+            name="t", path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(8), priority=Priorities.NSH_PL,
+            length_bytes=800, period_ns=milliseconds(8),
+        )]
+        ects = [EctStream("alarm", "D2", "D3",
+                          min_interevent_ns=milliseconds(16),
+                          length_bytes=1500, possibilities=4)]
+        schedule = schedule_period(star_topology, tct, ects)
+        gcl = build_gcl(schedule, mode="period",
+                        ect_proxies=schedule.meta["ect_proxies"])
+        path = tmp_path / "period.json"
+        save_deployment(str(path), schedule, gcl)
+        loaded_schedule, loaded_gcl = load_deployment(str(path))
+        assert loaded_schedule.meta["ect_proxies"] == {"alarm#period": "alarm"}
+        assert loaded_gcl.mode == "period"

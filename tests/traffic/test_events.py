@@ -1,0 +1,111 @@
+"""Event occurrence process tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.units import milliseconds
+from repro.traffic.events import (
+    burst_events,
+    poisson_events,
+    uniform_gap_events,
+    validate_min_spacing,
+)
+
+HORIZON = milliseconds(2000)
+MIN_GAP = milliseconds(16)
+
+
+class TestUniformGap:
+    def test_respects_min_spacing(self):
+        times = uniform_gap_events(HORIZON, MIN_GAP, seed=1)
+        validate_min_spacing(times, MIN_GAP)
+
+    def test_within_horizon(self):
+        times = uniform_gap_events(HORIZON, MIN_GAP, seed=1)
+        assert all(0 <= t < HORIZON for t in times)
+        assert len(times) > 10
+
+    def test_phase_coverage(self):
+        """Occurrence phases must sweep the cycle (the paper's 'uniform
+        distribution' of occurrence times)."""
+        times = uniform_gap_events(milliseconds(20_000), MIN_GAP, seed=3)
+        phases = [t % MIN_GAP for t in times]
+        quartile = MIN_GAP // 4
+        buckets = [sum(1 for p in phases if q * quartile <= p < (q + 1) * quartile)
+                   for q in range(4)]
+        assert all(b > 0 for b in buckets)
+        assert max(buckets) < 3 * min(buckets) + 10
+
+    def test_zero_jitter_is_strictly_periodic(self):
+        times = uniform_gap_events(HORIZON, MIN_GAP, seed=5, gap_jitter_ns=0)
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert gaps == {MIN_GAP}
+
+    def test_rejects_bad_min(self):
+        with pytest.raises(ValueError):
+            uniform_gap_events(HORIZON, 0)
+
+
+class TestPoisson:
+    def test_respects_min_spacing(self):
+        times = poisson_events(HORIZON, MIN_GAP, mean_gap_ns=2 * MIN_GAP, seed=2)
+        validate_min_spacing(times, MIN_GAP)
+
+    def test_mean_gap_roughly_matches(self):
+        times = poisson_events(milliseconds(50_000), MIN_GAP,
+                               mean_gap_ns=3 * MIN_GAP, seed=4)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert 2 * MIN_GAP < mean < 4 * MIN_GAP
+
+    def test_rejects_mean_below_min(self):
+        with pytest.raises(ValueError):
+            poisson_events(HORIZON, MIN_GAP, mean_gap_ns=MIN_GAP - 1)
+
+
+class TestBurst:
+    def test_respects_min_spacing(self):
+        times = burst_events(HORIZON, MIN_GAP, burst_size=4,
+                             burst_gap_ns=8 * MIN_GAP, seed=1)
+        validate_min_spacing(times, MIN_GAP)
+
+    def test_contains_back_to_back_events(self):
+        """The stress property: consecutive events at exactly the minimum
+        spacing must occur (what prudent reservation budgets for)."""
+        times = burst_events(HORIZON, MIN_GAP, burst_size=4,
+                             burst_gap_ns=8 * MIN_GAP, seed=1)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert MIN_GAP in gaps
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            burst_events(HORIZON, MIN_GAP, burst_size=0, burst_gap_ns=8 * MIN_GAP)
+        with pytest.raises(ValueError):
+            burst_events(HORIZON, MIN_GAP, burst_size=2, burst_gap_ns=MIN_GAP - 1)
+
+
+class TestValidateMinSpacing:
+    def test_accepts_valid(self):
+        validate_min_spacing([0, 10, 25], 10)
+
+    def test_rejects_violation(self):
+        with pytest.raises(ValueError):
+            validate_min_spacing([0, 5], 10)
+
+    def test_empty_and_singleton_ok(self):
+        validate_min_spacing([], 10)
+        validate_min_spacing([3], 10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31), st.sampled_from([milliseconds(5), milliseconds(16)]))
+def test_all_processes_respect_spacing(seed, min_gap):
+    for times in (
+        uniform_gap_events(HORIZON, min_gap, seed=seed),
+        poisson_events(HORIZON, min_gap, mean_gap_ns=2 * min_gap, seed=seed),
+        burst_events(HORIZON, min_gap, burst_size=3, burst_gap_ns=4 * min_gap,
+                     seed=seed),
+    ):
+        validate_min_spacing(times, min_gap)
+        assert times == sorted(times)

@@ -1,0 +1,109 @@
+"""IEC/IEEE 60802-style traffic generator tests."""
+
+import pytest
+
+from repro.model.stream import Priorities, StreamError
+from repro.model.units import milliseconds
+from repro.traffic.generator import TrafficConfig, generate_tct
+
+PERIODS = [milliseconds(4), milliseconds(8), milliseconds(16)]
+
+
+def _config(**kwargs):
+    base = dict(num_streams=10, periods_ns=PERIODS, target_load=0.5, seed=1)
+    base.update(kwargs)
+    return TrafficConfig(**base)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_streams=0),
+        dict(periods_ns=[]),
+        dict(target_load=0.0),
+        dict(target_load=1.0),
+        dict(num_nonshared=11),
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            _config(**kwargs)
+
+
+class TestGeneration:
+    def test_stream_count_and_naming(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology, _config())
+        assert len(traffic.streams) == 10
+        assert [s.name for s in traffic.streams] == [f"tct{i}" for i in range(1, 11)]
+
+    def test_periods_from_the_set(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology, _config())
+        assert all(s.period_ns in PERIODS for s in traffic.streams)
+
+    def test_endpoints_are_devices(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology, _config())
+        devices = {d.name for d in two_switch_topology.devices}
+        for s in traffic.streams:
+            assert s.source in devices and s.destination in devices
+            assert s.source != s.destination
+
+    def test_load_targeting(self, two_switch_topology):
+        for target in (0.25, 0.50):
+            traffic = generate_tct(two_switch_topology, _config(target_load=target))
+            assert traffic.achieved_load <= target
+            # the next payload step would overshoot, so we are close
+            assert traffic.achieved_load > target * 0.9
+
+    def test_link_loads_cover_used_links(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology, _config())
+        used = {link.key for s in traffic.streams for link in s.path}
+        assert set(traffic.link_loads) == used
+        assert traffic.most_loaded_link in used
+        assert max(traffic.link_loads.values()) == traffic.achieved_load
+
+    def test_seed_reproducible(self, two_switch_topology):
+        a = generate_tct(two_switch_topology, _config(seed=7))
+        b = generate_tct(two_switch_topology, _config(seed=7))
+        assert [s.name for s in a.streams] == [s.name for s in b.streams]
+        assert [(s.source, s.destination, s.period_ns) for s in a.streams] == \
+               [(s.source, s.destination, s.period_ns) for s in b.streams]
+        assert a.payload_bytes == b.payload_bytes
+
+    def test_seeds_differ(self, two_switch_topology):
+        a = generate_tct(two_switch_topology, _config(seed=1))
+        b = generate_tct(two_switch_topology, _config(seed=2))
+        assert [(s.source, s.destination) for s in a.streams] != \
+               [(s.source, s.destination) for s in b.streams]
+
+    def test_shared_priorities(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology, _config(share=True))
+        for s in traffic.streams:
+            assert s.share
+            assert Priorities.is_shared_tct(s.priority)
+
+    def test_nonshared_prefix(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology,
+                               _config(share=True, num_nonshared=4))
+        flags = [s.share for s in traffic.streams]
+        assert flags == [False] * 4 + [True] * 6
+        for s in traffic.streams[:4]:
+            assert Priorities.is_nonshared_tct(s.priority)
+
+    def test_implicit_deadlines(self, two_switch_topology):
+        traffic = generate_tct(two_switch_topology, _config())
+        assert all(s.e2e_ns == s.period_ns for s in traffic.streams)
+
+    def test_unreachable_high_load(self, two_switch_topology):
+        config = _config(num_streams=2, target_load=0.9,
+                         max_frames_per_message=1)
+        with pytest.raises(StreamError):
+            generate_tct(two_switch_topology, config)
+
+    def test_unreachable_low_load(self, two_switch_topology):
+        config = _config(num_streams=100, target_load=0.01)
+        with pytest.raises(StreamError):
+            generate_tct(two_switch_topology, config)
+
+    def test_device_restriction(self, two_switch_topology):
+        config = _config(devices=["D1", "D3"])
+        traffic = generate_tct(two_switch_topology, config)
+        for s in traffic.streams:
+            assert {s.source, s.destination} == {"D1", "D3"}
