@@ -1,0 +1,117 @@
+"""Admission-service throughput on the Fig. 14 simulation network:
+admissions/sec and p50/p99 decision latency, reported per fallback rung.
+
+The service is seeded with the 40-stream Fig. 13/14 workload, then driven
+with a request mix that exercises every ladder rung: plain TCT admits and
+removals land on the incremental rung, sharing TCT admits force the full
+re-solve (the incremental primitive refuses them while ECT is present),
+and capacity hogs are rejected after climbing the whole ladder."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import validate
+from repro.experiments import simulation_workload
+from repro.model.stream import Priorities, TctRequirement
+from repro.model.units import milliseconds
+from repro.service import (
+    AdmissionService,
+    AdmitTct,
+    Remove,
+    ScheduleStore,
+    ServiceConfig,
+)
+
+
+def _tct(name, src, dst, period_ms=10, length=800, share=False):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=milliseconds(period_ms), length_bytes=length,
+        priority=Priorities.SH_PL if share else Priorities.NSH_PH,
+        share=share,
+    ))
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def test_admission_service_throughput(benchmark, emit):
+    from repro.core import schedule_etsn
+
+    workload = simulation_workload(0.25, seed=1)
+    base = schedule_etsn(workload.topology, workload.tct_streams,
+                         workload.ect_streams)
+    store = ScheduleStore(base)
+    service = AdmissionService(
+        store, config=ServiceConfig(heuristic_min_restarts=16)
+    )
+    devices = [d.name for d in workload.topology.devices]
+
+    requests = []
+    # plain TCT admits + churn: the incremental rung
+    for i in range(24):
+        src, dst = devices[i % len(devices)], devices[(i + 5) % len(devices)]
+        requests.append(_tct(f"adm{i}", src, dst))
+        if i % 3 == 2:
+            requests.append(Remove(f"adm{i - 1}"))
+    # sharing TCT admits: forces the full re-solve rung
+    for i in range(3):
+        src, dst = devices[(2 * i) % len(devices)], devices[(2 * i + 7) % len(devices)]
+        requests.append(_tct(f"share{i}", src, dst, period_ms=20, share=True))
+    # a capacity hog: climbs and fails every rung (structured rejection)
+    requests.append(_tct("hog", devices[0], devices[1], period_ms=5,
+                         length=80 * 1500))
+
+    decisions = [service.submit(request) for request in requests]
+    validate(store.schedule)
+
+    by_rung = {}
+    for decision in decisions:
+        rung = decision.rung if decision.accepted else "rejected"
+        by_rung.setdefault(rung, []).append(decision.latency_ms)
+
+    rows = []
+    for rung in ("incremental", "full", "heuristic", "rejected"):
+        latencies = by_rung.get(rung)
+        if not latencies:
+            continue
+        mean_ms = sum(latencies) / len(latencies)
+        rows.append([
+            rung,
+            len(latencies),
+            f"{1e3 / mean_ms:.1f}" if mean_ms else "inf",
+            f"{_percentile(latencies, 50):.2f}",
+            f"{_percentile(latencies, 99):.2f}",
+        ])
+    emit("admission_service", format_table(
+        ["rung", "decisions", "admissions_per_sec", "p50_ms", "p99_ms"],
+        rows,
+        title=(
+            "Online admission on the 40-stream Fig. 13/14 network "
+            f"({len(decisions)} decisions, store v{store.version})"
+        ),
+    ))
+
+    # every request got a structured decision
+    assert len(decisions) == len(requests)
+    assert all(d.accepted or d.reason for d in decisions)
+    # the mix exercised the incremental and full rungs and a rejection
+    assert "incremental" in by_rung and "full" in by_rung
+    assert "rejected" in by_rung
+    # the incremental rung must be the fast path
+    assert (_percentile(by_rung["incremental"], 50)
+            <= _percentile(by_rung["full"], 50))
+    # rung counts in the metrics sum to the request total
+    assert sum(
+        service.metrics.counters_with_prefix("decisions").values()
+    ) == len(requests)
+
+    # steady-state hot path: one plain admission + its rollback
+    def admit_remove_cycle():
+        service.submit(_tct("bench", devices[2], devices[9]))
+        service.submit(Remove("bench"))
+
+    benchmark(admit_remove_cycle)

@@ -59,18 +59,34 @@ from repro.serialization import (
     schedule_from_dict,
     schedule_to_dict,
 )
+from repro.service import (
+    AdmissionService,
+    AdmitEct,
+    AdmitTct,
+    Decision,
+    Remove,
+    ScheduleStore,
+    ServiceConfig,
+)
 from repro.sim import SimConfig, SimReport, SyncConfig, TsnSimulation
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionService",
+    "AdmitEct",
+    "AdmitTct",
+    "Decision",
     "EctStream",
     "InfeasibleError",
     "Link",
     "NetworkGcl",
     "NetworkSchedule",
     "Priorities",
+    "Remove",
     "ScheduleError",
+    "ScheduleStore",
+    "ServiceConfig",
     "SimConfig",
     "SimReport",
     "Stream",

@@ -9,11 +9,18 @@ Commands
     Regenerate one figure of the paper's evaluation and print its rows.
 ``figures``
     All of the above, sequentially.
+``admit``
+    Decide one admit/remove request against a persisted schedule and
+    print the decision as JSON; exit 1 on rejection.
+``serve``
+    Run the online admission service over a JSON-lines request stream
+    (file or stdin), printing one decision JSON per line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -46,6 +53,56 @@ def _build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("figures", help="regenerate every figure")
     everything.add_argument("--duration-ms", type=int, default=2000)
     everything.add_argument("--seed", type=int, default=1)
+
+    admit = sub.add_parser(
+        "admit", help="decide one admission request against a schedule file"
+    )
+    admit.add_argument("--state", required=True,
+                       help="schedule JSON (see repro.serialization)")
+    admit.add_argument("--out", help="write the updated schedule JSON here")
+    admit.add_argument("--remove", metavar="NAME",
+                       help="retire a stream instead of admitting one")
+    admit.add_argument("--ect", action="store_true",
+                       help="admit an event-triggered stream")
+    admit.add_argument("--name", help="stream name")
+    admit.add_argument("--source", help="talker device")
+    admit.add_argument("--dest", help="listener device")
+    admit.add_argument("--period-us", type=float,
+                       help="TCT period / ECT minimum inter-event time")
+    admit.add_argument("--length", type=int, default=1500,
+                       help="message length in bytes")
+    admit.add_argument("--e2e-us", type=float,
+                       help="end-to-end budget (default: the period)")
+    admit.add_argument("--share", action="store_true",
+                       help="TCT stream shares its slots with ECT")
+    admit.add_argument("--possibilities", type=int, default=4,
+                       help="probabilistic possibilities N for --ect")
+    admit.add_argument("--backend", default="heuristic",
+                       choices=("heuristic", "smt"),
+                       help="backend for the full re-solve rung")
+
+    serve = sub.add_parser(
+        "serve", help="serve a JSON-lines admission request stream"
+    )
+    state_source = serve.add_mutually_exclusive_group(required=True)
+    state_source.add_argument("--state", help="initial schedule JSON")
+    state_source.add_argument("--topology",
+                              help="topology JSON; starts from an empty schedule")
+    serve.add_argument("--requests", default="-",
+                       help="JSONL request file, or '-' for stdin")
+    serve.add_argument("--metrics-out",
+                       help="write the metrics JSON here instead of stdout")
+    serve.add_argument("--save-state",
+                       help="write the final schedule JSON here")
+    serve.add_argument("--fail-on-reject", action="store_true",
+                       help="exit 1 if any request was rejected")
+    serve.add_argument("--emit-deployments", action="store_true",
+                       help="build a Qcc deployment per accepted batch")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="largest request batch validated in one pass")
+    serve.add_argument("--backend", default="heuristic",
+                       choices=("heuristic", "smt"),
+                       help="backend for the full re-solve rung")
     return parser
 
 
@@ -93,6 +150,120 @@ def _run_figure(name: str, duration_ms: int, seed: int) -> None:
     print(module.format_result(result))
 
 
+def _admit_request(args) -> "object":
+    from repro.model.stream import EctStream, Priorities, TctRequirement
+    from repro.model.units import microseconds
+    from repro.service import AdmitEct, AdmitTct, Remove
+
+    if args.remove:
+        return Remove(name=args.remove)
+    missing = [flag for flag, value in (
+        ("--name", args.name), ("--source", args.source),
+        ("--dest", args.dest), ("--period-us", args.period_us),
+    ) if value is None]
+    if missing:
+        raise SystemExit(f"admit: missing {', '.join(missing)}")
+    if args.period_us <= 0:
+        raise SystemExit("admit: --period-us must be positive")
+    if args.ect:
+        return AdmitEct(EctStream(
+            name=args.name, source=args.source, destination=args.dest,
+            min_interevent_ns=microseconds(args.period_us),
+            length_bytes=args.length,
+            e2e_ns=microseconds(args.e2e_us) if args.e2e_us else None,
+            possibilities=args.possibilities,
+        ))
+    return AdmitTct(TctRequirement(
+        name=args.name, source=args.source, destination=args.dest,
+        period_ns=microseconds(args.period_us), length_bytes=args.length,
+        e2e_ns=microseconds(args.e2e_us) if args.e2e_us else None,
+        priority=Priorities.SH_PL if args.share else Priorities.NSH_PH,
+        share=args.share,
+    ))
+
+
+def _run_admit(args) -> int:
+    from repro.serialization import decision_to_dict, schedule_to_dict
+    from repro.service import AdmissionService, ScheduleStore, ServiceConfig
+
+    store = ScheduleStore(_load_schedule(args.state))
+    service = AdmissionService(
+        store, config=ServiceConfig(backend=args.backend)
+    )
+    decision = service.submit(_admit_request(args))
+    print(json.dumps(decision_to_dict(decision)))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(schedule_to_dict(store.schedule), handle)
+    return 0 if decision.accepted else 1
+
+
+def _run_serve(args) -> int:
+    from repro.serialization import (
+        decision_to_dict,
+        metrics_to_dict,
+        schedule_to_dict,
+        topology_from_dict,
+    )
+    from repro.service import (
+        AdmissionService,
+        ScheduleStore,
+        ServiceConfig,
+        empty_schedule,
+        request_from_dict,
+    )
+
+    if args.state:
+        schedule = _load_schedule(args.state)
+    else:
+        with open(args.topology) as handle:
+            schedule = empty_schedule(topology_from_dict(json.load(handle)))
+    store = ScheduleStore(schedule)
+    service = AdmissionService(store, config=ServiceConfig(
+        backend=args.backend,
+        max_batch=args.max_batch,
+        emit_deployments=args.emit_deployments,
+    ))
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests) as handle:
+            lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            service.enqueue(request_from_dict(json.loads(line)))
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: requests line {lineno}: {exc}", file=sys.stderr)
+            return 2
+    decisions = service.drain()
+
+    for decision in decisions:
+        print(json.dumps(decision_to_dict(decision)))
+    metrics = metrics_to_dict(service.metrics)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(metrics, handle)
+    else:
+        print(json.dumps({"metrics": metrics}))
+    if args.save_state:
+        with open(args.save_state, "w") as handle:
+            json.dump(schedule_to_dict(store.schedule), handle)
+    if args.fail_on_reject and any(not d.accepted for d in decisions):
+        return 1
+    return 0
+
+
+def _load_schedule(path: str):
+    from repro.serialization import schedule_from_dict
+
+    with open(path) as handle:
+        return schedule_from_dict(json.load(handle))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "demo":
@@ -101,6 +272,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in FIGURES:
             _run_figure(name, args.duration_ms, args.seed)
             print()
+    elif args.command == "admit":
+        return _run_admit(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     else:
         _run_figure(args.command, args.duration_ms, args.seed)
     return 0

@@ -6,6 +6,7 @@ from repro.cnc.qcc import (
     Deployment,
     GclEntry,
     TalkerConfig,
+    deployment_from_schedule,
     entries_total_ns,
     gcl_to_entries,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "Deployment",
     "GclEntry",
     "TalkerConfig",
+    "deployment_from_schedule",
     "entries_total_ns",
     "gcl_to_entries",
 ]

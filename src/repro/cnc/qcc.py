@@ -159,24 +159,36 @@ class CNC:
                 self._topology, tct_streams, cuc.ect_streams, self._method,
                 self._backend, reservation_mode=self._reservation_mode,
             )
-        gcl = build_gcl(schedule, mode=mode, ect_proxies=schedule.meta.get("ect_proxies"))
-        talkers = []
-        proxies = set(schedule.meta.get("ect_proxies", {}) or {})
-        for stream in schedule.tct_streams():
-            if stream.name in proxies:
-                continue
-            first_link = stream.path[0]
-            slots = schedule.slots[(stream.name, first_link.key)]
-            base = stream.frames_per_period()
-            talkers.append(
-                TalkerConfig(
-                    stream=stream.name,
-                    device=stream.source,
-                    period_ns=stream.period_ns,
-                    offsets_ns=[s.offset_ns for s in slots[:base]],
-                )
+        return deployment_from_schedule(schedule, mode=mode)
+
+
+def deployment_from_schedule(
+    schedule: NetworkSchedule, mode: str = "etsn"
+) -> Deployment:
+    """Package one schedule as a pushable deployment (GCL + talkers).
+
+    Shared by :meth:`CNC.compute` and the online
+    :class:`~repro.service.admission.AdmissionService`, which emits a
+    fresh deployment per accepted admission batch.
+    """
+    gcl = build_gcl(schedule, mode=mode, ect_proxies=schedule.meta.get("ect_proxies"))
+    talkers = []
+    proxies = set(schedule.meta.get("ect_proxies", {}) or {})
+    for stream in schedule.tct_streams():
+        if stream.name in proxies:
+            continue
+        first_link = stream.path[0]
+        slots = schedule.slots[(stream.name, first_link.key)]
+        base = stream.frames_per_period()
+        talkers.append(
+            TalkerConfig(
+                stream=stream.name,
+                device=stream.source,
+                period_ns=stream.period_ns,
+                offsets_ns=[s.offset_ns for s in slots[:base]],
             )
-        return Deployment(schedule=schedule, gcl=gcl, talkers=talkers)
+        )
+    return Deployment(schedule=schedule, gcl=gcl, talkers=talkers)
 
 
 def gcl_to_entries(port_gcl: PortGcl) -> List[GclEntry]:

@@ -255,6 +255,70 @@ def gcl_from_dict(data: Dict) -> NetworkGcl:
 
 
 # ----------------------------------------------------------------------
+# admission decisions + service metrics
+# ----------------------------------------------------------------------
+def decision_to_dict(decision) -> Dict:
+    """JSON-able record of one admission decision.
+
+    The wire format ``repro serve``/``repro admit`` print, and what an
+    operator's audit log stores per request.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "request_id": decision.request_id,
+        "op": decision.op,
+        "stream": decision.stream,
+        "accepted": decision.accepted,
+        "rung": decision.rung,
+        "reason": decision.reason,
+        "latency_ms": decision.latency_ms,
+        "store_version": decision.store_version,
+        "batch_id": decision.batch_id,
+        "batch_size": decision.batch_size,
+        "attempts": dict(decision.attempts),
+    }
+
+
+def decision_from_dict(data: Dict):
+    """Rebuild a decision from :func:`decision_to_dict` output."""
+    from repro.service.requests import Decision
+
+    _check_version(data)
+    return Decision(
+        request_id=data["request_id"],
+        op=data["op"],
+        stream=data["stream"],
+        accepted=data["accepted"],
+        rung=data.get("rung"),
+        reason=data.get("reason"),
+        latency_ms=data.get("latency_ms", 0.0),
+        store_version=data.get("store_version"),
+        batch_id=data.get("batch_id", 0),
+        batch_size=data.get("batch_size", 1),
+        attempts=dict(data.get("attempts", {})),
+    )
+
+
+def metrics_to_dict(registry) -> Dict:
+    """Versioned JSON-able export of a service metrics registry."""
+    data = registry.to_dict()
+    data["version"] = FORMAT_VERSION
+    return data
+
+
+def save_decision_log(path: str, decisions, registry=None) -> None:
+    """Persist an admission run: one decision per entry, plus metrics."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "decisions": [decision_to_dict(d) for d in decisions],
+    }
+    if registry is not None:
+        payload["metrics"] = metrics_to_dict(registry)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+# ----------------------------------------------------------------------
 # file helpers
 # ----------------------------------------------------------------------
 def save_deployment(path: str, schedule: NetworkSchedule, gcl: NetworkGcl) -> None:

@@ -1,0 +1,563 @@
+"""The online admission-control runtime (paper Sec. VII-C, made a service).
+
+:class:`AdmissionService` turns the single-operation primitives of
+:mod:`repro.core.incremental` into a sustained request-serving runtime:
+
+* requests (admit TCT / admit ECT / remove) are **batched** when their
+  stream sets are disjoint, so one validation pass amortizes over the
+  whole batch;
+* every solve climbs a **fallback ladder** — incremental earliest-fit
+  around the frozen schedule first, then a full :func:`schedule_etsn`
+  re-solve, then a restart-boosted :func:`schedule_heuristic` — each
+  rung with its own wall-clock timeout and bounded retry/backoff;
+* an infeasible request is a **structured rejection**
+  (:class:`~repro.service.requests.Decision`), never an exception
+  escaping the service;
+* accepted batches publish a new snapshot to the
+  :class:`~repro.service.store.ScheduleStore` (readers keep their old
+  version) and optionally emit an 802.1Qcc
+  :class:`~repro.cnc.qcc.Deployment`;
+* counters and latency histograms for every step live in an embedded
+  :class:`~repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.cnc.qcc import Deployment, deployment_from_schedule
+from repro.core.baselines import schedule_etsn
+from repro.core.heuristic import schedule_heuristic
+from repro.core.incremental import add_ect_stream, add_tct_stream, remove_stream
+from repro.core.schedule import (
+    InfeasibleError,
+    NetworkSchedule,
+    ScheduleError,
+    validate,
+)
+from repro.model.stream import EctStream, Stream, StreamError, StreamType
+from repro.service.metrics import MetricsRegistry
+from repro.service.requests import (
+    AdmissionRequest,
+    AdmitEct,
+    AdmitTct,
+    Decision,
+    Remove,
+)
+from repro.service.store import ScheduleStore, StaleVersionError
+
+#: Ladder rung names, in climb order.
+RUNG_INCREMENTAL = "incremental"
+RUNG_FULL = "full"
+RUNG_HEURISTIC = "heuristic"
+
+
+class RungTimeout(RuntimeError):
+    """One ladder rung exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RungConfig:
+    """Budget of one ladder rung.
+
+    ``retries`` re-runs apply to timeouts and unexpected solver errors;
+    a deterministic :class:`InfeasibleError` is final for the rung, so
+    it climbs immediately.
+    """
+
+    name: str
+    timeout_s: Optional[float] = 30.0
+    retries: int = 0
+    backoff_s: float = 0.05
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one admission service instance."""
+
+    #: backend for the full re-solve rung ("heuristic" or "smt").
+    backend: str = "heuristic"
+    reservation_mode: str = "paper"
+    guard_margin_ns: int = 0
+    #: restart budget of the last-resort heuristic rung (the default
+    #: budget is ``2 * streams + 4``; this floor keeps the last rung
+    #: strictly more persistent than the full re-solve's default).
+    heuristic_min_restarts: int = 128
+    #: largest number of requests validated as one batch.
+    max_batch: int = 8
+    #: build an 802.1Qcc Deployment (GCL + talker offsets) per accepted
+    #: batch; off by default to keep the admission hot path lean.
+    emit_deployments: bool = False
+    gcl_mode: str = "etsn"
+    rungs: Tuple[RungConfig, ...] = (
+        RungConfig(RUNG_INCREMENTAL),
+        RungConfig(RUNG_FULL),
+        RungConfig(RUNG_HEURISTIC),
+    )
+
+
+@dataclass
+class _Batch:
+    """One ladder attempt over a compatible request group."""
+
+    requests: List[AdmissionRequest]
+    batch_id: int
+
+
+class AdmissionService:
+    """Serves admit/remove requests against a :class:`ScheduleStore`."""
+
+    def __init__(
+        self,
+        store: ScheduleStore,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
+        on_deploy: Optional[Callable[[Deployment], None]] = None,
+    ) -> None:
+        self._store = store
+        self._config = config or ServiceConfig()
+        self._metrics = metrics if metrics is not None else store.metrics
+        self._clock = clock
+        self._sleep = sleep
+        self._on_deploy = on_deploy
+        self._queue: Deque[AdmissionRequest] = deque()
+        self._write_lock = threading.Lock()
+        self._request_counter = 0
+        self._batch_counter = 0
+        self._last_deployment: Optional[Deployment] = None
+
+    # -- public surface ------------------------------------------------
+    @property
+    def store(self) -> ScheduleStore:
+        return self._store
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def last_deployment(self) -> Optional[Deployment]:
+        return self._last_deployment
+
+    def metrics_json(self, indent: Optional[int] = None) -> str:
+        return self._metrics.to_json(indent=indent)
+
+    def submit(self, request: AdmissionRequest) -> Decision:
+        """Decide one request immediately."""
+        return self.submit_many([request])[0]
+
+    def submit_many(
+        self, requests: Sequence[AdmissionRequest]
+    ) -> List[Decision]:
+        """Decide a request stream, batching compatible neighbours.
+
+        Consecutive requests whose stream names are disjoint are solved
+        and validated as one batch (bounded by ``max_batch``); a batch
+        that fails every rung is splintered and re-tried one request at
+        a time, so an infeasible newcomer cannot drag its batch-mates
+        down with it.
+        """
+        decisions: List[Decision] = []
+        with self._write_lock:
+            for batch in self._coalesce(requests):
+                decisions.extend(self._process_batch(batch))
+        return decisions
+
+    def enqueue(self, request: AdmissionRequest) -> None:
+        """Queue a request for the next :meth:`drain`."""
+        self._queue.append(request)
+        self._metrics.gauge("queue.depth").set(len(self._queue))
+
+    def drain(self) -> List[Decision]:
+        """Decide everything queued so far, in arrival order."""
+        pending: List[AdmissionRequest] = []
+        while self._queue:
+            pending.append(self._queue.popleft())
+            self._metrics.gauge("queue.depth").set(len(self._queue))
+        return self.submit_many(pending) if pending else []
+
+    # -- batching ------------------------------------------------------
+    def _coalesce(
+        self, requests: Sequence[AdmissionRequest]
+    ) -> List[_Batch]:
+        batches: List[_Batch] = []
+        current: List[AdmissionRequest] = []
+        names: set = set()
+        for request in requests:
+            clash = request.stream_name in names
+            if current and (clash or len(current) >= self._config.max_batch):
+                batches.append(self._new_batch(current))
+                current, names = [], set()
+            current.append(request)
+            names.add(request.stream_name)
+        if current:
+            batches.append(self._new_batch(current))
+        return batches
+
+    def _new_batch(self, requests: List[AdmissionRequest]) -> _Batch:
+        self._batch_counter += 1
+        return _Batch(requests=list(requests), batch_id=self._batch_counter)
+
+    # -- batch processing ----------------------------------------------
+    def _process_batch(self, batch: _Batch) -> List[Decision]:
+        started = self._clock()
+        self._metrics.counter("batches.total").inc()
+        self._metrics.histogram("batch.size").observe(len(batch.requests))
+
+        snapshot = self._store.snapshot()
+        viable: List[AdmissionRequest] = []
+        rejected: Dict[int, Decision] = {}
+        for position, request in enumerate(batch.requests):
+            problem = self._screen(request, snapshot.schedule, viable)
+            if problem is None:
+                viable.append(request)
+            else:
+                rejected[position] = self._decide(
+                    request, batch, accepted=False, reason=problem,
+                    latency_ms=0.0,
+                )
+
+        outcome: Optional[Tuple[str, NetworkSchedule]] = None
+        attempts: Dict[str, str] = {}
+        if viable:
+            outcome, attempts = self._climb_ladder(snapshot.schedule, viable)
+
+        if viable and outcome is None and len(viable) > 1:
+            # Amortization failed for the group: decide each request on
+            # its own so feasible batch-mates are not dragged down.
+            self._metrics.counter("batches.splintered").inc()
+            decisions_by_request = {}
+            for request in viable:
+                decisions_by_request[id(request)] = self._process_batch(
+                    self._new_batch([request])
+                )[0]
+            ordered: List[Decision] = []
+            for position, request in enumerate(batch.requests):
+                if position in rejected:
+                    ordered.append(rejected[position])
+                else:
+                    ordered.append(decisions_by_request[id(request)])
+            return ordered
+
+        latency_ms = (self._clock() - started) * 1e3
+        version: Optional[int] = None
+        rung: Optional[str] = None
+        if outcome is not None:
+            rung, schedule = outcome
+            try:
+                version = self._store.publish(
+                    schedule, expected_version=snapshot.version
+                ).version
+            except StaleVersionError:
+                # Lost the CAS race: rebase the whole batch on the new
+                # snapshot (the write lock makes this unreachable from
+                # this service instance, but the store may be shared).
+                self._metrics.counter("batches.rebased").inc()
+                return self._process_batch(batch)
+            self._emit_deployment(schedule)
+
+        ordered = []
+        for position, request in enumerate(batch.requests):
+            if position in rejected:
+                ordered.append(rejected[position])
+            elif outcome is not None:
+                ordered.append(self._decide(
+                    request, batch, accepted=True, rung=rung,
+                    latency_ms=latency_ms, store_version=version,
+                    batch_size=len(viable), attempts=attempts,
+                ))
+            else:
+                ordered.append(self._decide(
+                    request, batch, accepted=False,
+                    reason=self._rejection_reason(attempts),
+                    latency_ms=latency_ms, batch_size=len(viable),
+                    attempts=attempts,
+                ))
+        return ordered
+
+    def _decide(
+        self,
+        request: AdmissionRequest,
+        batch: _Batch,
+        accepted: bool,
+        rung: Optional[str] = None,
+        reason: Optional[str] = None,
+        latency_ms: float = 0.0,
+        store_version: Optional[int] = None,
+        batch_size: int = 1,
+        attempts: Optional[Dict[str, str]] = None,
+    ) -> Decision:
+        self._request_counter += 1
+        self._metrics.counter("requests.total").inc()
+        self._metrics.counter(
+            "requests.admitted" if accepted else "requests.rejected"
+        ).inc()
+        self._metrics.counter(
+            f"decisions.{rung if accepted else 'rejected'}"
+        ).inc()
+        self._metrics.histogram("latency.decision_ms").observe(latency_ms)
+        return Decision(
+            request_id=self._request_counter,
+            op=request.op,
+            stream=request.stream_name,
+            accepted=accepted,
+            rung=rung,
+            reason=reason,
+            latency_ms=latency_ms,
+            store_version=store_version,
+            batch_id=batch.batch_id,
+            batch_size=batch_size,
+            attempts=dict(attempts or {}),
+        )
+
+    @staticmethod
+    def _rejection_reason(attempts: Dict[str, str]) -> str:
+        detail = "; ".join(f"{rung}: {why}" for rung, why in attempts.items())
+        return f"all ladder rungs failed ({detail})"
+
+    # -- request screening ---------------------------------------------
+    def _screen(
+        self,
+        request: AdmissionRequest,
+        schedule: NetworkSchedule,
+        batch_so_far: Sequence[AdmissionRequest],
+    ) -> Optional[str]:
+        """Cheap structural checks before any solver runs.
+
+        Returns a rejection reason, or ``None`` when the request is
+        worth a solve.
+        """
+        taken = {s.name for s in schedule.streams}
+        taken.update(e.name for e in schedule.ect_streams)
+        pending = {r.stream_name for r in batch_so_far}
+        name = request.stream_name
+        if isinstance(request, (AdmitTct, AdmitEct)):
+            if name in taken or name in pending:
+                return f"stream name {name!r} already in use"
+            try:
+                if isinstance(request, AdmitTct):
+                    request.requirement.resolve(schedule.topology)
+                else:
+                    request.ect.route(schedule.topology)
+            except (StreamError, ValueError, KeyError) as exc:
+                return f"unroutable request: {exc}"
+            return None
+        if isinstance(request, Remove):
+            is_ect = any(e.name == name for e in schedule.ect_streams)
+            is_tct = any(
+                s.name == name and s.type == StreamType.DET
+                for s in schedule.streams
+            )
+            if not (is_ect or is_tct):
+                return f"no stream named {name!r} to remove"
+            if name in pending:
+                return f"stream {name!r} already touched by this batch"
+            return None
+        return f"unsupported request type {type(request).__name__}"
+
+    # -- the fallback ladder -------------------------------------------
+    def _climb_ladder(
+        self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+    ) -> Tuple[Optional[Tuple[str, NetworkSchedule]], Dict[str, str]]:
+        """Try each rung in order; first success wins.
+
+        Returns ``((rung name, new schedule), attempts)`` on success or
+        ``(None, attempts)`` with per-rung failure reasons.
+        """
+        solvers = {
+            RUNG_INCREMENTAL: lambda: self._solve_incremental(schedule, batch),
+            RUNG_FULL: lambda: self._solve_full(schedule, batch),
+            RUNG_HEURISTIC: lambda: self._solve_heuristic(schedule, batch),
+        }
+        attempts: Dict[str, str] = {}
+        for rung in self._config.rungs:
+            solver = solvers.get(rung.name)
+            if solver is None:
+                attempts[rung.name] = "unknown rung"
+                continue
+            result = self._run_rung(rung, solver, attempts)
+            if result is not None:
+                return (rung.name, result), attempts
+        return None, attempts
+
+    def _run_rung(
+        self,
+        rung: RungConfig,
+        solver: Callable[[], NetworkSchedule],
+        attempts: Dict[str, str],
+    ) -> Optional[NetworkSchedule]:
+        for attempt in range(rung.retries + 1):
+            self._metrics.counter(f"rungs.{rung.name}.attempts").inc()
+            started = self._clock()
+            try:
+                result = _call_with_timeout(solver, rung.timeout_s)
+            except RungTimeout as exc:
+                self._metrics.counter(f"rungs.{rung.name}.timeouts").inc()
+                attempts[rung.name] = str(exc)
+            except (InfeasibleError, ScheduleError, StreamError,
+                    ValueError) as exc:
+                # deterministic verdict: retrying cannot change it
+                self._metrics.counter(f"rungs.{rung.name}.failures").inc()
+                attempts[rung.name] = str(exc)
+                return None
+            except Exception as exc:  # noqa: BLE001 - keep the service up
+                self._metrics.counter(f"rungs.{rung.name}.errors").inc()
+                attempts[rung.name] = f"{type(exc).__name__}: {exc}"
+            else:
+                self._metrics.counter(f"rungs.{rung.name}.successes").inc()
+                self._metrics.histogram(
+                    f"latency.rung.{rung.name}_ms"
+                ).observe((self._clock() - started) * 1e3)
+                return result
+            self._metrics.histogram(
+                f"latency.rung.{rung.name}_ms"
+            ).observe((self._clock() - started) * 1e3)
+            if attempt < rung.retries and rung.backoff_s:
+                self._sleep(rung.backoff_s * (2 ** attempt))
+        return None
+
+    # rung 1: earliest-fit around the frozen schedule ------------------
+    def _solve_incremental(
+        self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+    ) -> NetworkSchedule:
+        result = schedule
+        last = len(batch) - 1
+        for position, request in enumerate(batch):
+            # validation is amortized: only the last operation validates
+            check = position == last
+            if isinstance(request, AdmitTct):
+                result = add_tct_stream(
+                    result,
+                    request.requirement.resolve(result.topology),
+                    guard_margin_ns=self._config.guard_margin_ns,
+                    validate_result=check,
+                )
+            elif isinstance(request, AdmitEct):
+                result = add_ect_stream(
+                    result, request.ect,
+                    guard_margin_ns=self._config.guard_margin_ns,
+                    reservation_mode=self._config.reservation_mode,
+                    validate_result=check,
+                )
+            else:
+                result = remove_stream(
+                    result, request.name, validate_result=check
+                )
+        return result
+
+    # rungs 2/3: re-solve the target stream set from scratch -----------
+    def _target_sets(
+        self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+    ) -> Tuple[List[Stream], List[EctStream]]:
+        """The stream population after applying the batch's operations."""
+        removals = {r.name for r in batch if isinstance(r, Remove)}
+        ects = [e for e in schedule.ect_streams if e.name not in removals]
+        # probabilistic possibilities are regenerated from the ECT specs
+        # by the solver, so only the deterministic population carries over
+        tct = [
+            s for s in schedule.streams
+            if s.type == StreamType.DET and s.name not in removals
+        ]
+        for request in batch:
+            if isinstance(request, AdmitTct):
+                tct.append(request.requirement.resolve(schedule.topology))
+            elif isinstance(request, AdmitEct):
+                ects.append(request.ect)
+        return tct, ects
+
+    def _solve_full(
+        self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+    ) -> NetworkSchedule:
+        tct, ects = self._target_sets(schedule, batch)
+        result = schedule_etsn(
+            schedule.topology, tct, ects,
+            backend=self._config.backend,
+            guard_margin_ns=self._config.guard_margin_ns,
+            reservation_mode=self._config.reservation_mode,
+        )
+        result.meta["resolved_by"] = RUNG_FULL
+        return result
+
+    def _solve_heuristic(
+        self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+    ) -> NetworkSchedule:
+        tct, ects = self._target_sets(schedule, batch)
+        restarts = max(
+            self._config.heuristic_min_restarts,
+            2 * (len(tct) + sum(e.possibilities for e in ects)) + 4,
+        )
+        result = schedule_heuristic(
+            schedule.topology, tct, ects,
+            max_restarts=restarts,
+            guard_margin_ns=self._config.guard_margin_ns,
+            reservation_mode=self._config.reservation_mode,
+        )
+        result.meta["resolved_by"] = RUNG_HEURISTIC
+        return result
+
+    # -- deployment emission -------------------------------------------
+    def _emit_deployment(self, schedule: NetworkSchedule) -> None:
+        if not self._config.emit_deployments:
+            return
+        if not schedule.streams and not schedule.ect_streams:
+            # Retiring the last stream leaves nothing to program into the
+            # switches; there is no GCL for an empty schedule.
+            self._metrics.counter("deployments.skipped_empty").inc()
+            return
+        deployment = deployment_from_schedule(
+            schedule, mode=self._config.gcl_mode
+        )
+        self._last_deployment = deployment
+        self._metrics.counter("deployments.emitted").inc()
+        if self._on_deploy is not None:
+            self._on_deploy(deployment)
+
+
+def _call_with_timeout(
+    fn: Callable[[], NetworkSchedule], timeout_s: Optional[float]
+) -> NetworkSchedule:
+    """Run ``fn`` under a wall-clock budget.
+
+    ``None`` (or non-positive) runs inline.  Otherwise the solve runs in
+    a daemon thread; on timeout the thread is abandoned (pure-python
+    solvers cannot be preempted) and :class:`RungTimeout` raised — the
+    orphan finishes in the background and its result is discarded.
+    """
+    if timeout_s is None or timeout_s <= 0:
+        return fn()
+    outcome: Dict[str, object] = {}
+    done = threading.Event()
+
+    def worker() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=worker, name="repro-admission-solve", daemon=True
+    )
+    thread.start()
+    if not done.wait(timeout_s):
+        raise RungTimeout(f"solve exceeded {timeout_s:.3f}s budget")
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    return outcome["value"]  # type: ignore[return-value]
+
+
+def empty_schedule(topology) -> NetworkSchedule:
+    """A zero-stream schedule to seed a store for a fresh network."""
+    topology.validate()
+    schedule = NetworkSchedule(
+        topology=topology, streams=[], slots={}, ect_streams=[], meta={}
+    )
+    validate(schedule)
+    return schedule

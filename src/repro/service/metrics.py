@@ -1,0 +1,188 @@
+"""Embedded metrics for the admission-control runtime.
+
+A production CNC is judged by its admission latency and throughput (the
+deciding factors for online scheduling per the TAS survey and the
+network-calculus admission-control line of work), so the service keeps
+its own counters and latency histograms instead of relying on external
+tooling.  Everything is in-process, allocation-light, and exportable as
+plain JSON:
+
+* :class:`Counter` — monotone event count.
+* :class:`Gauge` — last-written value (queue depth, store version).
+* :class:`Histogram` — bounded-reservoir latency distribution with
+  percentile queries (p50/p90/p99) plus exact count/sum/min/max.
+* :class:`MetricsRegistry` — create-on-first-use namespace over all of
+  the above; :meth:`MetricsRegistry.to_dict` / :meth:`to_json` export.
+
+The histogram keeps at most ``max_samples`` observations; once full it
+falls back to coarse reservoir replacement (deterministic, seeded per
+histogram) so long benchmark runs stay O(1) memory while the exact
+``count``/``sum`` stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Latency distribution with percentile queries.
+
+    Exact ``count``/``sum``/``min``/``max``; percentiles come from a
+    bounded sample reservoir (all observations until ``max_samples``,
+    then seeded random replacement).
+    """
+
+    def __init__(self, max_samples: int = 8192, seed: int = 1) -> None:
+        if max_samples < 1:
+            raise ValueError("histogram needs room for at least one sample")
+        self._max_samples = max_samples
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self._max_samples:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Namespace of counters, gauges, and histograms.
+
+    Instruments are created on first use, so callers never have to
+    declare metrics ahead of time; ``prefix.name`` dotted keys group
+    related series (e.g. ``decisions.incremental``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                # one fixed seed per series keeps runs reproducible
+                self._histograms[name] = Histogram(seed=len(self._histograms) + 1)
+            return self._histograms[name]
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """All counter values whose name starts with ``prefix.``."""
+        return {
+            name[len(prefix) + 1:]: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix + ".")
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-able snapshot of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -200,7 +200,13 @@ class TsnSimulation:
                 seed=self._config.seed * 7919 + index,
             ).start()
 
-        self._loss_rng = random.Random(self._config.seed * 31 + 17)
+        # One RNG per lossy link (mirroring the per-source RNGs above):
+        # a shared RNG would make link A's loss outcomes depend on how
+        # many draws link B consumed, i.e. on unrelated traffic.
+        self._loss_rngs = {
+            key: random.Random(f"{self._config.seed}:loss:{key[0]}->{key[1]}")
+            for key in self._config.link_loss
+        }
         self.frames_lost = 0
 
         self._sync = SyncDomain(
@@ -215,7 +221,7 @@ class TsnSimulation:
     # ------------------------------------------------------------------
     def _deliver(self, frame: SimFrame, arrival_ns: int) -> None:
         loss = self._config.link_loss.get(frame.current_link.key, 0.0)
-        if loss and self._loss_rng.random() < loss:
+        if loss and self._loss_rngs[frame.current_link.key].random() < loss:
             self.frames_lost += 1
             return
         if frame.is_last_hop:

@@ -1,11 +1,13 @@
 """Online (incremental) scheduling tests."""
 
+import random
+
 import pytest
 
 from repro.core.baselines import schedule_etsn
 from repro.core.incremental import add_ect_stream, add_tct_stream, remove_stream
 from repro.core.schedule import InfeasibleError, validate
-from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.stream import EctStream, Priorities, Stream, TctRequirement
 from repro.model.units import milliseconds
 from tests.conftest import MTU_WIRE_NS
 
@@ -165,3 +167,60 @@ class TestRemove:
         smaller = remove_stream(schedule, "base2")
         again = add_tct_stream(smaller, _tct(star_topology, "base2", src="D2"))
         validate(again)
+
+
+class TestServiceEquivalence:
+    """Equivalence stress: random admit/remove sequences through the
+    AdmissionService must end in a schedule that (a) passes the
+    independent validator and (b) matches the feasibility verdict of a
+    from-scratch ``schedule_etsn`` over the same final stream set."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_storm_matches_offline_feasibility(self, star_topology, seed):
+        from repro.service import (AdmissionService, AdmitEct, AdmitTct,
+                                   Remove, ScheduleStore, empty_schedule)
+
+        rng = random.Random(seed)
+        service = AdmissionService(ScheduleStore(empty_schedule(star_topology)))
+        devices = ("D1", "D2", "D3")
+        for i in range(80):
+            schedule = service.store.schedule
+            victims = sorted(
+                {s.name for s in schedule.streams if s.parent is None}
+                | {e.name for e in schedule.ect_streams}
+            )
+            roll = rng.random()
+            if roll < 0.3 and victims:
+                service.submit(Remove(rng.choice(victims)))
+            elif roll < 0.4:
+                src, dst = rng.sample(devices, 2)
+                service.submit(AdmitEct(EctStream(
+                    name=f"e{i}", source=src, destination=dst,
+                    min_interevent_ns=milliseconds(rng.choice((16, 32))),
+                    length_bytes=512, possibilities=2,
+                )))
+            else:
+                src, dst = rng.sample(devices, 2)
+                service.submit(AdmitTct(TctRequirement(
+                    name=f"t{i}", source=src, destination=dst,
+                    period_ns=milliseconds(rng.choice((8, 16))),
+                    length_bytes=rng.choice((400, 1500)),
+                    priority=Priorities.NSH_PH,
+                )))
+
+        final = service.store.schedule
+        validate(final)
+        # from-scratch re-solve of the surviving population agrees that
+        # the set is feasible (same verdict as the accepted online state)
+        offline = schedule_etsn(
+            star_topology,
+            [s for s in final.streams if s.parent is None],
+            final.ect_streams,
+        )
+        validate(offline)
+        assert {s.name for s in offline.streams} == {
+            s.name for s in final.streams
+        }
+        assert [e.name for e in offline.ect_streams] == [
+            e.name for e in final.ect_streams
+        ]

@@ -1,0 +1,84 @@
+"""Metrics registry: counters, gauges, histograms, JSON export."""
+
+import json
+
+import pytest
+
+from repro.service import MetricsRegistry
+from repro.service.metrics import Histogram
+
+
+class TestCounter:
+    def test_counts(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(2)
+        assert registry.counter("a").value == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_prefix_grouping(self):
+        registry = MetricsRegistry()
+        registry.counter("decisions.incremental").inc(4)
+        registry.counter("decisions.rejected").inc(1)
+        registry.counter("other").inc()
+        assert registry.counters_with_prefix("decisions") == {
+            "incremental": 4, "rejected": 1,
+        }
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+
+    def test_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50, abs=1)
+        assert h.percentile(99) == pytest.approx(99, abs=1)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_bounded_reservoir(self):
+        h = Histogram(max_samples=16, seed=3)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000          # exact count survives
+        assert len(h._samples) == 16      # memory stays bounded
+        assert h.percentile(50) >= 0
+
+    def test_out_of_range_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_empty_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+
+class TestRegistryExport:
+    def test_to_dict_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests.total").inc(7)
+        registry.gauge("queue.depth").set(3)
+        registry.histogram("latency_ms").observe(1.5)
+        data = json.loads(registry.to_json())
+        assert data["counters"]["requests.total"] == 7
+        assert data["gauges"]["queue.depth"] == 3
+        assert data["histograms"]["latency_ms"]["count"] == 1
+        assert data["histograms"]["latency_ms"]["p50"] == 1.5
+
+    def test_instruments_are_singletons(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+        assert registry.gauge("z") is registry.gauge("z")

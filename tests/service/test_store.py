@@ -1,0 +1,82 @@
+"""ScheduleStore: versioned snapshots, CAS publishes, churn metrics."""
+
+import pytest
+
+from repro.core.baselines import schedule_etsn
+from repro.core.incremental import add_tct_stream
+from repro.model.stream import Priorities, Stream
+from repro.model.units import milliseconds
+from repro.service import ScheduleStore, StaleVersionError, empty_schedule
+
+
+def _tct(topo, name, src="D1", dst="D3"):
+    period = milliseconds(8)
+    return Stream(
+        name=name, path=tuple(topo.shortest_path(src, dst)),
+        e2e_ns=period, priority=Priorities.NSH_PL,
+        length_bytes=1500, period_ns=period,
+    )
+
+
+@pytest.fixture
+def base(star_topology):
+    return schedule_etsn(star_topology, [_tct(star_topology, "s1")], [])
+
+
+class TestStore:
+    def test_initial_snapshot_is_version_zero(self, base):
+        store = ScheduleStore(base)
+        snap = store.snapshot()
+        assert snap.version == 0
+        assert snap.schedule is base
+
+    def test_publish_bumps_version(self, star_topology, base):
+        store = ScheduleStore(base)
+        after = add_tct_stream(base, _tct(star_topology, "s2", src="D2"))
+        snap = store.publish(after)
+        assert snap.version == 1
+        assert store.schedule is after
+
+    def test_readers_keep_old_snapshot(self, star_topology, base):
+        store = ScheduleStore(base)
+        reader = store.snapshot()
+        store.publish(add_tct_stream(base, _tct(star_topology, "s2", src="D2")))
+        # the reader's snapshot is unaffected by the publish
+        assert reader.version == 0
+        assert all(s.name != "s2" for s in reader.schedule.streams)
+        assert store.version == 1
+
+    def test_cas_conflict_refused(self, star_topology, base):
+        store = ScheduleStore(base)
+        after = add_tct_stream(base, _tct(star_topology, "s2", src="D2"))
+        store.publish(after, expected_version=0)
+        with pytest.raises(StaleVersionError):
+            store.publish(after, expected_version=0)
+        assert store.metrics.counter("store.cas_conflicts").value == 1
+        assert store.version == 1  # refused publish left the store alone
+
+    def test_history_retained_and_bounded(self, star_topology, base):
+        store = ScheduleStore(base, history_limit=2)
+        schedule = base
+        for i in range(4):
+            schedule = add_tct_stream(
+                schedule, _tct(star_topology, f"g{i}", src="D2"))
+            store.publish(schedule)
+        history = store.history()
+        assert len(history) == 2
+        assert [s.version for s in history] == [2, 3]
+
+    def test_churn_metrics(self, star_topology, base):
+        store = ScheduleStore(base)
+        schedule = base
+        for i in range(3):
+            schedule = add_tct_stream(
+                schedule, _tct(star_topology, f"g{i}", src="D2"))
+            store.publish(schedule)
+        assert store.metrics.counter("store.publishes").value == 3
+        assert store.metrics.gauge("store.version").value == 3
+
+    def test_empty_schedule_seed(self, star_topology):
+        store = ScheduleStore(empty_schedule(star_topology))
+        assert store.schedule.streams == []
+        assert store.version == 0

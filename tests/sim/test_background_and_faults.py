@@ -137,3 +137,34 @@ class TestFaultInjection:
             for _ in range(2)
         ]
         assert reports[0].frames_lost == reports[1].frames_lost
+
+    def test_per_link_loss_invariant_to_other_links_traffic(
+        self, two_switch_topology
+    ):
+        """Regression: each lossy link draws from its own RNG, so link
+        A's loss outcomes cannot change when traffic on link B does.
+
+        ``ctrl``'s only lossy hop is its first link (D1->SW1); the alarm
+        stream's first hop (D2->SW1) is lossy too.  Changing *when* the
+        alarm fires reorders the global sequence of loss draws — with a
+        single shared RNG that used to reshuffle ctrl's losses as well.
+        """
+        losses = {("D1", "SW1"): 0.4, ("D2", "SW1"): 0.5}
+        few_events = [milliseconds(100)]
+        many_events = [milliseconds(40 * k + 7) for k in range(12)]
+        reports = {
+            label: _setup(two_switch_topology, link_loss=losses,
+                          ect_event_times={"alarm": events})[1]
+            for label, events in (("few", few_events), ("many", many_events))
+        }
+        assert (reports["few"].recorder.injected("ctrl")
+                == reports["many"].recorder.injected("ctrl"))
+        # ctrl's per-frame loss outcomes are identical despite the alarm
+        # traffic change on the other lossy link
+        assert (reports["few"].recorder.lost("ctrl")
+                == reports["many"].recorder.lost("ctrl"))
+        assert (reports["few"].recorder.delivered("ctrl")
+                == reports["many"].recorder.delivered("ctrl"))
+        # sanity: the experiment really injected different alarm loads
+        assert (reports["few"].recorder.injected("alarm")
+                != reports["many"].recorder.injected("alarm"))

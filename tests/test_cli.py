@@ -1,8 +1,29 @@
 """CLI tests (in-process, via main())."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.model.units import milliseconds
+from repro.serialization import schedule_to_dict, topology_to_dict
+
+
+@pytest.fixture
+def state_file(tmp_path, star_topology):
+    """A persisted schedule with one stream already admitted."""
+    from repro.core.baselines import schedule_etsn
+    from repro.model.stream import Priorities, Stream
+
+    period = milliseconds(8)
+    schedule = schedule_etsn(star_topology, [Stream(
+        name="base", path=tuple(star_topology.shortest_path("D1", "D3")),
+        e2e_ns=period, priority=Priorities.NSH_PL,
+        length_bytes=1500, period_ns=period,
+    )], [])
+    path = tmp_path / "state.json"
+    path.write_text(json.dumps(schedule_to_dict(schedule)))
+    return path
 
 
 class TestCli:
@@ -32,3 +53,136 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestAdmitCommand:
+    def test_accept_prints_decision_json(self, capsys, tmp_path, state_file):
+        out_path = tmp_path / "updated.json"
+        code = main([
+            "admit", "--state", str(state_file), "--out", str(out_path),
+            "--name", "newcomer", "--source", "D2", "--dest", "D3",
+            "--period-us", "8000",
+        ])
+        assert code == 0
+        decision = json.loads(capsys.readouterr().out)
+        assert decision["accepted"] is True
+        assert decision["stream"] == "newcomer"
+        assert decision["rung"] == "incremental"
+        # the updated state round-trips and contains the newcomer
+        from repro.serialization import schedule_from_dict
+        updated = schedule_from_dict(json.loads(out_path.read_text()))
+        assert any(s.name == "newcomer" for s in updated.streams)
+
+    def test_reject_exits_nonzero(self, capsys, state_file):
+        code = main([
+            "admit", "--state", str(state_file),
+            "--name", "hog", "--source", "D2", "--dest", "D3",
+            "--period-us", "4000", "--length", str(40 * 1500),
+        ])
+        assert code == 1
+        decision = json.loads(capsys.readouterr().out)
+        assert decision["accepted"] is False
+        assert decision["reason"]
+
+    def test_remove(self, capsys, state_file):
+        code = main(["admit", "--state", str(state_file), "--remove", "base"])
+        assert code == 0
+        decision = json.loads(capsys.readouterr().out)
+        assert decision["op"] == "remove"
+        assert decision["accepted"] is True
+
+    def test_missing_flags_rejected(self, state_file):
+        with pytest.raises(SystemExit):
+            main(["admit", "--state", str(state_file), "--name", "x"])
+
+
+class TestServeCommand:
+    def _requests_file(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        return path
+
+    def _topology_file(self, tmp_path, topology):
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(topology_to_dict(topology)))
+        return path
+
+    def test_serves_request_stream(self, capsys, tmp_path, star_topology):
+        topo_path = self._topology_file(tmp_path, star_topology)
+        requests = self._requests_file(tmp_path, [
+            {"op": "admit-tct", "name": "a", "source": "D1",
+             "destination": "D3", "period_ns": milliseconds(8),
+             "length_bytes": 1500},
+            {"op": "admit-ect", "name": "e", "source": "D2",
+             "destination": "D3", "min_interevent_ns": milliseconds(16),
+             "length_bytes": 512, "possibilities": 2},
+            {"op": "remove", "name": "a"},
+        ])
+        metrics_path = tmp_path / "metrics.json"
+        state_path = tmp_path / "final.json"
+        code = main([
+            "serve", "--topology", str(topo_path),
+            "--requests", str(requests),
+            "--metrics-out", str(metrics_path),
+            "--save-state", str(state_path),
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        decisions = [json.loads(line) for line in lines]
+        assert [d["op"] for d in decisions] == [
+            "admit-tct", "admit-ect", "remove"]
+        assert all(d["accepted"] for d in decisions)
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["requests.total"] == 3
+        # the saved final state reloads and revalidates
+        from repro.serialization import schedule_from_dict
+        final = schedule_from_dict(json.loads(state_path.read_text()))
+        assert [e.name for e in final.ect_streams] == ["e"]
+
+    def test_fail_on_reject(self, capsys, tmp_path, star_topology):
+        topo_path = self._topology_file(tmp_path, star_topology)
+        requests = self._requests_file(tmp_path, [
+            {"op": "remove", "name": "ghost"},
+        ])
+        code = main([
+            "serve", "--topology", str(topo_path),
+            "--requests", str(requests), "--fail-on-reject",
+        ])
+        assert code == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        decision = json.loads(lines[0])
+        assert decision["accepted"] is False
+        # metrics land on stdout when no --metrics-out is given
+        assert "metrics" in json.loads(lines[-1])
+
+    def test_malformed_request_line_is_a_clean_error(
+        self, capsys, tmp_path, star_topology
+    ):
+        topo_path = self._topology_file(tmp_path, star_topology)
+        requests = self._requests_file(tmp_path, [
+            {"op": "admit-tct", "name": "x", "source": "D1"},
+        ])
+        code = main([
+            "serve", "--topology", str(topo_path), "--requests", str(requests),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "requests line 1" in err
+        assert "destination" in err
+
+    def test_serve_from_state(self, capsys, tmp_path, state_file):
+        requests = self._requests_file(tmp_path, [
+            {"op": "admit-tct", "name": "b", "source": "D2",
+             "destination": "D3", "period_ns": milliseconds(16),
+             "length_bytes": 800},
+        ])
+        code = main([
+            "serve", "--state", str(state_file), "--requests", str(requests),
+        ])
+        assert code == 0
+        decisions = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert decisions[0]["accepted"] is True
+        assert decisions[0]["store_version"] == 1

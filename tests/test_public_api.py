@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.core",
     "repro.experiments",
     "repro.model",
+    "repro.service",
     "repro.sim",
     "repro.smt",
     "repro.traffic",
