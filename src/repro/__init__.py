@@ -53,6 +53,7 @@ from repro.model import (
     Topology,
     TopologyError,
 )
+from repro.obs import NULL_TRACER, Span, Tracer, to_prometheus
 from repro.serialization import (
     load_deployment,
     save_deployment,
@@ -80,10 +81,13 @@ __all__ = [
     "EctStream",
     "InfeasibleError",
     "Link",
+    "NULL_TRACER",
     "NetworkGcl",
     "NetworkSchedule",
     "Priorities",
     "Remove",
+    "Span",
+    "Tracer",
     "ScheduleError",
     "ScheduleStore",
     "ServiceConfig",
@@ -107,5 +111,6 @@ __all__ = [
     "schedule_heuristic",
     "schedule_period",
     "schedule_smt",
+    "to_prometheus",
     "validate",
 ]

@@ -15,6 +15,17 @@ Commands
 ``serve``
     Run the online admission service over a JSON-lines request stream
     (file or stdin), printing one decision JSON per line.
+``metrics``
+    Run a small demo admission and export the service metrics as JSON
+    or Prometheus text exposition (``--input`` re-exports a saved
+    metrics JSON instead).
+``trace``
+    Inspect a span trace written by ``--trace``:
+    ``repro trace summarize out.jsonl`` prints per-span-name and
+    per-rung latency distributions (count / mean / p50 / p99).
+
+``serve`` and ``admit`` accept ``--trace FILE`` to record admission
+spans (request -> rung -> solve) as JSON-lines.
 """
 
 from __future__ import annotations
@@ -80,6 +91,8 @@ def _build_parser() -> argparse.ArgumentParser:
     admit.add_argument("--backend", default="heuristic",
                        choices=("heuristic", "smt"),
                        help="backend for the full re-solve rung")
+    admit.add_argument("--trace", metavar="FILE",
+                       help="write admission spans here as JSON-lines")
 
     serve = sub.add_parser(
         "serve", help="serve a JSON-lines admission request stream"
@@ -103,6 +116,30 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", default="heuristic",
                        choices=("heuristic", "smt"),
                        help="backend for the full re-solve rung")
+    serve.add_argument("--trace", metavar="FILE",
+                       help="write admission spans here as JSON-lines")
+
+    metrics = sub.add_parser(
+        "metrics", help="run a demo admission and export its metrics"
+    )
+    metrics.add_argument("--format", default="json",
+                         choices=("json", "prometheus"),
+                         help="export format")
+    metrics.add_argument("--input", metavar="FILE",
+                         help="re-export this saved metrics JSON instead "
+                              "of running the demo admission")
+    metrics.add_argument("--deterministic", action="store_true",
+                         help="drive the demo with a fake 1ms-per-call "
+                              "clock so the output is reproducible")
+
+    trace = sub.add_parser("trace", help="inspect a span trace (JSONL)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="per-span-name and per-rung latency distributions"
+    )
+    summarize.add_argument("file", help="JSONL trace from --trace")
+    summarize.add_argument("--format", default="table",
+                           choices=("table", "json"))
     return parser
 
 
@@ -182,19 +219,38 @@ def _admit_request(args) -> "object":
     ))
 
 
+def _make_tracer(path):
+    """A ring-buffered tracer when ``--trace`` was given, else None."""
+    if not path:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _dump_trace(path, tracer) -> None:
+    if not path or tracer is None:
+        return
+    from repro.serialization import save_trace
+
+    save_trace(path, tracer.spans())
+
+
 def _run_admit(args) -> int:
     from repro.serialization import decision_to_dict, schedule_to_dict
     from repro.service import AdmissionService, ScheduleStore, ServiceConfig
 
     store = ScheduleStore(_load_schedule(args.state))
+    tracer = _make_tracer(args.trace)
     service = AdmissionService(
-        store, config=ServiceConfig(backend=args.backend)
+        store, config=ServiceConfig(backend=args.backend), tracer=tracer
     )
     decision = service.submit(_admit_request(args))
     print(json.dumps(decision_to_dict(decision)))
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(schedule_to_dict(store.schedule), handle)
+    _dump_trace(args.trace, tracer)
     return 0 if decision.accepted else 1
 
 
@@ -219,11 +275,12 @@ def _run_serve(args) -> int:
         with open(args.topology) as handle:
             schedule = empty_schedule(topology_from_dict(json.load(handle)))
     store = ScheduleStore(schedule)
+    tracer = _make_tracer(args.trace)
     service = AdmissionService(store, config=ServiceConfig(
         backend=args.backend,
         max_batch=args.max_batch,
         emit_deployments=args.emit_deployments,
-    ))
+    ), tracer=tracer)
 
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
@@ -252,8 +309,122 @@ def _run_serve(args) -> int:
     if args.save_state:
         with open(args.save_state, "w") as handle:
             json.dump(schedule_to_dict(store.schedule), handle)
+    _dump_trace(args.trace, tracer)
     if args.fail_on_reject and any(not d.accepted for d in decisions):
         return 1
+    return 0
+
+
+def _demo_metrics(deterministic: bool):
+    """The admission run behind ``repro metrics``: three requests (one
+    infeasible) on the paper's Fig. 2 star network."""
+    import itertools
+
+    from repro.model.stream import EctStream, Priorities, TctRequirement
+    from repro.model.topology import Topology
+    from repro.model.units import MBPS_100, milliseconds
+    from repro.service import (
+        AdmissionService,
+        AdmitEct,
+        AdmitTct,
+        ScheduleStore,
+        empty_schedule,
+    )
+
+    topo = Topology()
+    topo.add_switch("SW1")
+    for device in ("D1", "D2", "D3"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    store = ScheduleStore(empty_schedule(topo))
+    kwargs = {}
+    if deterministic:
+        ticks = itertools.count()
+        kwargs["clock"] = lambda: next(ticks) * 1e-3  # 1 ms per reading
+    service = AdmissionService(store, **kwargs)
+    service.submit_many([
+        AdmitTct(TctRequirement(
+            name="tct-a", source="D1", destination="D3",
+            period_ns=milliseconds(8), length_bytes=1500,
+            priority=Priorities.NSH_PH,
+        )),
+        AdmitEct(EctStream(
+            name="ect-a", source="D2", destination="D3",
+            min_interevent_ns=milliseconds(16), length_bytes=512,
+            possibilities=2,
+        )),
+        AdmitTct(TctRequirement(
+            name="hog", source="D2", destination="D3",
+            period_ns=milliseconds(4), length_bytes=40 * 1500,
+            priority=Priorities.NSH_PH,
+        )),
+    ])
+    return service.metrics
+
+
+def _run_metrics(args) -> int:
+    from repro.obs import to_prometheus
+    from repro.serialization import metrics_to_dict
+
+    if args.input:
+        with open(args.input) as handle:
+            data = json.load(handle)
+        data.pop("version", None)
+        registry = _registry_from_dict(data)
+    else:
+        registry = _demo_metrics(args.deterministic)
+    if args.format == "prometheus":
+        sys.stdout.write(to_prometheus(registry))
+    else:
+        print(json.dumps(metrics_to_dict(registry), indent=2))
+    return 0
+
+
+def _registry_from_dict(data):
+    """Rehydrate a saved metrics JSON enough to re-export it.
+
+    Counters and gauges restore exactly; histograms restore their
+    summary moments by replaying min/max and padding to the count with
+    the mean (quantiles beyond min/max/mean are not recoverable from a
+    summary, and the export marks none as exact).
+    """
+    from repro.service.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for name, value in data.get("counters", {}).items():
+        registry.counter(name).inc(int(value))
+    for name, value in data.get("gauges", {}).items():
+        registry.gauge(name).set(value)
+    for name, summary in data.get("histograms", {}).items():
+        histogram = registry.histogram(name)
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            continue
+        values = [summary.get("min", 0.0), summary.get("max", 0.0)][:count]
+        mean = summary.get("mean", 0.0)
+        values += [mean] * (count - len(values))
+        # replaying min/max first keeps the exact extrema; the padded
+        # mean keeps count and sum consistent with the original
+        total = summary.get("sum", mean * count)
+        drift = total - sum(values)
+        if values and abs(drift) > 1e-9:
+            values[-1] += drift
+        for value in values:
+            histogram.observe(value)
+    return registry
+
+
+def _run_trace(args) -> int:
+    from repro.obs import format_span_summary, summarize_spans
+    from repro.serialization import load_trace
+
+    spans = load_trace(args.file)
+    summary = summarize_spans(spans)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{len(spans)} spans from {args.file}")
+        print(format_span_summary(summary))
     return 0
 
 
@@ -276,6 +447,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_admit(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "metrics":
+        return _run_metrics(args)
+    elif args.command == "trace":
+        return _run_trace(args)
     else:
         _run_figure(args.command, args.duration_ms, args.seed)
     return 0

@@ -1,0 +1,43 @@
+"""Cross-cutting observability: spans, solver stats, telemetry export.
+
+The paper's claims are latency *distributions* — per-hop ECT delay
+(Fig. 14), admission latency, TCT worst-case impact — so the repro
+carries its own tracing layer instead of guessing from end-to-end
+numbers:
+
+* :mod:`repro.obs.trace` — nested spans / point events with injectable
+  clocks and a ring-buffered in-process exporter; the disabled
+  :data:`NULL_TRACER` is a no-op cheap enough for solver hot paths.
+* :mod:`repro.obs.export` — Prometheus text exposition for the service
+  metrics registry, trace summaries (per-rung p50/p99), and per-hop
+  frame-journey reconstruction for the simulator's traces.
+
+Instrumentation lives with the instrumented code: the SAT/SMT cores
+expose :class:`~repro.smt.sat.SolverStats`, the admission service opens
+a span per request with child spans per fallback rung, and the
+simulator's egress ports emit per-frame enqueue/transmit/deliver events.
+"""
+
+from repro.obs.export import (
+    format_span_summary,
+    frame_journeys,
+    per_hop_delays,
+    prometheus_name,
+    summarize_spans,
+    to_prometheus,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, children_of
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "children_of",
+    "format_span_summary",
+    "frame_journeys",
+    "per_hop_delays",
+    "prometheus_name",
+    "summarize_spans",
+    "to_prometheus",
+]

@@ -1,0 +1,226 @@
+"""Unified telemetry export: Prometheus text, JSON, and trace summaries.
+
+One module turns the in-process telemetry objects into operator-facing
+formats:
+
+* :func:`to_prometheus` — the text exposition format (version 0.0.4) of
+  a :class:`~repro.service.metrics.MetricsRegistry`: counters become
+  ``*_total`` counters, gauges stay gauges, histograms export as
+  summaries (p50/p90/p99 quantiles plus ``_sum``/``_count``) with
+  ``_min``/``_max`` companion gauges.
+* :func:`summarize_spans` / :func:`format_span_summary` — per-span-name
+  latency distributions (count, mean, p50, p99) from a span list, with
+  a dedicated per-rung breakdown for admission traces — the table
+  ``repro trace summarize`` prints.
+* :func:`frame_journeys` — reconstruct each simulated frame's per-hop
+  timeline (enqueue → transmit → deliver per link) from the simulator's
+  frame events, the raw material of the paper's Fig. 14 per-hop delay
+  analysis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "format_span_summary",
+    "frame_journeys",
+    "per_hop_delays",
+    "prometheus_name",
+    "summarize_spans",
+    "to_prometheus",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Span name the admission service uses for ladder rung attempts.
+RUNG_SPAN = "admission.rung"
+#: Event names the simulator emits per frame per hop.
+FRAME_EVENTS = ("frame.enqueue", "frame.transmit", "frame.deliver",
+                "frame.drop")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """A dotted registry key as a legal Prometheus metric name."""
+    flat = _NAME_OK.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _fmt(value: float) -> str:
+    """Sample value formatting: integers stay integral, floats use repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry, namespace: str = "repro") -> str:
+    """Render a metrics registry in the Prometheus text format.
+
+    The snapshot comes from ``registry.to_dict()`` so one consistent
+    view is exported even while writers keep observing.
+    """
+    data = registry.to_dict()
+    lines: List[str] = []
+
+    for name, value in data["counters"].items():
+        metric = prometheus_name(name, namespace) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in data["gauges"].items():
+        metric = prometheus_name(name, namespace)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, summary in data["histograms"].items():
+        metric = prometheus_name(name, namespace)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
+                              ("0.99", "p99")):
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} {_fmt(summary[key])}'
+            )
+        lines.append(f"{metric}_sum {_fmt(summary['sum'])}")
+        lines.append(f"{metric}_count {_fmt(summary['count'])}")
+        for bound in ("min", "max"):
+            companion = f"{metric}_{bound}"
+            lines.append(f"# HELP {companion} repro histogram {name} {bound}")
+            lines.append(f"# TYPE {companion} gauge")
+            lines.append(f"{companion} {_fmt(summary[bound])}")
+
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# trace summaries
+# ----------------------------------------------------------------------
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values, ``q`` in [0, 100]."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _distribution(durations_ns: List[int]) -> Dict[str, float]:
+    ordered = sorted(d / 1e6 for d in durations_ns)  # ns -> ms
+    return {
+        "count": len(ordered),
+        "mean_ms": sum(ordered) / len(ordered) if ordered else 0.0,
+        "p50_ms": _percentile(ordered, 50),
+        "p99_ms": _percentile(ordered, 99),
+        "max_ms": ordered[-1] if ordered else 0.0,
+    }
+
+
+def summarize_spans(spans: Iterable[Span]) -> Dict:
+    """Aggregate a span list into per-name and per-rung distributions.
+
+    Returns ``{"spans": {name: dist}, "rungs": {rung: dist}}`` where
+    each distribution carries count/mean/p50/p99/max in milliseconds.
+    Point events (zero duration) are counted under ``spans`` but do not
+    pollute the latency numbers of interval spans sharing their name.
+    """
+    by_name: Dict[str, List[int]] = {}
+    by_rung: Dict[str, List[int]] = {}
+    for span in spans:
+        if span.end_ns is None:
+            continue
+        by_name.setdefault(span.name, []).append(span.duration_ns)
+        if span.name == RUNG_SPAN:
+            rung = str(span.attributes.get("rung", "?"))
+            by_rung.setdefault(rung, []).append(span.duration_ns)
+    return {
+        "spans": {
+            name: _distribution(durations)
+            for name, durations in sorted(by_name.items())
+        },
+        "rungs": {
+            rung: _distribution(durations)
+            for rung, durations in sorted(by_rung.items())
+        },
+    }
+
+
+def format_span_summary(summary: Dict) -> str:
+    """Human-readable table of :func:`summarize_spans` output."""
+    header = (f"{'span':<28} {'count':>7} {'mean_ms':>10} "
+              f"{'p50_ms':>10} {'p99_ms':>10} {'max_ms':>10}")
+    lines = [header, "-" * len(header)]
+    for name, dist in summary["spans"].items():
+        lines.append(
+            f"{name:<28} {dist['count']:>7} {dist['mean_ms']:>10.3f} "
+            f"{dist['p50_ms']:>10.3f} {dist['p99_ms']:>10.3f} "
+            f"{dist['max_ms']:>10.3f}"
+        )
+    if summary["rungs"]:
+        lines.append("")
+        lines.append("per-rung solve latency:")
+        for rung, dist in summary["rungs"].items():
+            lines.append(
+                f"  {rung:<26} {dist['count']:>7} {dist['mean_ms']:>10.3f} "
+                f"{dist['p50_ms']:>10.3f} {dist['p99_ms']:>10.3f} "
+                f"{dist['max_ms']:>10.3f}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# per-hop frame journeys (Fig. 14 raw material)
+# ----------------------------------------------------------------------
+def frame_journeys(
+    spans: Iterable[Span], stream: Optional[str] = None
+) -> Dict[int, List[Tuple[str, str, int]]]:
+    """Reconstruct each frame's hop-by-hop timeline from frame events.
+
+    Returns ``{frame_id: [(event, link, ts_ns), ...]}`` sorted by
+    timestamp, restricted to ``stream`` when given.  Per-hop queueing
+    delay is ``transmit - enqueue`` on the same link; per-hop total is
+    ``deliver - enqueue``.
+    """
+    journeys: Dict[int, List[Tuple[str, str, int]]] = {}
+    for span in spans:
+        if span.name not in FRAME_EVENTS:
+            continue
+        if stream is not None and span.attributes.get("stream") != stream:
+            continue
+        frame_id = int(span.attributes["frame_id"])
+        link = str(span.attributes.get("link", "?"))
+        journeys.setdefault(frame_id, []).append(
+            (span.name, link, span.start_ns)
+        )
+    for steps in journeys.values():
+        steps.sort(key=lambda step: step[2])
+    return journeys
+
+
+def per_hop_delays(
+    spans: Iterable[Span], stream: Optional[str] = None
+) -> Dict[str, List[int]]:
+    """Per-link ``deliver - enqueue`` delays (ns) from frame events.
+
+    The distribution Fig. 14's per-hop analysis plots: how long a frame
+    of ``stream`` spent at each egress port, queueing included.
+    """
+    delays: Dict[str, List[int]] = {}
+    for steps in frame_journeys(spans, stream).values():
+        enqueued: Dict[str, int] = {}
+        for event, link, ts_ns in steps:
+            if event == "frame.enqueue":
+                enqueued[link] = ts_ns
+            elif event == "frame.deliver" and link in enqueued:
+                delays.setdefault(link, []).append(ts_ns - enqueued.pop(link))
+    return {link: sorted(values) for link, values in sorted(delays.items())}

@@ -306,6 +306,66 @@ def metrics_to_dict(registry) -> Dict:
     return data
 
 
+# ----------------------------------------------------------------------
+# trace spans (JSON-lines)
+# ----------------------------------------------------------------------
+def span_to_dict(span) -> Dict:
+    """JSON-able record of one trace span (one JSONL line)."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_ns": span.start_ns,
+        "end_ns": span.end_ns,
+        "attributes": dict(span.attributes),
+    }
+
+
+def span_from_dict(data: Dict):
+    """Rebuild a span from :func:`span_to_dict` output."""
+    from repro.obs.trace import Span
+
+    _check_version(data)
+    return Span(
+        name=data["name"],
+        trace_id=data["trace_id"],
+        span_id=data["span_id"],
+        parent_id=data.get("parent_id"),
+        start_ns=data["start_ns"],
+        end_ns=data.get("end_ns"),
+        attributes=dict(data.get("attributes", {})),
+    )
+
+
+def save_trace(path: str, spans) -> None:
+    """Persist spans as JSON-lines: one span per line, oldest first."""
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span)))
+            handle.write("\n")
+
+
+def load_trace(path: str) -> List:
+    """Load a JSONL trace written by :func:`save_trace`.
+
+    Blank lines are tolerated (trailing newline, hand-edited files); a
+    malformed line raises :class:`ValueError` naming the line number.
+    """
+    spans = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(span_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(f"trace line {lineno}: {exc}") from None
+    return spans
+
+
 def save_decision_log(path: str, decisions, registry=None) -> None:
     """Persist an admission run: one decision per entry, plus metrics."""
     payload = {

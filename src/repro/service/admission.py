@@ -18,7 +18,14 @@
   version) and optionally emit an 802.1Qcc
   :class:`~repro.cnc.qcc.Deployment`;
 * counters and latency histograms for every step live in an embedded
-  :class:`~repro.service.metrics.MetricsRegistry`.
+  :class:`~repro.service.metrics.MetricsRegistry`;
+* with a :class:`~repro.obs.trace.Tracer` attached, every batch opens a
+  span, every request inside it gets a child span stamped with its
+  outcome, and every ladder rung attempt records a ``admission.rung``
+  span wrapping the actual ``solve`` — the request → rung → solve
+  chain ``repro trace summarize`` aggregates.  SMT solves additionally
+  fold their :class:`~repro.smt.sat.SolverStats` into ``solver.*``
+  counters.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.core.schedule import (
     validate,
 )
 from repro.model.stream import EctStream, Stream, StreamError, StreamType
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.requests import (
     AdmissionRequest,
@@ -119,6 +127,7 @@ class AdmissionService:
         clock: Callable[[], float] = time.perf_counter,
         sleep: Callable[[float], None] = time.sleep,
         on_deploy: Optional[Callable[[Deployment], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._store = store
         self._config = config or ServiceConfig()
@@ -126,7 +135,11 @@ class AdmissionService:
         self._clock = clock
         self._sleep = sleep
         self._on_deploy = on_deploy
+        # Disabled tracing is the no-op singleton, not None: the spans
+        # below cost one call each either way, no branching on hot paths.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._queue: Deque[AdmissionRequest] = deque()
+        self._request_spans: Dict[int, object] = {}
         self._write_lock = threading.Lock()
         self._request_counter = 0
         self._batch_counter = 0
@@ -140,6 +153,10 @@ class AdmissionService:
     @property
     def metrics(self) -> MetricsRegistry:
         return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
 
     @property
     def last_deployment(self) -> Optional[Deployment]:
@@ -206,6 +223,31 @@ class AdmissionService:
 
     # -- batch processing ----------------------------------------------
     def _process_batch(self, batch: _Batch) -> List[Decision]:
+        with self._tracer.span(
+            "admission.batch",
+            batch_id=batch.batch_id,
+            size=len(batch.requests),
+        ) as batch_span:
+            spans: Dict[int, object] = {}
+            if self._tracer.enabled:
+                for request in batch.requests:
+                    spans[id(request)] = self._tracer.start_span(
+                        "admission.request", parent=batch_span,
+                        op=request.op, stream=request.stream_name,
+                    )
+            outer = self._request_spans
+            self._request_spans = spans
+            try:
+                return self._process_batch_traced(batch)
+            finally:
+                self._request_spans = outer
+                # Requests decided by a splintered or rebased sub-batch
+                # got their outcome on the sub-batch's span; close the
+                # superseded batch-level span without one.
+                for span in spans.values():
+                    self._tracer.finish(span)
+
+    def _process_batch_traced(self, batch: _Batch) -> List[Decision]:
         started = self._clock()
         self._metrics.counter("batches.total").inc()
         self._metrics.histogram("batch.size").observe(len(batch.requests))
@@ -302,6 +344,13 @@ class AdmissionService:
             f"decisions.{rung if accepted else 'rejected'}"
         ).inc()
         self._metrics.histogram("latency.decision_ms").observe(latency_ms)
+        span = self._request_spans.pop(id(request), None)
+        if span is not None:
+            span.set(
+                request_id=self._request_counter, accepted=accepted,
+                rung=rung, reason=reason,
+            )
+            self._tracer.finish(span)
         return Decision(
             request_id=self._request_counter,
             op=request.op,
@@ -395,32 +444,79 @@ class AdmissionService:
         for attempt in range(rung.retries + 1):
             self._metrics.counter(f"rungs.{rung.name}.attempts").inc()
             started = self._clock()
-            try:
-                result = _call_with_timeout(solver, rung.timeout_s)
-            except RungTimeout as exc:
-                self._metrics.counter(f"rungs.{rung.name}.timeouts").inc()
-                attempts[rung.name] = str(exc)
-            except (InfeasibleError, ScheduleError, StreamError,
-                    ValueError) as exc:
-                # deterministic verdict: retrying cannot change it
-                self._metrics.counter(f"rungs.{rung.name}.failures").inc()
-                attempts[rung.name] = str(exc)
-                return None
-            except Exception as exc:  # noqa: BLE001 - keep the service up
-                self._metrics.counter(f"rungs.{rung.name}.errors").inc()
-                attempts[rung.name] = f"{type(exc).__name__}: {exc}"
-            else:
-                self._metrics.counter(f"rungs.{rung.name}.successes").inc()
-                self._metrics.histogram(
-                    f"latency.rung.{rung.name}_ms"
-                ).observe((self._clock() - started) * 1e3)
-                return result
-            self._metrics.histogram(
-                f"latency.rung.{rung.name}_ms"
-            ).observe((self._clock() - started) * 1e3)
+            with self._tracer.span(
+                "admission.rung", rung=rung.name, attempt=attempt
+            ) as rung_span:
+                traced = self._traced_solver(solver, rung, rung_span)
+                try:
+                    result = _call_with_timeout(traced, rung.timeout_s)
+                except RungTimeout as exc:
+                    self._metrics.counter(f"rungs.{rung.name}.timeouts").inc()
+                    attempts[rung.name] = str(exc)
+                    rung_span.set(outcome="timeout")
+                except (InfeasibleError, ScheduleError, StreamError,
+                        ValueError) as exc:
+                    # deterministic verdict: retrying cannot change it
+                    self._metrics.counter(f"rungs.{rung.name}.failures").inc()
+                    attempts[rung.name] = str(exc)
+                    rung_span.set(outcome="infeasible")
+                    self._observe_rung_latency(rung, started)
+                    return None
+                except Exception as exc:  # noqa: BLE001 - keep the service up
+                    self._metrics.counter(f"rungs.{rung.name}.errors").inc()
+                    attempts[rung.name] = f"{type(exc).__name__}: {exc}"
+                    rung_span.set(outcome="error")
+                else:
+                    self._metrics.counter(f"rungs.{rung.name}.successes").inc()
+                    rung_span.set(outcome="success")
+                    self._observe_rung_latency(rung, started)
+                    self._harvest_solver_stats(result)
+                    return result
+            self._observe_rung_latency(rung, started)
             if attempt < rung.retries and rung.backoff_s:
                 self._sleep(rung.backoff_s * (2 ** attempt))
         return None
+
+    def _observe_rung_latency(self, rung: RungConfig, started: float) -> None:
+        self._metrics.histogram(
+            f"latency.rung.{rung.name}_ms"
+        ).observe((self._clock() - started) * 1e3)
+
+    def _traced_solver(
+        self,
+        solver: Callable[[], NetworkSchedule],
+        rung: RungConfig,
+        rung_span,
+    ) -> Callable[[], NetworkSchedule]:
+        """Wrap a rung's solver in a ``solve`` span.
+
+        The solve may run on the timeout watchdog's worker thread, so
+        the rung span is named as the parent explicitly — the tracer's
+        per-thread stack cannot see across threads.
+        """
+        if not self._tracer.enabled:
+            return solver
+
+        def traced() -> NetworkSchedule:
+            with self._tracer.span("solve", parent=rung_span,
+                                   rung=rung.name):
+                return solver()
+
+        return traced
+
+    def _harvest_solver_stats(self, result: NetworkSchedule) -> None:
+        """Fold a solve's SMT search counters into the service metrics.
+
+        The SMT backend records its :class:`~repro.smt.sat.SolverStats`
+        snapshot in ``schedule.meta``; the heuristic backends have no
+        CDCL core and contribute nothing here.
+        """
+        stats = result.meta.get("solver_stats")
+        if not isinstance(stats, dict):
+            return
+        for key, value in stats.items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                self._metrics.counter(f"solver.{key}").inc(value)
 
     # rung 1: earliest-fit around the frozen schedule ------------------
     def _solve_incremental(

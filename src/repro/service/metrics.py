@@ -49,19 +49,32 @@ class Counter:
 
 
 class Gauge:
-    """A last-write-wins instantaneous value."""
+    """A last-write-wins instantaneous value.
 
-    __slots__ = ("_value",)
+    Locked like every other instrument: gauges are written from
+    whatever thread publishes or drains, so last-write-wins must mean
+    *some* complete write, never a torn or stale-cached one.
+    """
+
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = value
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        """Read-modify-write adjustment (unlike :meth:`set`, atomic)."""
+        with self._lock:
+            self._value += delta
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -117,19 +130,35 @@ class Histogram:
             if not self._samples:
                 return 0.0
             ordered = sorted(self._samples)
+        return self._rank(ordered, q)
+
+    @staticmethod
+    def _rank(ordered: List[float], q: float) -> float:
         rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
+        """One consistent snapshot of every aggregate.
+
+        A single lock acquisition covers count/sum/min/max *and* the
+        percentile source, so a concurrent ``observe`` can never yield a
+        summary whose count disagrees with its percentiles.
+        """
+        with self._lock:
+            count = self._count
+            total = self._sum
+            minimum = self._min if self._min is not None else 0.0
+            maximum = self._max if self._max is not None else 0.0
+            ordered = sorted(self._samples)
         return {
-            "count": self._count,
-            "sum": self._sum,
-            "mean": self.mean,
-            "min": self._min if self._min is not None else 0.0,
-            "max": self._max if self._max is not None else 0.0,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": minimum,
+            "max": maximum,
+            "p50": self._rank(ordered, 50) if ordered else 0.0,
+            "p90": self._rank(ordered, 90) if ordered else 0.0,
+            "p99": self._rank(ordered, 99) if ordered else 0.0,
         }
 
 
@@ -168,20 +197,29 @@ class MetricsRegistry:
 
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
         """All counter values whose name starts with ``prefix.``."""
+        with self._lock:
+            counters = sorted(self._counters.items())
         return {
             name[len(prefix) + 1:]: counter.value
-            for name, counter in sorted(self._counters.items())
+            for name, counter in counters
             if name.startswith(prefix + ".")
         }
 
     def to_dict(self) -> Dict:
-        """JSON-able snapshot of every instrument."""
+        """JSON-able snapshot of every instrument.
+
+        The instrument tables are copied under the registry lock (so a
+        concurrent create-on-first-use cannot resize them mid-iteration)
+        and each instrument is then read through its own lock.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.summary() for n, h in sorted(self._histograms.items())
-            },
+            "counters": {n: c.value for n, c in counters},
+            "gauges": {n: g.value for n, g in gauges},
+            "histograms": {n: h.summary() for n, h in histograms},
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -78,7 +78,7 @@ class BeSource:
     def _fire(self, when: int) -> None:
         self._message_id += 1
         payload = self._rng.randint(self._spec.min_payload, self._spec.max_payload)
-        self._recorder.on_inject(self._spec.name)
+        self._recorder.on_inject(self._spec.name, self._message_id)
         self._port.enqueue(SimFrame(
             stream=self._spec.name,
             priority=Priorities.BE,

@@ -84,7 +84,7 @@ class TtTalker:
                 self._sim.at(inject_global, lambda f=frame: self._port.enqueue(f))
 
     def _inject_first(self, frame: SimFrame) -> None:
-        self._recorder.on_inject(self._stream.name)
+        self._recorder.on_inject(self._stream.name, frame.message_id)
         self._port.enqueue(frame)
 
 
@@ -144,7 +144,7 @@ class EctSource:
         if self._record_injections:
             # FRER members share a logical stream: only the primary
             # member counts the message as injected.
-            self._recorder.on_inject(self._name)
+            self._recorder.on_inject(self._name, message_id)
         for frame in message_frames(
             stream=self._name,
             priority=Priorities.EP,

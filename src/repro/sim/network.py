@@ -17,6 +17,7 @@ import random
 from repro.core.gcl import NetworkGcl
 from repro.core.schedule import NetworkSchedule
 from repro.model.stream import Priorities, StreamType
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.background import BeSource, BeTrafficSpec
 from repro.sim.cbs import CreditBasedShaper
 from repro.sim.clock import Clock, SyncConfig, SyncDomain
@@ -53,6 +54,11 @@ class SimConfig:
     #: fault injection: per-directed-link probability of losing a frame
     #: in transit (corruption/CRC drop).
     link_loss: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: per-hop frame tracing: every egress port emits enqueue / transmit
+    #: / deliver events (simulated-time stamps) into this tracer, so a
+    #: frame's full journey is reconstructable (Fig. 14's per-hop data).
+    #: ``None`` keeps the hot path event-free.
+    tracer: Optional[Tracer] = None
 
 
 @dataclass
@@ -84,6 +90,7 @@ class TsnSimulation:
         self._gcl = gcl
         self._config = config
         self._sim = Simulator()
+        self._tracer = config.tracer if config.tracer is not None else NULL_TRACER
         self._recorder = LatencyRecorder()
         self._clocks: Dict[str, Clock] = {}
         self._ports: Dict[Tuple[str, str], EgressPort] = {}
@@ -115,6 +122,7 @@ class TsnSimulation:
                 clock=self._clock_for(link_key[0]),
                 deliver=self._deliver,
                 shapers=shapers,
+                tracer=self._tracer,
             )
 
         proxies = set(self._schedule.meta.get("ect_proxies", {}) or {})
@@ -220,15 +228,34 @@ class TsnSimulation:
 
     # ------------------------------------------------------------------
     def _deliver(self, frame: SimFrame, arrival_ns: int) -> None:
-        loss = self._config.link_loss.get(frame.current_link.key, 0.0)
-        if loss and self._loss_rngs[frame.current_link.key].random() < loss:
+        link = frame.current_link
+        loss = self._config.link_loss.get(link.key, 0.0)
+        if loss and self._loss_rngs[link.key].random() < loss:
             self.frames_lost += 1
+            if self._tracer.enabled:
+                self._trace_arrival("frame.drop", frame, arrival_ns)
             return
+        if self._tracer.enabled:
+            self._trace_arrival("frame.deliver", frame, arrival_ns)
         if frame.is_last_hop:
             self._recorder.on_deliver(frame, arrival_ns)
             return
         onward = frame.advanced()
         self._ports[onward.current_link.key].enqueue(onward)
+
+    def _trace_arrival(self, event: str, frame: SimFrame, ts_ns: int) -> None:
+        link = frame.current_link
+        self._tracer.event(
+            event,
+            ts_ns=ts_ns,
+            frame_id=frame.frame_id,
+            stream=frame.stream,
+            message_id=frame.message_id,
+            frame_index=frame.frame_index,
+            link=f"{link.src}->{link.dst}",
+            hop=frame.hop,
+            final=frame.is_last_hop,
+        )
 
     # ------------------------------------------------------------------
     def run(self, drain_margin_ns: Optional[int] = None) -> SimReport:

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.gcl import PortGcl
 from repro.model.topology import Link
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.cbs import CreditBasedShaper
 from repro.sim.clock import Clock
 from repro.sim.engine import Simulator
@@ -57,6 +58,7 @@ class EgressPort:
         clock: Clock,
         deliver: DeliverFn,
         shapers: Optional[Dict[int, CreditBasedShaper]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._sim = sim
         self._link = link
@@ -64,6 +66,8 @@ class EgressPort:
         self._clock = clock
         self._deliver = deliver
         self._shapers = shapers or {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._link_label = f"{link.src}->{link.dst}"
         self._queues: Dict[int, List[SimFrame]] = {q: [] for q in range(8)}
         self._busy_until = 0
         self._wake_at: Optional[int] = None
@@ -72,6 +76,8 @@ class EgressPort:
     # ------------------------------------------------------------------
     def enqueue(self, frame: SimFrame) -> None:
         """A frame arrived for this port (from a talker or switch fabric)."""
+        if self._tracer.enabled:
+            self._trace_frame("frame.enqueue", frame)
         queue = self._queues[frame.priority]
         queue.append(frame)
         backlog = self.queued_frames()
@@ -135,6 +141,12 @@ class EgressPort:
         now = self._sim.now
         fifo = self._queues[queue_id]
         fifo.pop(index)
+        if self._tracer.enabled:
+            # The dequeue instant IS the transmission start under strict
+            # priority (selection happens at gate evaluation); one event
+            # carries both, with the wire time as an attribute.
+            self._trace_frame("frame.transmit", frame, queue=queue_id,
+                              duration_ns=duration)
         shaper = self._shapers.get(queue_id)
         if shaper is not None:
             shaper.on_transmit(now, duration)
@@ -147,6 +159,20 @@ class EgressPort:
         arrival = now + duration + self._link.propagation_ns
         self._sim.at(arrival, lambda f=frame, t=arrival: self._deliver(f, t))
         self._sim.at(self._busy_until, self._on_tx_done)
+
+    def _trace_frame(self, event: str, frame: SimFrame, **extra) -> None:
+        """Record one per-hop frame event, stamped with simulated time."""
+        self._tracer.event(
+            event,
+            ts_ns=self._sim.now,
+            frame_id=frame.frame_id,
+            stream=frame.stream,
+            message_id=frame.message_id,
+            frame_index=frame.frame_index,
+            link=self._link_label,
+            hop=frame.hop,
+            **extra,
+        )
 
     def _on_tx_done(self) -> None:
         now = self._sim.now

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.frames import SimFrame
 
@@ -47,11 +47,19 @@ class LatencyRecorder:
         self._duplicates = 0
         self._latencies: Dict[str, List[int]] = {}
         self._injected: Dict[str, int] = {}
+        self._injected_ids: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------
-    def on_inject(self, stream: str) -> None:
-        """A message entered the network (for loss accounting)."""
+    def on_inject(self, stream: str, message_id: Optional[int] = None) -> None:
+        """A message entered the network (for loss accounting).
+
+        Passing ``message_id`` additionally enables the per-message
+        :meth:`lost_frames` detail view; without it only the aggregate
+        :meth:`lost` count is available for the stream.
+        """
         self._injected[stream] = self._injected.get(stream, 0) + 1
+        if message_id is not None:
+            self._injected_ids.setdefault(stream, []).append(message_id)
 
     def on_deliver(self, frame: SimFrame, arrival_ns: int) -> None:
         """A frame reached its listener."""
@@ -96,6 +104,22 @@ class LatencyRecorder:
     def lost(self, stream: str) -> int:
         """Messages injected but never completed (loss or still queued)."""
         return self.injected(stream) - self.delivered(stream)
+
+    def lost_frames(self) -> List[Tuple[str, int]]:
+        """Every (stream, message_id) injected but never completed.
+
+        The detail view behind :meth:`lost`: which messages are missing,
+        not just how many.  A message whose frames partially arrived
+        (still in flight) appears exactly once — per-frame arrivals
+        never multiply the entry.  Only sources that report message ids
+        to :meth:`on_inject` contribute.
+        """
+        return [
+            (stream, message_id)
+            for stream, ids in sorted(self._injected_ids.items())
+            for message_id in ids
+            if (stream, message_id) not in self._completed
+        ]
 
     def stats(self, stream: str) -> LatencyStats:
         values = self._latencies.get(stream)

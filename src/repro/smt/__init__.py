@@ -6,7 +6,7 @@ drives an incremental negative-cycle theory solver
 :mod:`repro.smt.solver`.
 """
 
-from repro.smt.sat import SatSolver
+from repro.smt.sat import SatSolver, SolverStats
 from repro.smt.solver import DlSmtSolver, SmtResult
 from repro.smt.terms import ZERO, Atom, diff_ge, diff_le, var_ge, var_le
 from repro.smt.theory import DifferenceLogic
@@ -17,6 +17,7 @@ __all__ = [
     "DlSmtSolver",
     "SatSolver",
     "SmtResult",
+    "SolverStats",
     "ZERO",
     "diff_ge",
     "diff_le",

@@ -13,7 +13,29 @@ Literals are non-zero integers: ``+v`` / ``-v`` for variable ``v >= 1``
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class SolverStats:
+    """Snapshot of one solver's search counters.
+
+    Attached to every solve result so admission telemetry can tell
+    *where* solver time went, not just that a solve happened.  All
+    counters are cumulative over the solver's lifetime.
+    """
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    theory_checks: int = 0
+    theory_conflicts: int = 0
+    learned_clauses: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
 
 
 class Theory(Protocol):
@@ -78,6 +100,22 @@ class SatSolver:
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_restarts = 0
+        self.num_propagations = 0
+        self.num_theory_checks = 0
+        self.num_theory_conflicts = 0
+        self.num_learned = 0
+
+    def stats(self) -> SolverStats:
+        """Current search counters as an immutable snapshot."""
+        return SolverStats(
+            conflicts=self.num_conflicts,
+            decisions=self.num_decisions,
+            propagations=self.num_propagations,
+            restarts=self.num_restarts,
+            theory_checks=self.num_theory_checks,
+            theory_conflicts=self.num_theory_conflicts,
+            learned_clauses=self.num_learned,
+        )
 
     # ------------------------------------------------------------------
     # problem construction
@@ -211,6 +249,7 @@ class SatSolver:
                 if self._lit_value(other) == FALSE:
                     kept.extend(watchers[idx + 1:])
                     return clause
+                self.num_propagations += 1
                 self._assign(other, clause)
         finally:
             self._watches[false_lit] = kept
@@ -225,8 +264,10 @@ class SatSolver:
             self._theory_head += 1
             if not self._theory.relevant(abs(lit)):
                 continue
+            self.num_theory_checks += 1
             conflict_lits = self._theory.on_assign(lit)
             if conflict_lits is not None:
+                self.num_theory_conflicts += 1
                 # All returned literals are true; their negations form a
                 # falsified clause.  The theory did not record the failed
                 # assertion, so its stack already matches _theory_trail.
@@ -334,6 +375,7 @@ class SatSolver:
                 if top < self.decision_level:
                     self._backjump(top)
                 learned, back_level = self._analyze(conflict)
+                self.num_learned += 1
                 self._backjump(back_level)
                 if len(learned) == 1:
                     if self._lit_value(learned[0]) == FALSE:

@@ -10,18 +10,30 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.smt.sat import SatSolver
+from repro.smt.sat import SatSolver, SolverStats
 from repro.smt.terms import Atom
 from repro.smt.theory import DifferenceLogic
 
 
 class SmtResult:
-    """Outcome of a :meth:`DlSmtSolver.check` call."""
+    """Outcome of a :meth:`DlSmtSolver.check` call.
 
-    def __init__(self, sat: bool, model: Optional[Dict[str, int]], stats: Dict[str, int]):
+    ``stats`` is the flat JSON-able counter dict (formula size plus the
+    search counters); ``solver_stats`` is the typed
+    :class:`~repro.smt.sat.SolverStats` snapshot of the CDCL core.
+    """
+
+    def __init__(
+        self,
+        sat: bool,
+        model: Optional[Dict[str, int]],
+        stats: Dict[str, int],
+        solver_stats: Optional[SolverStats] = None,
+    ):
         self.sat = sat
         self._model = model
         self.stats = stats
+        self.solver_stats = solver_stats or SolverStats()
 
     def __bool__(self) -> bool:
         return self.sat
@@ -134,12 +146,11 @@ class DlSmtSolver:
                 for name in self._int_vars
                 if name != ZERO
             }
+        solver_stats = self._sat.stats()
         stats = {
             "atoms": len(self._vars_of_atom),
             "clauses": self._num_clauses,
-            "conflicts": self._sat.num_conflicts,
-            "decisions": self._sat.num_decisions,
-            "restarts": self._sat.num_restarts,
         }
-        self._checked = SmtResult(sat, model, stats)
+        stats.update(solver_stats.to_dict())
+        self._checked = SmtResult(sat, model, stats, solver_stats)
         return self._checked

@@ -1,0 +1,166 @@
+"""Export layer: Prometheus rendering, span summaries, frame journeys."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    format_span_summary,
+    frame_journeys,
+    per_hop_delays,
+    prometheus_name,
+    summarize_spans,
+    to_prometheus,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("rungs.full.attempts") == \
+            "repro_rungs_full_attempts"
+
+    def test_digit_prefix_guarded_without_namespace(self):
+        assert prometheus_name("1latency", namespace="") == "_1latency"
+
+    def test_colons_survive(self):
+        assert prometheus_name("a:b") == "repro_a:b"
+
+
+class TestToPrometheus:
+    @pytest.fixture
+    def registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("requests.total").inc(3)
+        registry.gauge("store.version").set(7)
+        hist = registry.histogram("latency.ms")
+        for value in (1.0, 2.0, 3.0, 4.5):
+            hist.observe(value)
+        return registry
+
+    def test_counter_rendered_with_total_suffix(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_requests_total_total counter" in text
+        assert "\nrepro_requests_total_total 3\n" in text
+
+    def test_gauge_rendered(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_store_version gauge" in text
+        assert "\nrepro_store_version 7\n" in text
+
+    def test_histogram_rendered_as_summary(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_latency_ms summary" in text
+        assert 'repro_latency_ms{quantile="0.5"}' in text
+        assert 'repro_latency_ms{quantile="0.99"}' in text
+        assert "repro_latency_ms_sum 10.5" in text
+        assert "repro_latency_ms_count 4" in text
+        assert "repro_latency_ms_min 1\n" in text
+        assert "repro_latency_ms_max 4.5" in text
+
+    def test_ends_with_newline(self, registry):
+        assert to_prometheus(registry).endswith("\n")
+
+    def test_custom_namespace(self, registry):
+        text = to_prometheus(registry, namespace="etsn")
+        assert "etsn_requests_total_total 3" in text
+        assert "repro_" not in text
+
+
+def _span_fixture():
+    """Rung spans with known durations: incremental 1&3 ms, full 10 ms."""
+    ticks = itertools.count()
+    tracer = Tracer(clock=lambda: next(ticks))
+    for rung, duration_ms in (("incremental", 1), ("incremental", 3),
+                              ("full", 10)):
+        span = tracer.start_span("admission.rung", ts_ns=0, rung=rung)
+        tracer.finish(span, ts_ns=duration_ms * 1_000_000)
+    tracer.event("frame.enqueue", ts_ns=0, frame_id=1, stream="s1",
+                 link="D1->SW1")
+    return tracer.spans()
+
+
+class TestSummarizeSpans:
+    def test_per_name_distribution(self):
+        summary = summarize_spans(_span_fixture())
+        rung = summary["spans"]["admission.rung"]
+        assert rung["count"] == 3
+        assert rung["p50_ms"] == pytest.approx(3.0)
+        assert rung["max_ms"] == pytest.approx(10.0)
+
+    def test_per_rung_breakdown(self):
+        summary = summarize_spans(_span_fixture())
+        assert summary["rungs"]["incremental"]["count"] == 2
+        assert summary["rungs"]["incremental"]["p99_ms"] == pytest.approx(3.0)
+        assert summary["rungs"]["full"]["p50_ms"] == pytest.approx(10.0)
+
+    def test_unfinished_spans_skipped(self):
+        tracer = Tracer(clock=lambda: 0)
+        open_span = tracer.start_span("pending")
+        summary = summarize_spans([open_span])
+        assert summary["spans"] == {}
+
+    def test_table_renders_rung_section(self):
+        table = format_span_summary(summarize_spans(_span_fixture()))
+        assert "admission.rung" in table
+        assert "per-rung solve latency:" in table
+        assert "incremental" in table
+
+    def test_empty_input(self):
+        summary = summarize_spans([])
+        assert summary == {"spans": {}, "rungs": {}}
+        assert "span" in format_span_summary(summary)
+
+
+def _journey_spans():
+    """Two frames of s1 across two hops, one background frame."""
+    tracer = Tracer(clock=lambda: 0)
+    steps = [
+        # frame 1: D1->SW1 then SW1->D3
+        ("frame.enqueue", 1, "s1", "D1->SW1", 0),
+        ("frame.transmit", 1, "s1", "D1->SW1", 100),
+        ("frame.deliver", 1, "s1", "D1->SW1", 250),
+        ("frame.enqueue", 1, "s1", "SW1->D3", 250),
+        ("frame.deliver", 1, "s1", "SW1->D3", 600),
+        # frame 2: first hop only
+        ("frame.enqueue", 2, "s1", "D1->SW1", 1000),
+        ("frame.deliver", 2, "s1", "D1->SW1", 1400),
+        # other stream, must be filterable
+        ("frame.enqueue", 3, "bg", "D1->SW1", 0),
+        ("frame.deliver", 3, "bg", "D1->SW1", 50),
+    ]
+    for event, frame_id, stream, link, ts in steps:
+        tracer.event(event, ts_ns=ts, frame_id=frame_id, stream=stream,
+                     link=link)
+    return tracer.spans()
+
+
+class TestFrameJourneys:
+    def test_journeys_keyed_by_frame_sorted_by_time(self):
+        journeys = frame_journeys(_journey_spans())
+        assert set(journeys) == {1, 2, 3}
+        assert [step[0] for step in journeys[1]] == [
+            "frame.enqueue", "frame.transmit", "frame.deliver",
+            "frame.enqueue", "frame.deliver",
+        ]
+        assert journeys[1][-1] == ("frame.deliver", "SW1->D3", 600)
+
+    def test_stream_filter(self):
+        journeys = frame_journeys(_journey_spans(), stream="bg")
+        assert set(journeys) == {3}
+
+    def test_non_frame_spans_ignored(self):
+        tracer = Tracer(clock=lambda: 0)
+        tracer.event("admission.request", ts_ns=0)
+        assert frame_journeys(tracer.spans()) == {}
+
+    def test_per_hop_delays(self):
+        delays = per_hop_delays(_journey_spans(), stream="s1")
+        assert delays == {"D1->SW1": [250, 400], "SW1->D3": [350]}
+
+    def test_per_hop_delays_all_streams(self):
+        delays = per_hop_delays(_journey_spans())
+        assert delays["D1->SW1"] == [50, 250, 400]

@@ -1,0 +1,195 @@
+"""Tracer core: span lifecycle, parentage, ring buffer, null tracer."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, children_of
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    """A tracer on a deterministic clock ticking 10 ns per reading."""
+    ticks = itertools.count(0, 10)
+    return Tracer(clock=lambda: next(ticks))
+
+
+class TestSpanLifecycle:
+    def test_span_records_interval(self, tracer):
+        with tracer.span("work", kind="unit") as span:
+            assert span.end_ns is None
+        (finished,) = tracer.spans()
+        assert finished is span
+        assert finished.name == "work"
+        assert finished.attributes["kind"] == "unit"
+        assert finished.start_ns == 0
+        assert finished.end_ns == 10
+        assert finished.duration_ns == 10
+
+    def test_nesting_links_parent_and_trace(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert outer.parent_id is None
+        # exported in completion order: inner finished first
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+        assert children_of(tracer.spans(), outer) == [inner]
+
+    def test_sibling_roots_get_distinct_traces(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_set_attaches_outcome_attributes(self, tracer):
+        with tracer.span("rung") as span:
+            span.set(outcome="success", attempt=2)
+        assert tracer.spans()[0].attributes == {
+            "outcome": "success", "attempt": 2,
+        }
+
+    def test_exception_marks_error_and_finishes(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.end_ns is not None
+
+    def test_explicit_ts_ns_overrides_clock(self, tracer):
+        ctx = tracer.span("sim", ts_ns=5_000)
+        with ctx as span:
+            pass
+        assert span.start_ns == 5_000
+        # end still comes from the clock unless finish() got a stamp
+        assert span.end_ns == 0
+
+    def test_event_is_instantaneous_and_exported(self, tracer):
+        span = tracer.event("frame.enqueue", ts_ns=42, frame_id=7)
+        assert span.start_ns == span.end_ns == 42
+        assert span.duration_ns == 0
+        assert tracer.spans() == [span]
+
+    def test_event_inherits_thread_parent(self, tracer):
+        with tracer.span("batch") as batch:
+            event = tracer.event("tick")
+        assert event.parent_id == batch.span_id
+
+
+class TestStartSpanFinish:
+    """The off-stack API used for per-request spans held side by side."""
+
+    def test_start_span_does_not_capture_later_children(self, tracer):
+        request = tracer.start_span("admission.request")
+        with tracer.span("admission.rung") as rung:
+            pass
+        tracer.finish(request)
+        # rung did NOT implicitly attach to the off-stack request span
+        assert rung.parent_id is None
+        assert request.end_ns is not None
+
+    def test_explicit_parent_crosses_threads(self, tracer):
+        with tracer.span("rung") as rung:
+            seen = {}
+
+            def worker():
+                with tracer.span("solve", parent=rung) as solve:
+                    seen["solve"] = solve
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        solve = seen["solve"]
+        assert solve.parent_id == rung.span_id
+        assert solve.trace_id == rung.trace_id
+
+    def test_worker_thread_has_its_own_stack(self, tracer):
+        with tracer.span("main-root"):
+            seen = {}
+
+            def worker():
+                with tracer.span("worker-root") as span:
+                    seen["span"] = span
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # without an explicit parent, a worker-thread span is a new root
+        assert seen["span"].parent_id is None
+
+    def test_finish_accepts_explicit_timestamp(self, tracer):
+        span = tracer.start_span("sim-work", ts_ns=100)
+        tracer.finish(span, ts_ns=250)
+        assert span.duration_ns == 150
+
+    def test_out_of_order_finish_keeps_stack_sane(self, tracer):
+        a = tracer.start_span("a")
+        with tracer.span("outer") as outer:
+            tracer.finish(a)  # finishing an off-stack span must not pop outer
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+
+
+class TestRingBuffer:
+    def test_ring_drops_oldest_and_counts(self):
+        ticks = itertools.count()
+        tracer = Tracer(clock=lambda: next(ticks), max_spans=4)
+        for i in range(10):
+            tracer.event(f"e{i}")
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [s.name for s in tracer.spans()] == ["e6", "e7", "e8", "e9"]
+
+    def test_clear_resets_ring_and_drop_count(self):
+        tracer = Tracer(clock=lambda: 0, max_spans=2)
+        for _ in range(5):
+            tracer.event("e")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.spans() == []
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_all_operations_are_noops(self):
+        with NULL_TRACER.span("x", key="v") as ctx:
+            ctx.set(outcome="ignored")  # context supports .set like a Span
+        span = NULL_TRACER.start_span("y")
+        NULL_TRACER.finish(span)
+        assert NULL_TRACER.event("z") is None
+        assert NULL_TRACER.spans() == []
+        assert len(NULL_TRACER) == 0
+        NULL_TRACER.clear()
+
+    def test_null_span_swallows_exceptions_transparently(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("doomed"):
+                raise KeyError("boom")
+
+
+class TestSpanDataclass:
+    def test_unfinished_duration_is_zero(self):
+        span = Span(name="s", trace_id=1, span_id=1, parent_id=None,
+                    start_ns=100)
+        assert span.duration_ns == 0
+
+    def test_set_returns_self_for_chaining(self):
+        span = Span(name="s", trace_id=1, span_id=1, parent_id=None,
+                    start_ns=0)
+        assert span.set(a=1).set(b=2) is span
+        assert span.attributes == {"a": 1, "b": 2}

@@ -1,0 +1,158 @@
+"""Admission tracing: request → rung → solve span chains, outcomes, and
+solver-statistics harvesting into the metrics registry."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.model.stream import EctStream, Priorities, TctRequirement
+from repro.model.units import milliseconds
+from repro.obs import Tracer, children_of, summarize_spans
+from repro.service import (
+    AdmissionService,
+    AdmitEct,
+    AdmitTct,
+    ScheduleStore,
+    ServiceConfig,
+    empty_schedule,
+)
+
+
+def _tct(name, src="D1", dst="D3", period_ms=8, length=1500, share=False):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=milliseconds(period_ms), length_bytes=length,
+        priority=Priorities.SH_PL if share else Priorities.NSH_PH,
+        share=share,
+    ))
+
+
+def _ect(name, src="D2", dst="D3", period_ms=16, length=512):
+    return AdmitEct(EctStream(
+        name=name, source=src, destination=dst,
+        min_interevent_ns=milliseconds(period_ms),
+        length_bytes=length, possibilities=4,
+    ))
+
+
+@pytest.fixture
+def tracer():
+    ticks = itertools.count(0, 1_000_000)  # 1 ms per clock reading
+    return Tracer(clock=lambda: next(ticks))
+
+
+@pytest.fixture
+def service(star_topology, tracer):
+    return AdmissionService(
+        ScheduleStore(empty_schedule(star_topology)), tracer=tracer
+    )
+
+
+def _by_name(spans):
+    grouped = {}
+    for span in spans:
+        grouped.setdefault(span.name, []).append(span)
+    return grouped
+
+
+class TestRequestSpans:
+    def test_accept_emits_request_rung_chain(self, service, tracer):
+        assert service.submit(_tct("a")).accepted
+        spans = _by_name(tracer.spans())
+        (batch,) = spans["admission.batch"]
+        (request,) = spans["admission.request"]
+        assert request.parent_id == batch.span_id
+        assert request.attributes["op"] == "admit-tct"
+        assert request.attributes["stream"] == "a"
+        assert request.attributes["accepted"] is True
+        assert request.attributes["rung"] == "incremental"
+        rungs = spans["admission.rung"]
+        assert rungs[-1].attributes["outcome"] == "success"
+        assert all(r.parent_id == batch.span_id for r in rungs)
+
+    def test_solve_span_is_child_of_its_rung(self, service, tracer):
+        service.submit(_tct("a"))
+        spans = tracer.spans()
+        rungs = [s for s in _by_name(spans)["admission.rung"]]
+        solves = _by_name(spans).get("solve", [])
+        assert solves
+        rung_ids = {r.span_id for r in rungs}
+        for solve in solves:
+            assert solve.parent_id in rung_ids
+        success = next(r for r in rungs
+                       if r.attributes["outcome"] == "success")
+        assert children_of(spans, success)
+
+    def test_rejection_records_reason(self, service, tracer):
+        # a stream too large for the 100 Mb/s star network
+        hog = _tct("hog", period_ms=4, length=40 * 1500)
+        decision = service.submit(hog)
+        assert not decision.accepted
+        (request,) = _by_name(tracer.spans())["admission.request"]
+        assert request.attributes["accepted"] is False
+        assert request.attributes["reason"]
+        rungs = _by_name(tracer.spans())["admission.rung"]
+        assert all(r.attributes["outcome"] in ("infeasible", "error",
+                                               "timeout") for r in rungs)
+
+    def test_every_request_in_a_batch_gets_a_span(self, service, tracer):
+        service.enqueue(_tct("a"))
+        service.enqueue(_ect("b"))
+        decisions = service.drain()
+        assert len(decisions) == 2
+        requests = _by_name(tracer.spans())["admission.request"]
+        assert sorted(r.attributes["stream"] for r in requests
+                      if "accepted" in r.attributes) >= ["a", "b"]
+        finished = [r for r in requests if r.end_ns is not None]
+        assert len(finished) == len(requests)
+
+    def test_request_ids_recorded(self, service, tracer):
+        d1 = service.submit(_tct("a"))
+        d2 = service.submit(_ect("b"))
+        requests = _by_name(tracer.spans())["admission.request"]
+        ids = {r.attributes.get("request_id") for r in requests}
+        assert {d1.request_id, d2.request_id} <= ids
+
+    def test_summary_reports_per_rung_latency(self, service, tracer):
+        service.submit(_tct("a"))
+        service.submit(_ect("b"))
+        summary = summarize_spans(tracer.spans())
+        assert "admission.request" in summary["spans"]
+        assert summary["rungs"]
+        for dist in summary["rungs"].values():
+            assert dist["count"] >= 1
+            assert dist["p50_ms"] <= dist["p99_ms"] <= dist["max_ms"]
+
+    def test_untraced_service_behaves_identically(self, star_topology):
+        traced = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)), tracer=Tracer()
+        )
+        plain = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology))
+        )
+        for svc in (traced, plain):
+            assert svc.submit(_tct("a")).accepted
+            assert not svc.submit(_tct("a")).accepted  # duplicate name
+        assert plain.tracer.spans() == []
+
+
+class TestSolverStatsHarvest:
+    def test_smt_backend_folds_stats_into_metrics(self, star_topology):
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)),
+            config=ServiceConfig(backend="smt"),
+        )
+        assert service.submit(_tct("base", share=True)).accepted
+        assert service.submit(_ect("alarm")).accepted
+        # the incremental primitive refuses sharing TCT when ECT exists,
+        # so this climbs to the full rung — the SMT backend — whose
+        # SolverStats snapshot must land in the solver.* counters
+        decision = service.submit(_tct("late", src="D2", share=True))
+        assert decision.accepted
+        assert decision.rung == "full"
+        counters = service.metrics.counters_with_prefix("solver")
+        assert counters.get("theory_checks", 0) > 0
+        assert "propagations" in counters
+        assert "conflicts" in counters

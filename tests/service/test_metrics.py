@@ -1,11 +1,12 @@
 """Metrics registry: counters, gauges, histograms, JSON export."""
 
 import json
+import threading
 
 import pytest
 
 from repro.service import MetricsRegistry
-from repro.service.metrics import Histogram
+from repro.service.metrics import Gauge, Histogram
 
 
 class TestCounter:
@@ -27,6 +28,46 @@ class TestCounter:
         assert registry.counters_with_prefix("decisions") == {
             "incremental": 4, "rejected": 1,
         }
+
+    def test_prefix_requires_dot_boundary(self):
+        registry = MetricsRegistry()
+        registry.counter("rungs.full").inc()
+        registry.counter("rungsx.full").inc()
+        assert registry.counters_with_prefix("rungs") == {"full": 1}
+
+    def test_prefix_with_no_matches(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        assert registry.counters_with_prefix("missing") == {}
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge()
+        gauge.set(5)
+        assert gauge.value == 5
+        gauge.set(-2.5)
+        assert gauge.value == -2.5
+
+    def test_add_delta(self):
+        gauge = Gauge()
+        gauge.add(3)
+        gauge.add(-1)
+        assert gauge.value == 2
+
+    def test_concurrent_adds_do_not_lose_updates(self):
+        gauge = Gauge()
+
+        def bump():
+            for _ in range(1_000):
+                gauge.add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value == 8_000
 
 
 class TestHistogram:
@@ -55,6 +96,53 @@ class TestHistogram:
         assert len(h._samples) == 16      # memory stays bounded
         assert h.percentile(50) >= 0
 
+    def test_reservoir_replacement_keeps_exact_aggregates(self):
+        """Once the reservoir is full, replacement sampling must not
+        disturb the exact count/sum/min/max/mean aggregates."""
+        h = Histogram(max_samples=32, seed=11)
+        n = 5_000
+        for v in range(1, n + 1):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.sum == n * (n + 1) / 2
+        assert h.mean == pytest.approx((n + 1) / 2)
+        summary = h.summary()
+        assert summary["count"] == n
+        assert summary["min"] == 1.0
+        assert summary["max"] == float(n)
+
+    def test_reservoir_percentiles_stay_in_observed_range(self):
+        h = Histogram(max_samples=64, seed=7)
+        for v in range(2_000):
+            h.observe(float(v))
+        for q in (0, 50, 90, 99, 100):
+            assert 0.0 <= h.percentile(q) <= 1_999.0
+
+    def test_summary_is_one_consistent_snapshot(self):
+        """summary() under concurrent observes: count must equal what the
+        writer finished plus at most what arrived mid-snapshot, and the
+        aggregate fields must be mutually consistent (mean = sum/count)."""
+        h = Histogram(max_samples=128, seed=1)
+        stop = threading.Event()
+
+        def writer():
+            v = 0
+            while not stop.is_set():
+                h.observe(float(v % 100))
+                v += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                s = h.summary()
+                if s["count"]:
+                    assert s["min"] <= s["p50"] <= s["max"]
+                    assert s["mean"] == pytest.approx(s["sum"] / s["count"])
+        finally:
+            stop.set()
+            thread.join()
+
     def test_out_of_range_percentile(self):
         with pytest.raises(ValueError):
             Histogram().percentile(101)
@@ -82,3 +170,34 @@ class TestRegistryExport:
         assert registry.counter("x") is registry.counter("x")
         assert registry.histogram("y") is registry.histogram("y")
         assert registry.gauge("z") is registry.gauge("z")
+
+    def test_to_dict_snapshot_survives_concurrent_registration(self):
+        """to_dict() while other threads register instruments and write:
+        every exported value must be internally consistent and the call
+        must never raise (the registry copies its tables under the lock)."""
+        registry = MetricsRegistry()
+        registry.counter("seed").inc()
+        stop = threading.Event()
+
+        def churn(worker: int):
+            i = 0
+            while not stop.is_set():
+                registry.counter(f"c{worker}.{i % 20}").inc()
+                registry.gauge(f"g{worker}").add(1)
+                registry.histogram(f"h{worker}").observe(float(i % 10))
+                i += 1
+
+        threads = [threading.Thread(target=churn, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(100):
+                data = registry.to_dict()
+                assert data["counters"]["seed"] == 1
+                for summary in data["histograms"].values():
+                    if summary["count"]:
+                        assert summary["min"] <= summary["max"]
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()

@@ -1,0 +1,177 @@
+"""Prometheus exposition: a strict format parser over the real CLI
+output, pinned against a golden file.
+
+The parser enforces the text exposition format (version 0.0.4) rules a
+real scrape would: legal metric names, HELP/TYPE before samples, valid
+TYPE keywords, float-parsable values, quantile labels in [0, 1], and
+``_sum``/``_count`` companions for every summary.  Regenerate the golden
+with::
+
+    PYTHONPATH=src python -m repro metrics --format prometheus \
+        --deterministic > tests/service/golden_metrics.prom
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_metrics.prom"
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_exposition(text: str):
+    """Strictly parse exposition text; returns {family: (type, samples)}
+    with samples as {(name, labels): float}.  Raises AssertionError on
+    any format violation."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families = {}
+    helped, current = set(), None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}: {line!r}"
+        assert line == line.rstrip(), f"trailing whitespace — {where}"
+        if line.startswith("# HELP "):
+            name = line.split(None, 3)[2]
+            assert _METRIC_NAME.match(name), f"bad HELP name — {where}"
+            assert name not in helped, f"duplicate HELP — {where}"
+            helped.add(name)
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            assert _METRIC_NAME.match(name), f"bad TYPE name — {where}"
+            assert kind in _TYPES, f"unknown type {kind!r} — {where}"
+            assert name not in families, f"duplicate TYPE — {where}"
+            assert name in helped, f"TYPE before HELP — {where}"
+            families[name] = (kind, {})
+            current = name
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            match = _SAMPLE.match(line)
+            assert match, f"malformed sample — {where}"
+            name, labels, value = match.group("name", "labels", "value")
+            family = _family_of(name, families)
+            assert family, f"sample without TYPE — {where}"
+            assert family == current or name.startswith(current or ""), \
+                f"sample outside its family block — {where}"
+            parsed_labels = ()
+            if labels:
+                parsed_labels = tuple(
+                    _parse_label(label, where)
+                    for label in labels.split(",")
+                )
+            key = (name, parsed_labels)
+            samples = families[family][1]
+            assert key not in samples, f"duplicate sample — {where}"
+            samples[key] = float(value)  # must parse
+    return families
+
+
+def _parse_label(label: str, where: str):
+    match = _LABEL.match(label)
+    assert match, f"malformed label {label!r} — {where}"
+    name, value = match.groups()
+    if name == "quantile":
+        assert 0.0 <= float(value) <= 1.0, f"quantile out of range — {where}"
+    return (name, value)
+
+
+def _family_of(sample_name: str, families):
+    """A sample belongs to the family whose name is its longest prefix
+    (handles the _sum/_count/_min/_max companions)."""
+    best = None
+    for family in families:
+        if sample_name == family or sample_name.startswith(family + "_"):
+            if best is None or len(family) > len(best):
+                best = family
+    return best
+
+
+@pytest.fixture
+def exposition(capsys) -> str:
+    assert main(["metrics", "--format", "prometheus",
+                 "--deterministic"]) == 0
+    return capsys.readouterr().out
+
+
+class TestStrictParse:
+    def test_cli_output_parses_strictly(self, exposition):
+        families = parse_exposition(exposition)
+        assert families
+
+    def test_counters_end_in_total(self, exposition):
+        families = parse_exposition(exposition)
+        counters = {name for name, (kind, _) in families.items()
+                    if kind == "counter"}
+        assert counters
+        assert all(name.endswith("_total") for name in counters)
+
+    def test_summaries_carry_quantiles_sum_count(self, exposition):
+        families = parse_exposition(exposition)
+        summaries = {name: samples for name, (kind, samples)
+                     in families.items() if kind == "summary"}
+        assert summaries
+        for name, samples in summaries.items():
+            quantiles = {labels for (sample, labels) in samples
+                         if sample == name}
+            assert (("quantile", "0.5"),) in quantiles
+            assert (("quantile", "0.99"),) in quantiles
+            assert (f"{name}_sum", ()) in samples
+            assert (f"{name}_count", ()) in samples
+
+    def test_admission_families_present(self, exposition):
+        families = parse_exposition(exposition)
+        assert "repro_requests_total_total" in families
+        assert "repro_requests_admitted_total" in families
+        assert "repro_store_version" in families
+        assert "repro_latency_decision_ms" in families
+
+    def test_demo_run_counts_are_stable(self, exposition):
+        """The deterministic demo admits 2 of 3 requests."""
+        families = parse_exposition(exposition)
+        samples = families["repro_requests_total_total"][1]
+        assert samples[("repro_requests_total_total", ())] == 3.0
+        admitted = families["repro_requests_admitted_total"][1]
+        assert admitted[("repro_requests_admitted_total", ())] == 2.0
+
+
+class TestGoldenFile:
+    def test_matches_golden(self, exposition):
+        assert exposition == GOLDEN.read_text(), (
+            "prometheus exposition drifted from the golden file; if the "
+            "change is intentional, regenerate it (see module docstring)"
+        )
+
+    def test_golden_itself_parses(self):
+        parse_exposition(GOLDEN.read_text())
+
+
+class TestParserRejectsGarbage:
+    def test_sample_without_type(self):
+        with pytest.raises(AssertionError):
+            parse_exposition("repro_x 1\n")
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            parse_exposition(
+                "# HELP repro_x h\n# TYPE repro_x gauge\nrepro_x abc\n"
+            )
+
+    def test_unknown_type_keyword(self):
+        with pytest.raises(AssertionError):
+            parse_exposition("# HELP repro_x h\n# TYPE repro_x float\n")
+
+    def test_missing_trailing_newline(self):
+        with pytest.raises(AssertionError):
+            parse_exposition("# HELP repro_x h\n# TYPE repro_x gauge")

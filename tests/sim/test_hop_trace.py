@@ -1,0 +1,130 @@
+"""Per-hop frame tracing: the simulator's egress ports emit
+enqueue/transmit/deliver events that reconstruct each frame's journey —
+the raw material of the paper's Fig. 14 per-hop delay analysis."""
+
+from __future__ import annotations
+
+from repro.core.baselines import schedule_etsn
+from repro.core.gcl import build_gcl
+from repro.model.stream import EctStream, Priorities, Stream
+from repro.model.units import milliseconds
+from repro.obs import Tracer, frame_journeys, per_hop_delays
+from repro.sim import SimConfig, TsnSimulation
+
+
+def _run_traced(topo, duration_ns=milliseconds(100)):
+    tct = Stream(
+        name="tct-a", path=tuple(topo.shortest_path("D1", "D3")),
+        e2e_ns=milliseconds(8), priority=Priorities.NSH_PL,
+        length_bytes=1500, period_ns=milliseconds(8),
+    )
+    ect = EctStream(
+        name="ect-a", source="D2", destination="D3",
+        min_interevent_ns=milliseconds(16), length_bytes=1500,
+        possibilities=4,
+    )
+    schedule = schedule_etsn(topo, [tct], [ect])
+    gcl = build_gcl(schedule, mode="etsn",
+                    ect_proxies=schedule.meta.get("ect_proxies"))
+    tracer = Tracer(max_spans=100_000)
+    config = SimConfig(duration_ns=duration_ns, seed=3, tracer=tracer)
+    report = TsnSimulation(schedule, gcl, config).run()
+    return report, tracer.spans()
+
+
+class TestPerHopTracing:
+    def test_every_delivered_message_has_a_complete_journey(
+        self, star_topology
+    ):
+        report, spans = _run_traced(star_topology)
+        assert report.recorder.delivered("tct-a") > 0
+        journeys = frame_journeys(spans, stream="tct-a")
+        assert journeys
+        # D1 -> SW1 -> D3: every frame crosses both links, and on each
+        # link the enqueue/transmit/deliver triple appears in order.
+        for steps in journeys.values():
+            events = [(event, link) for event, link, _ in steps]
+            assert events == [
+                ("frame.enqueue", "D1->SW1"),
+                ("frame.transmit", "D1->SW1"),
+                ("frame.deliver", "D1->SW1"),
+                ("frame.enqueue", "SW1->D3"),
+                ("frame.transmit", "SW1->D3"),
+                ("frame.deliver", "SW1->D3"),
+            ]
+
+    def test_timestamps_are_simulated_time_and_monotone(self, star_topology):
+        report, spans = _run_traced(star_topology,
+                                    duration_ns=milliseconds(50))
+        for steps in frame_journeys(spans).values():
+            times = [ts for _, _, ts in steps]
+            assert times == sorted(times)
+            assert all(0 <= ts <= milliseconds(50) for ts in times)
+
+    def test_per_hop_delays_cover_both_links(self, star_topology):
+        _, spans = _run_traced(star_topology)
+        delays = per_hop_delays(spans, stream="tct-a")
+        assert set(delays) == {"D1->SW1", "SW1->D3"}
+        # a 1500 B frame takes ~123 us on the wire at 100 Mb/s: every
+        # per-hop delay must at least cover its own transmission time.
+        for link_delays in delays.values():
+            assert all(d >= 120_000 for d in link_delays)
+
+    def test_event_attributes_identify_the_frame(self, star_topology):
+        _, spans = _run_traced(star_topology,
+                               duration_ns=milliseconds(30))
+        frame_events = [s for s in spans if s.name.startswith("frame.")]
+        assert frame_events
+        for span in frame_events:
+            assert span.duration_ns == 0  # point events
+            for key in ("frame_id", "stream", "message_id", "frame_index",
+                        "link", "hop"):
+                assert key in span.attributes, f"{span.name} missing {key}"
+
+    def test_transmit_carries_queue_and_wire_time(self, star_topology):
+        _, spans = _run_traced(star_topology,
+                               duration_ns=milliseconds(30))
+        transmits = [s for s in spans if s.name == "frame.transmit"]
+        assert transmits
+        for span in transmits:
+            assert span.attributes["duration_ns"] > 0
+            assert 0 <= span.attributes["queue"] <= 7
+
+    def test_lossy_link_emits_drop_events(self, star_topology):
+        tct = Stream(
+            name="tct-a",
+            path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(8), priority=Priorities.NSH_PL,
+            length_bytes=1500, period_ns=milliseconds(8),
+        )
+        schedule = schedule_etsn(star_topology, [tct], [])
+        gcl = build_gcl(schedule, mode="etsn")
+        tracer = Tracer(max_spans=100_000)
+        config = SimConfig(
+            duration_ns=milliseconds(200), seed=3, tracer=tracer,
+            link_loss={("D1", "SW1"): 1.0},
+        )
+        report = TsnSimulation(schedule, gcl, config).run()
+        drops = [s for s in tracer.spans() if s.name == "frame.drop"]
+        assert report.recorder.delivered("tct-a") == 0
+        assert drops
+        assert all(s.attributes["link"] == "D1->SW1" for s in drops)
+        # dropped frames never produce a deliver event on that link
+        delivers = [s for s in tracer.spans() if s.name == "frame.deliver"]
+        assert not delivers
+
+    def test_untraced_simulation_emits_nothing(self, star_topology):
+        """Default SimConfig: the null tracer records no frame events and
+        the simulation result is unchanged."""
+        tct = Stream(
+            name="tct-a",
+            path=tuple(star_topology.shortest_path("D1", "D3")),
+            e2e_ns=milliseconds(8), priority=Priorities.NSH_PL,
+            length_bytes=1500, period_ns=milliseconds(8),
+        )
+        schedule = schedule_etsn(star_topology, [tct], [])
+        gcl = build_gcl(schedule, mode="etsn")
+        report = TsnSimulation(
+            schedule, gcl, SimConfig(duration_ns=milliseconds(50), seed=3)
+        ).run()
+        assert report.recorder.delivered("tct-a") > 0

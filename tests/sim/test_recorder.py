@@ -60,6 +60,60 @@ class TestMessageCompletion:
         assert rec.delivered("s") == 1
 
 
+class TestLostFrames:
+    def test_lists_missing_messages_by_id(self):
+        rec = LatencyRecorder()
+        for message_id in (0, 1, 2):
+            rec.on_inject("s", message_id)
+        rec.on_deliver(_frame(message_id=1), 10)
+        assert rec.lost_frames() == [("s", 0), ("s", 2)]
+        assert rec.lost("s") == 2
+
+    def test_multiple_streams_sorted(self):
+        rec = LatencyRecorder()
+        rec.on_inject("b", 0)
+        rec.on_inject("a", 0)
+        rec.on_inject("a", 1)
+        rec.on_deliver(_frame(stream="a", message_id=1), 10)
+        assert rec.lost_frames() == [("a", 0), ("b", 0)]
+
+    def test_in_flight_message_not_double_counted(self):
+        """Regression: a multi-frame message with *some* frames delivered
+        must appear exactly once in the detail view — per-frame arrivals
+        must not multiply the (stream, id) entry."""
+        rec = LatencyRecorder()
+        rec.on_inject("s", 5)
+        rec.on_deliver(_frame(message_id=5, frame_index=0,
+                              frames_in_message=3), 100)
+        rec.on_deliver(_frame(message_id=5, frame_index=1,
+                              frames_in_message=3), 200)
+        assert rec.in_flight() == 1
+        assert rec.lost_frames() == [("s", 5)]
+        # the final frame completes the message: no longer lost
+        rec.on_deliver(_frame(message_id=5, frame_index=2,
+                              frames_in_message=3), 300)
+        assert rec.lost_frames() == []
+
+    def test_duplicate_copies_do_not_multiply_entries(self):
+        """FRER-style redundant copies of a delivered frame change
+        nothing: the message stays in flight, listed once."""
+        rec = LatencyRecorder()
+        rec.on_inject("s", 0)
+        frame = _frame(message_id=0, frame_index=0, frames_in_message=2)
+        rec.on_deliver(frame, 100)
+        rec.on_deliver(frame, 150)  # duplicate copy, eliminated
+        assert rec.duplicates_eliminated == 1
+        assert rec.lost_frames() == [("s", 0)]
+
+    def test_sources_without_ids_do_not_contribute(self):
+        """on_inject without a message id keeps only the aggregate count
+        (legacy callers); the detail view stays silent for that stream."""
+        rec = LatencyRecorder()
+        rec.on_inject("legacy")
+        assert rec.lost("legacy") == 1
+        assert rec.lost_frames() == []
+
+
 class TestStats:
     def test_basic_stats(self):
         rec = LatencyRecorder()

@@ -1,0 +1,84 @@
+"""SolverStats: the typed search-statistics snapshot on solve results."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.smt import DlSmtSolver, SolverStats, diff_ge, diff_le, var_ge, var_le
+from repro.smt.sat import SatSolver
+
+
+class TestSolverStats:
+    def test_default_snapshot_is_zero(self):
+        stats = SolverStats()
+        assert stats.conflicts == 0
+        assert stats.decisions == 0
+        assert stats.propagations == 0
+        assert stats.to_dict() == {
+            "conflicts": 0, "decisions": 0, "propagations": 0,
+            "restarts": 0, "theory_checks": 0, "theory_conflicts": 0,
+            "learned_clauses": 0,
+        }
+
+    def test_snapshot_is_frozen(self):
+        stats = SolverStats()
+        try:
+            stats.conflicts = 5
+        except dataclasses.FrozenInstanceError:
+            pass
+        else:
+            raise AssertionError("SolverStats must be immutable")
+
+    def test_attached_to_sat_result(self):
+        s = DlSmtSolver()
+        s.require(var_ge("a", 0))
+        s.require(diff_le("a", "b", -5))
+        s.require(var_le("b", 20))
+        result = s.check()
+        assert result.sat
+        stats = result.solver_stats
+        assert isinstance(stats, SolverStats)
+        assert stats.theory_checks > 0
+        # the legacy dict view carries the same numbers
+        for key, value in stats.to_dict().items():
+            assert result.stats[key] == value
+
+    def test_unsat_counts_conflicts(self):
+        s = DlSmtSolver()
+        # contradictory chain forces at least one theory conflict
+        s.require(diff_le("a", "b", -1))
+        s.require(diff_le("b", "c", -1))
+        s.require(diff_ge("a", "c", 0))
+        result = s.check()
+        assert not result.sat
+        assert result.solver_stats.theory_conflicts >= 1
+
+    def test_disjunctions_drive_decisions_and_learning(self):
+        s = DlSmtSolver()
+        # a small packing problem: enough branching to force decisions
+        names = ["w", "x", "y", "z"]
+        for name in names:
+            s.require(var_ge(name, 0))
+            s.require(var_le(name, 30))
+        for a, b in [(a, b) for i, a in enumerate(names)
+                     for b in names[i + 1:]]:
+            s.add_clause([diff_le(a, b, -10), diff_ge(a, b, 10)])
+        result = s.check()
+        assert result.sat
+        stats = result.solver_stats
+        assert stats.decisions > 0
+        assert stats.propagations > 0
+        if stats.conflicts:
+            assert stats.learned_clauses > 0
+
+    def test_sat_solver_stats_method_matches_counters(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve()
+        stats = solver.stats()
+        assert stats.propagations == solver.num_propagations
+        assert stats.conflicts == solver.num_conflicts
+        assert stats.decisions == solver.num_decisions
+        assert stats.restarts == solver.num_restarts

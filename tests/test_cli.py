@@ -186,3 +186,110 @@ class TestServeCommand:
         ]
         assert decisions[0]["accepted"] is True
         assert decisions[0]["store_version"] == 1
+
+
+class TestTraceFlag:
+    def _serve_traced(self, capsys, tmp_path, star_topology):
+        topo_path = tmp_path / "topo.json"
+        topo_path.write_text(json.dumps(topology_to_dict(star_topology)))
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(json.dumps(line) for line in [
+            {"op": "admit-tct", "name": "a", "source": "D1",
+             "destination": "D3", "period_ns": milliseconds(8),
+             "length_bytes": 1500},
+            {"op": "admit-ect", "name": "e", "source": "D2",
+             "destination": "D3", "min_interevent_ns": milliseconds(16),
+             "length_bytes": 512, "possibilities": 2},
+        ]) + "\n")
+        trace_path = tmp_path / "out.jsonl"
+        assert main([
+            "serve", "--topology", str(topo_path),
+            "--requests", str(requests), "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        return trace_path
+
+    def test_serve_trace_emits_request_rung_solve_spans(
+        self, capsys, tmp_path, star_topology
+    ):
+        trace_path = self._serve_traced(capsys, tmp_path, star_topology)
+        from repro.serialization import load_trace
+
+        spans = load_trace(trace_path)
+        names = {span.name for span in spans}
+        assert {"admission.batch", "admission.request",
+                "admission.rung", "solve"} <= names
+        requests = [s for s in spans if s.name == "admission.request"]
+        assert sorted(s.attributes["stream"] for s in requests) == ["a", "e"]
+        assert all(s.attributes["accepted"] for s in requests)
+        # rung spans parent the solves
+        rung_ids = {s.span_id for s in spans if s.name == "admission.rung"}
+        assert all(s.parent_id in rung_ids
+                   for s in spans if s.name == "solve")
+
+    def test_trace_summarize_reports_per_rung_latency(
+        self, capsys, tmp_path, star_topology
+    ):
+        trace_path = self._serve_traced(capsys, tmp_path, star_topology)
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "admission.request" in out
+        assert "per-rung solve latency:" in out
+        assert "incremental" in out
+
+    def test_trace_summarize_json(self, capsys, tmp_path, star_topology):
+        trace_path = self._serve_traced(capsys, tmp_path, star_topology)
+        assert main(["trace", "summarize", str(trace_path),
+                     "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["rungs"]["incremental"]["count"] >= 1
+        assert "p99_ms" in summary["rungs"]["incremental"]
+
+    def test_admit_trace_flag(self, capsys, tmp_path, state_file):
+        trace_path = tmp_path / "admit.jsonl"
+        code = main([
+            "admit", "--state", str(state_file),
+            "--name", "b", "--source", "D2", "--dest", "D3",
+            "--period-us", "16000", "--length", "800",
+            "--trace", str(trace_path),
+        ])
+        assert code == 0
+        from repro.serialization import load_trace
+
+        spans = load_trace(trace_path)
+        assert any(span.name == "admission.request" for span in spans)
+
+    def test_corrupt_trace_file_is_a_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        with pytest.raises(ValueError, match="trace line 1"):
+            from repro.serialization import load_trace
+
+            load_trace(bad)
+
+
+class TestMetricsCommand:
+    def test_json_format(self, capsys):
+        assert main(["metrics", "--format", "json",
+                     "--deterministic"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["requests.total"] == 3
+        assert data["counters"]["requests.admitted"] == 2
+        assert data["gauges"]["store.version"] == 2
+
+    def test_prometheus_format(self, capsys):
+        assert main(["metrics", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests_total_total counter" in out
+        assert "repro_latency_decision_ms_count" in out
+
+    def test_rerenders_saved_metrics_json(self, capsys, tmp_path):
+        assert main(["metrics", "--format", "json",
+                     "--deterministic"]) == 0
+        saved = tmp_path / "metrics.json"
+        saved.write_text(capsys.readouterr().out)
+        assert main(["metrics", "--input", str(saved),
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_requests_total_total 3" in out
+        assert "repro_store_version 2" in out

@@ -149,3 +149,53 @@ class TestDeploymentFile:
         loaded_schedule, loaded_gcl = load_deployment(str(path))
         assert loaded_schedule.meta["ect_proxies"] == {"alarm#period": "alarm"}
         assert loaded_gcl.mode == "period"
+
+
+class TestTraceSerialization:
+    def _spans(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(clock=lambda: 0)
+        request = tracer.start_span("request", ts_ns=0, stream="a")
+        rung = tracer.start_span("rung", parent=request, ts_ns=10,
+                                 rung="incremental")
+        tracer.finish(rung, ts_ns=50)
+        tracer.finish(request, ts_ns=100)
+        tracer.event("frame.enqueue", ts_ns=5, frame_id=1, link="D1->SW1")
+        return tracer.spans()
+
+    def test_span_round_trip(self):
+        from repro.serialization import span_from_dict, span_to_dict
+
+        for span in self._spans():
+            data = span_to_dict(span)
+            json.dumps(data)  # must be JSON-able
+            clone = span_from_dict(data)
+            assert clone == span
+
+    def test_save_and_load_trace(self, tmp_path):
+        from repro.serialization import load_trace, save_trace
+
+        spans = self._spans()
+        path = tmp_path / "trace.jsonl"
+        save_trace(str(path), spans)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(spans)  # one JSON object per line
+        assert load_trace(str(path)) == spans
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        from repro.serialization import load_trace, save_trace
+
+        spans = self._spans()
+        path = tmp_path / "trace.jsonl"
+        save_trace(str(path), spans)
+        path.write_text(path.read_text() + "\n\n")
+        assert load_trace(str(path)) == spans
+
+    def test_malformed_line_names_its_number(self, tmp_path):
+        from repro.serialization import load_trace
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok"}\nnot-json\n')
+        with pytest.raises(ValueError, match="trace line"):
+            load_trace(str(path))
