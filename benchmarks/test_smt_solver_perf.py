@@ -2,6 +2,7 @@
 Fig. 6 example through the faithful SMT backend."""
 
 import itertools
+import time
 
 from repro.core import schedule_smt, validate
 from repro.model.stream import EctStream, Priorities, Stream
@@ -46,6 +47,50 @@ def test_smt_packing_unsat(benchmark):
         return result
 
     benchmark(solve)
+
+
+def _packing_solve(proof: bool):
+    solver = DlSmtSolver(proof=proof)
+    names = [f"j{i}" for i in range(30)]
+    for name in names:
+        solver.require(var_ge(name, 0))
+        solver.require(var_le(name, 400))
+    for a, b in itertools.combinations(names, 2):
+        solver.add_clause([diff_ge(a, b, 10), diff_ge(b, a, 10)])
+    result = solver.check()
+    assert result.sat
+    return result
+
+
+def _best_of(runs: int, fn) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_proof_logging_overhead():
+    """Certificate logging must stay cheap: the same budget discipline
+    as the tracer (PR 2), with headroom for timer noise on the shared
+    CI runners — proof=True may cost at most 2x the plain solve, and
+    the plain path must not secretly pay for proof plumbing."""
+    for _ in range(2):  # warm up allocators and caches
+        _packing_solve(proof=False)
+    plain = _best_of(5, lambda: _packing_solve(proof=False))
+    logged = _best_of(5, lambda: _packing_solve(proof=True))
+    assert logged <= plain * 2.0, (
+        f"proof logging overhead too high: {plain * 1e3:.2f} ms plain "
+        f"vs {logged * 1e3:.2f} ms with certificates"
+    )
+    # the certificate must actually have been produced (no lazy cheat)
+    result = _packing_solve(proof=True)
+    assert result.certificate is not None
+    assert result.certificate.status == "sat"
+    assert len(result.certificate.cnf) > 400
+    # and the plain path must not carry one
+    assert _packing_solve(proof=False).certificate is None
 
 
 def test_smt_scheduler_speed(benchmark):

@@ -1,0 +1,42 @@
+"""repro.check — static analysis and independent result verification.
+
+Two pillars, both deliberately outside the code they judge:
+
+* **Proof certificates** (:mod:`repro.check.proof`,
+  :mod:`repro.check.model`): replay the DPLL(T) solver's UNSAT proofs
+  by reverse unit propagation plus negative-cycle arithmetic, and
+  evaluate SAT models against every input constraint — the solver is
+  untrusted, the checker is trusted and an order of magnitude smaller.
+* **Repo-invariant linter** (:mod:`repro.check.lint`): an AST pass
+  enforcing the timing/locking disciplines this codebase depends on
+  (no wall-clock reads in deterministic code, integer-nanosecond
+  arithmetic, lock-guarded instrument mutation, no bare ``except``,
+  well-formed annotations).
+
+``python -m repro check {proof,model,lint}`` is the CLI face
+(:mod:`repro.check.cli`).
+"""
+
+from repro.check.lint import (
+    ALL_RULES,
+    LintFinding,
+    lint_paths,
+    lint_source,
+)
+from repro.check.model import check_model
+from repro.check.proof import (
+    CertificateError,
+    check_unsat_proof,
+    verify_certificate,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CertificateError",
+    "LintFinding",
+    "check_model",
+    "check_unsat_proof",
+    "lint_paths",
+    "lint_source",
+    "verify_certificate",
+]

@@ -1,0 +1,68 @@
+"""The trusted SAT-model checker: evaluate, never re-solve.
+
+A "schedulable" verdict is only as good as its witness.  Given the
+original input clauses (disjunctions of difference atoms via the
+boolean-variable → atom map) and the integer model the solver returned,
+:func:`check_model` evaluates every clause under the model with plain
+integer arithmetic.  No solver state is consulted — a model either makes
+at least one literal of every clause true, or the certificate fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.check.proof import CertificateError, negate_atom
+from repro.smt.terms import ZERO, Atom
+
+
+def check_model(
+    cnf: Sequence[Sequence[int]],
+    atoms: Dict[int, Atom],
+    model: Dict[str, int],
+) -> int:
+    """Verify a model against every input clause; returns clauses checked.
+
+    Raises :class:`~repro.check.proof.CertificateError` on the first
+    clause the model does not satisfy (or on a literal/variable the
+    certificate fails to define).
+    """
+    for position, clause in enumerate(cnf):
+        if not clause:
+            raise CertificateError(
+                f"clause {position} is empty: no model can satisfy it"
+            )
+        if not any(_literal_holds(lit, atoms, model, position) for lit in clause):
+            rendered = ", ".join(
+                str(_atom_of_literal(lit, atoms, position)) for lit in clause
+            )
+            raise CertificateError(
+                f"clause {position} unsatisfied by the model: [{rendered}]"
+            )
+    return len(cnf)
+
+
+def _atom_of_literal(lit: int, atoms: Dict[int, Atom], position: int) -> Atom:
+    atom = atoms.get(abs(lit))
+    if atom is None:
+        raise CertificateError(
+            f"clause {position}: literal {lit} names no registered atom"
+        )
+    return atom if lit > 0 else negate_atom(atom)
+
+
+def _literal_holds(
+    lit: int, atoms: Dict[int, Atom], model: Dict[str, int], position: int
+) -> bool:
+    atom = _atom_of_literal(lit, atoms, position)
+    return _value(atom.x, model, position) - _value(atom.y, model, position) <= atom.c
+
+
+def _value(name: str, model: Dict[str, int], position: int) -> int:
+    if name == ZERO:
+        return 0
+    if name not in model:
+        raise CertificateError(
+            f"clause {position}: model assigns no value to {name!r}"
+        )
+    return model[name]

@@ -1,0 +1,225 @@
+"""The trusted UNSAT-proof checker: replay, never re-search.
+
+:func:`check_unsat_proof` re-judges a solver's "not schedulable" verdict
+from the :class:`~repro.smt.proof.Certificate` alone:
+
+* a ``learned`` step is accepted iff it has the RUP property — assuming
+  its negation and unit-propagating over the input CNF plus every
+  previously accepted step derives a conflict (reverse unit
+  propagation, the DRAT core rule);
+* a ``lemma`` step (a difference-logic theory lemma) is accepted iff
+  its negative-cycle witness is exactly the set of atoms the lemma
+  negates, the witness edges chain into a closed cycle, and the cycle's
+  summed weight is negative — plain integer arithmetic, no theory
+  solver involved;
+* the final ``empty`` step is accepted iff unit propagation alone
+  derives a conflict, which certifies unsatisfiability of the input.
+
+The checker never imports the CDCL core or the theory solver; its trust
+base is this module plus the passive containers in
+:mod:`repro.smt.proof` and :mod:`repro.smt.terms` — an order of
+magnitude smaller than the search code it audits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.smt.proof import (
+    STEP_EMPTY,
+    STEP_LEARNED,
+    STEP_LEMMA,
+    Certificate,
+    ProofStep,
+)
+from repro.smt.terms import Atom
+
+
+class CertificateError(RuntimeError):
+    """A certificate failed independent verification."""
+
+
+def negate_atom(atom: Atom) -> Atom:
+    """Integer negation, re-derived here so the checker trusts no solver
+    code: ``not (x - y <= c)`` is ``y - x <= -c - 1``."""
+    return Atom(atom.y, atom.x, -atom.c - 1)
+
+
+def check_unsat_proof(
+    cnf: Sequence[Sequence[int]],
+    proof: Sequence[ProofStep],
+    atoms: Dict[int, Atom],
+) -> int:
+    """Verify an UNSAT proof; returns the number of steps checked.
+
+    Raises :class:`CertificateError` on the first step that does not
+    follow, or if the proof never derives the empty clause.
+    """
+    db = _ClauseDb()
+    for clause in cnf:
+        db.add(clause)
+    checked = 0
+    for position, step in enumerate(proof):
+        checked += 1
+        where = f"proof step {position} ({step.kind})"
+        if step.kind == STEP_LEMMA:
+            _check_lemma(step, atoms, where)
+            db.add(step.clause)
+        elif step.kind == STEP_LEARNED:
+            if not db.propagation_conflicts(assume=[-lit for lit in step.clause]):
+                raise CertificateError(
+                    f"{where}: clause {step.clause} is not implied by "
+                    f"reverse unit propagation"
+                )
+            db.add(step.clause)
+        elif step.kind == STEP_EMPTY:
+            if not db.propagation_conflicts(assume=()):
+                raise CertificateError(
+                    f"{where}: unit propagation does not refute the formula"
+                )
+            return checked
+        else:
+            raise CertificateError(f"{where}: unknown step kind {step.kind!r}")
+    raise CertificateError(
+        f"proof ended after {checked} steps without deriving the empty clause"
+    )
+
+
+def _check_lemma(step: ProofStep, atoms: Dict[int, Atom], where: str) -> None:
+    """A theory lemma holds iff its negated literals name the atoms of a
+    closed negative-weight cycle in the difference-constraint graph."""
+    if not step.clause:
+        raise CertificateError(f"{where}: empty lemma clause")
+    if not step.cycle:
+        raise CertificateError(f"{where}: lemma carries no cycle witness")
+    asserted: List[Atom] = []
+    for lit in step.clause:
+        atom = atoms.get(abs(lit))
+        if atom is None:
+            raise CertificateError(
+                f"{where}: literal {lit} names no registered atom"
+            )
+        # The lemma says "not all of these constraints": each negated
+        # lemma literal is one asserted constraint of the conflict.
+        asserted.append(negate_atom(atom) if lit > 0 else atom)
+    witness = list(step.cycle)
+    if sorted((a.x, a.y, a.c) for a in asserted) != sorted(
+        (a.x, a.y, a.c) for a in witness
+    ):
+        raise CertificateError(
+            f"{where}: cycle witness does not match the lemma's atoms"
+        )
+    total = 0
+    for edge, successor in zip(witness, witness[1:] + witness[:1]):
+        # atom x - y <= c is graph edge y -> x: heads must chain to tails
+        if edge.x != successor.y:
+            raise CertificateError(
+                f"{where}: witness edges do not chain into a cycle "
+                f"({edge.x!r} -> {successor.y!r})"
+            )
+        total += edge.c
+    if total >= 0:
+        raise CertificateError(
+            f"{where}: witness cycle weight {total} is not negative"
+        )
+
+
+def verify_certificate(certificate: Optional[Certificate]) -> int:
+    """Dispatch a certificate to the matching checker.
+
+    Returns the work done: proof steps replayed for UNSAT, clauses
+    evaluated for SAT.  Raises :class:`CertificateError` on any failure.
+    """
+    # Imported here: repro.check.model imports this module for the
+    # shared error type, so the top level must stay one-directional.
+    from repro.check.model import check_model
+
+    if certificate is None:
+        raise CertificateError("no certificate attached (was proof=True set?)")
+    if certificate.status == "unsat":
+        if certificate.proof is None:
+            raise CertificateError("unsat certificate carries no proof")
+        return check_unsat_proof(certificate.cnf, certificate.proof, certificate.atoms)
+    if certificate.status == "sat":
+        if certificate.model is None:
+            raise CertificateError("sat certificate carries no model")
+        return check_model(certificate.cnf, certificate.atoms, certificate.model)
+    raise CertificateError(f"unknown certificate status {certificate.status!r}")
+
+
+class _ClauseDb:
+    """Clause store with literal-occurrence indexing for fast RUP checks.
+
+    Clauses accepted so far are immutable; each RUP query runs its own
+    unit propagation over them (two-watched literals are a solver-side
+    optimization the checker deliberately avoids — correctness over
+    speed in the trusted core).
+    """
+
+    def __init__(self) -> None:
+        self._clauses: List[List[int]] = []
+        self._occur: Dict[int, List[int]] = {}
+        self._units: List[int] = []
+        self._has_empty = False
+
+    def add(self, clause: Iterable[int]) -> None:
+        unique = list(dict.fromkeys(clause))
+        if not unique:
+            self._has_empty = True
+            return
+        index = len(self._clauses)
+        self._clauses.append(unique)
+        if len(unique) == 1:
+            self._units.append(unique[0])
+        for lit in unique:
+            self._occur.setdefault(lit, []).append(index)
+
+    def propagation_conflicts(self, assume: Iterable[int]) -> bool:
+        """True iff unit propagation under ``assume`` derives a conflict."""
+        if self._has_empty:
+            return True
+        value: Dict[int, bool] = {}
+        trail: List[int] = []
+
+        def set_true(lit: int) -> bool:
+            """Record ``lit`` as true; False means a conflict arose."""
+            if value.get(lit):
+                return True
+            if value.get(-lit):
+                return False
+            value[lit] = True
+            trail.append(lit)
+            return True
+
+        for lit in assume:
+            if not set_true(lit):
+                return True
+        for lit in self._units:
+            if not set_true(lit):
+                return True
+        head = 0
+        while head < len(trail):
+            falsified = -trail[head]
+            head += 1
+            for index in self._occur.get(falsified, ()):
+                clause = self._clauses[index]
+                unit = None
+                satisfied = False
+                free = 0
+                for lit in clause:
+                    if value.get(lit):
+                        satisfied = True
+                        break
+                    if not value.get(-lit):
+                        free += 1
+                        if free > 1:
+                            break
+                        unit = lit
+                if satisfied or free > 1:
+                    continue
+                if free == 0:
+                    return True
+                assert unit is not None
+                if not set_true(unit):
+                    return True
+        return False

@@ -23,9 +23,14 @@ Commands
     Inspect a span trace written by ``--trace``:
     ``repro trace summarize out.jsonl`` prints per-span-name and
     per-rung latency distributions (count / mean / p50 / p99).
+``check``
+    Static analysis: ``check lint`` runs the repo-invariant AST linter,
+    ``check proof`` / ``check model`` verify saved solver certificates
+    (see :mod:`repro.check`).
 
 ``serve`` and ``admit`` accept ``--trace FILE`` to record admission
-spans (request -> rung -> solve) as JSON-lines.
+spans (request -> rung -> solve) as JSON-lines, and ``--certify`` to
+machine-check every solver verdict (SMT backend only).
 """
 
 from __future__ import annotations
@@ -93,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="backend for the full re-solve rung")
     admit.add_argument("--trace", metavar="FILE",
                        help="write admission spans here as JSON-lines")
+    admit.add_argument("--certify", action="store_true",
+                       help="verify every solver verdict with the "
+                            "repro.check certificate checker "
+                            "(requires --backend smt)")
 
     serve = sub.add_parser(
         "serve", help="serve a JSON-lines admission request stream"
@@ -118,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="backend for the full re-solve rung")
     serve.add_argument("--trace", metavar="FILE",
                        help="write admission spans here as JSON-lines")
+    serve.add_argument("--certify", action="store_true",
+                       help="verify every solver verdict with the "
+                            "repro.check certificate checker "
+                            "(requires --backend smt)")
 
     metrics = sub.add_parser(
         "metrics", help="run a demo admission and export its metrics"
@@ -140,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("file", help="JSONL trace from --trace")
     summarize.add_argument("--format", default="table",
                            choices=("table", "json"))
+
+    from repro.check.cli import add_check_parser
+
+    add_check_parser(sub)
     return parser
 
 
@@ -219,6 +236,11 @@ def _admit_request(args) -> "object":
     ))
 
 
+def _check_certify(args) -> None:
+    if args.certify and args.backend != "smt":
+        raise SystemExit("--certify requires --backend smt")
+
+
 def _make_tracer(path):
     """A ring-buffered tracer when ``--trace`` was given, else None."""
     if not path:
@@ -242,8 +264,11 @@ def _run_admit(args) -> int:
 
     store = ScheduleStore(_load_schedule(args.state))
     tracer = _make_tracer(args.trace)
+    _check_certify(args)
     service = AdmissionService(
-        store, config=ServiceConfig(backend=args.backend), tracer=tracer
+        store,
+        config=ServiceConfig(backend=args.backend, certify=args.certify),
+        tracer=tracer,
     )
     decision = service.submit(_admit_request(args))
     print(json.dumps(decision_to_dict(decision)))
@@ -276,10 +301,12 @@ def _run_serve(args) -> int:
             schedule = empty_schedule(topology_from_dict(json.load(handle)))
     store = ScheduleStore(schedule)
     tracer = _make_tracer(args.trace)
+    _check_certify(args)
     service = AdmissionService(store, config=ServiceConfig(
         backend=args.backend,
         max_batch=args.max_batch,
         emit_deployments=args.emit_deployments,
+        certify=args.certify,
     ), tracer=tracer)
 
     if args.requests == "-":
@@ -451,6 +478,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     elif args.command == "trace":
         return _run_trace(args)
+    elif args.command == "check":
+        from repro.check.cli import run_check
+
+        return run_check(args)
     else:
         _run_figure(args.command, args.duration_ms, args.seed)
     return 0

@@ -15,6 +15,7 @@ from repro.core.incremental import add_ect_stream, add_tct_stream, remove_stream
 from repro.core.probabilistic import expand_ect, possibility_for_occurrence, quantization_delay_ns
 from repro.core.reservation import ReservationPlan, prudent_reservation, total_extra_slots
 from repro.core.schedule import (
+    CertifiedInfeasibleError,
     InfeasibleError,
     NetworkSchedule,
     ScheduleError,
@@ -23,6 +24,7 @@ from repro.core.schedule import (
 from repro.core.smt_scheduler import schedule_smt
 
 __all__ = [
+    "CertifiedInfeasibleError",
     "GateWindow",
     "add_ect_stream",
     "add_tct_stream",

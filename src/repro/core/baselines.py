@@ -46,16 +46,26 @@ def schedule_etsn(
     backend: str = "heuristic",
     guard_margin_ns: int = 0,
     reservation_mode: str = "paper",
+    proof: bool = False,
 ) -> NetworkSchedule:
     """Joint E-TSN schedule (paper Sec. III/IV).
 
     ``reservation_mode='robust'`` switches prudent reservation to the
     sound generalization (see :mod:`repro.core.reservation`).
+
+    ``proof=True`` (SMT backend only) turns on certificate logging and
+    independent verification — see :func:`repro.core.schedule_smt`.
     """
-    return _backend(backend)(
-        topology, tct_streams, ect_streams, guard_margin_ns=guard_margin_ns,
-        reservation_mode=reservation_mode,
+    kwargs = dict(
+        guard_margin_ns=guard_margin_ns, reservation_mode=reservation_mode
     )
+    if proof:
+        if backend != "smt":
+            raise ValueError(
+                f"proof certificates require backend='smt', got {backend!r}"
+            )
+        kwargs["proof"] = True
+    return _backend(backend)(topology, tct_streams, ect_streams, **kwargs)
 
 
 def schedule_period(

@@ -56,11 +56,17 @@ def build_constraints(
     streams: Sequence[Stream],
     plan: ReservationPlan,
     guard_margin_ns: int = 0,
+    proof: bool = False,
 ) -> ConstraintSystem:
-    """Assemble the full Eq. 1-7 formula for ``streams``."""
+    """Assemble the full Eq. 1-7 formula for ``streams``.
+
+    ``proof=True`` builds the solver with certificate logging, so the
+    eventual :class:`~repro.smt.solver.SmtResult` carries a
+    machine-checkable proof (UNSAT) or model witness (SAT).
+    """
     for stream in streams:
         Priorities.check(stream)  # Eq. 6, by construction rather than search
-    solver = DlSmtSolver()
+    solver = DlSmtSolver(proof=proof)
     frames = build_frames(streams, plan, guard_margin_ns)
     streams_by_name = {s.name: s for s in streams}
 

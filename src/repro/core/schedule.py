@@ -27,6 +27,21 @@ class InfeasibleError(RuntimeError):
     """Raised when a scheduler backend cannot satisfy the requirements."""
 
 
+class CertifiedInfeasibleError(InfeasibleError):
+    """Infeasibility whose UNSAT proof passed independent checking.
+
+    Raised instead of the plain :class:`InfeasibleError` when the SMT
+    backend ran with proof logging: the attached certificate was
+    replayed by :mod:`repro.check.proof` before this exception left the
+    scheduler, so the rejection is machine-checked, not just asserted.
+    """
+
+    def __init__(self, message: str, certificate=None, proof_steps: int = 0):
+        super().__init__(message)
+        self.certificate = certificate
+        self.proof_steps = proof_steps
+
+
 @dataclass
 class NetworkSchedule:
     """A complete joint schedule for one TSN network.

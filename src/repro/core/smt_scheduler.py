@@ -16,10 +16,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.check.proof import verify_certificate
 from repro.core.constraints import build_constraints
 from repro.core.probabilistic import expand_ect
 from repro.core.reservation import prudent_reservation
-from repro.core.schedule import InfeasibleError, NetworkSchedule, validate
+from repro.core.schedule import (
+    CertifiedInfeasibleError,
+    InfeasibleError,
+    NetworkSchedule,
+    validate,
+)
 from repro.model.frame import FrameSlot
 from repro.model.stream import EctStream, Stream
 from repro.model.topology import Topology
@@ -32,11 +38,23 @@ def schedule_smt(
     validate_result: bool = True,
     guard_margin_ns: int = 0,
     reservation_mode: str = "paper",
+    proof: bool = False,
 ) -> NetworkSchedule:
     """Compute a joint E-TSN schedule with the SMT backend.
 
     Raises :class:`InfeasibleError` when the constraint system is
     unsatisfiable (the stream set cannot be scheduled on this network).
+
+    ``proof=True`` makes every verdict machine-checked: the solver logs
+    a certificate, and before this function returns (or raises) the
+    independent checker in :mod:`repro.check` replays it — an UNSAT
+    proof by reverse unit propagation with negative-cycle witnesses, a
+    SAT model by evaluating every input constraint.  Infeasibility then
+    surfaces as :class:`CertifiedInfeasibleError`, and the schedule's
+    ``meta["certificate"]`` records the verification.  A certificate
+    that fails to check raises
+    :class:`~repro.check.proof.CertificateError` — that is a solver
+    bug, not an admission verdict.
     """
     streams: List[Stream] = list(tct_streams)
     ects = list(ect_streams)
@@ -44,30 +62,48 @@ def schedule_smt(
         streams.extend(expand_ect(ect, topology))
 
     plan = prudent_reservation(streams, mode=reservation_mode)
-    system = build_constraints(topology, streams, plan, guard_margin_ns)
+    system = build_constraints(
+        topology, streams, plan, guard_margin_ns, proof=proof
+    )
     result = system.solver.check()
     if not result.sat:
-        raise InfeasibleError(
+        message = (
             f"SMT scheduler: no schedule exists for {len(streams)} streams "
             f"({result.stats['clauses']} clauses, "
             f"{result.stats['conflicts']} conflicts explored)"
         )
+        if proof:
+            steps = verify_certificate(result.certificate)
+            raise CertifiedInfeasibleError(
+                f"{message} [UNSAT proof checked: {steps} steps]",
+                certificate=result.certificate,
+                proof_steps=steps,
+            )
+        raise InfeasibleError(message)
 
     model = result.model
     slots: Dict[Tuple[str, Tuple[str, str]], List[FrameSlot]] = {}
     for key, frame_vars in system.frames.items():
         slots[key] = [fv.scheduled(model[fv.var_name]) for fv in frame_vars]
 
+    meta = {
+        "backend": "smt",
+        "solver_stats": result.stats,
+        "extra_slots": sum(plan.extras.values()),
+    }
+    if proof:
+        checked = verify_certificate(result.certificate)
+        meta["certificate"] = {
+            "status": "sat",
+            "verified": True,
+            "clauses_checked": checked,
+        }
     schedule = NetworkSchedule(
         topology=topology,
         streams=streams,
         slots=slots,
         ect_streams=ects,
-        meta={
-            "backend": "smt",
-            "solver_stats": result.stats,
-            "extra_slots": sum(plan.extras.values()),
-        },
+        meta=meta,
     )
     if validate_result:
         validate(schedule)

@@ -36,11 +36,13 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.check.proof import CertificateError
 from repro.cnc.qcc import Deployment, deployment_from_schedule
 from repro.core.baselines import schedule_etsn
 from repro.core.heuristic import schedule_heuristic
 from repro.core.incremental import add_ect_stream, add_tct_stream, remove_stream
 from repro.core.schedule import (
+    CertifiedInfeasibleError,
     InfeasibleError,
     NetworkSchedule,
     ScheduleError,
@@ -101,6 +103,12 @@ class ServiceConfig:
     #: batch; off by default to keep the admission hot path lean.
     emit_deployments: bool = False
     gcl_mode: str = "etsn"
+    #: run the full-rung SMT solve with proof logging and have the
+    #: independent checker (:mod:`repro.check`) verify every verdict:
+    #: UNSAT proofs replay before a rejection is final, SAT models are
+    #: evaluated against the original constraints before a schedule
+    #: publishes.  Requires ``backend='smt'``.
+    certify: bool = False
     rungs: Tuple[RungConfig, ...] = (
         RungConfig(RUNG_INCREMENTAL),
         RungConfig(RUNG_FULL),
@@ -131,6 +139,11 @@ class AdmissionService:
     ) -> None:
         self._store = store
         self._config = config or ServiceConfig()
+        if self._config.certify and self._config.backend != "smt":
+            raise ValueError(
+                "ServiceConfig.certify requires backend='smt' "
+                f"(got {self._config.backend!r})"
+            )
         self._metrics = metrics if metrics is not None else store.metrics
         self._clock = clock
         self._sleep = sleep
@@ -460,12 +473,23 @@ class AdmissionService:
                     self._metrics.counter(f"rungs.{rung.name}.failures").inc()
                     attempts[rung.name] = str(exc)
                     rung_span.set(outcome="infeasible")
+                    if isinstance(exc, CertifiedInfeasibleError):
+                        # the rejection's UNSAT proof replayed cleanly
+                        self._metrics.counter(
+                            "certificates.verified_unsat"
+                        ).inc()
+                        rung_span.set(certified=True)
                     self._observe_rung_latency(rung, started)
                     return None
                 except Exception as exc:  # noqa: BLE001 - keep the service up
                     self._metrics.counter(f"rungs.{rung.name}.errors").inc()
                     attempts[rung.name] = f"{type(exc).__name__}: {exc}"
                     rung_span.set(outcome="error")
+                    if isinstance(exc, CertificateError):
+                        # a verdict failed independent checking: a solver
+                        # bug — surfaced loudly, never silently admitted
+                        self._metrics.counter("certificates.failed").inc()
+                        rung_span.set(certified=False)
                 else:
                     self._metrics.counter(f"rungs.{rung.name}.successes").inc()
                     rung_span.set(outcome="success")
@@ -512,11 +536,13 @@ class AdmissionService:
         CDCL core and contribute nothing here.
         """
         stats = result.meta.get("solver_stats")
-        if not isinstance(stats, dict):
-            return
-        for key, value in stats.items():
-            if isinstance(value, int) and not isinstance(value, bool):
-                self._metrics.counter(f"solver.{key}").inc(value)
+        if isinstance(stats, dict):
+            for key, value in stats.items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    self._metrics.counter(f"solver.{key}").inc(value)
+        certificate = result.meta.get("certificate")
+        if isinstance(certificate, dict) and certificate.get("verified"):
+            self._metrics.counter("certificates.verified_sat").inc()
 
     # rung 1: earliest-fit around the frozen schedule ------------------
     def _solve_incremental(
@@ -576,6 +602,7 @@ class AdmissionService:
             backend=self._config.backend,
             guard_margin_ns=self._config.guard_margin_ns,
             reservation_mode=self._config.reservation_mode,
+            proof=self._config.certify,
         )
         result.meta["resolved_by"] = RUNG_FULL
         return result

@@ -1,0 +1,168 @@
+"""Proof-certificate containers: what the solver *emits*, never checks.
+
+The DPLL(T) stack is untrusted — ~400 lines of search code whose UNSAT
+answers gate admission rejections.  To make its verdicts auditable it
+logs a DRAT-style certificate while solving:
+
+* :class:`ProofLog` — the append-only step recorder the CDCL core
+  writes into: one step per theory lemma (with its negative-cycle
+  witness), one per learned clause, and a final empty-clause step when
+  the search concludes UNSAT.
+* :class:`Certificate` — the self-contained artifact a
+  :meth:`repro.smt.solver.DlSmtSolver.check` call returns when proof
+  logging is on: the original CNF, the boolean-variable → difference
+  atom map, and either a model (SAT) or the proof steps (UNSAT).
+
+Everything here is passive bookkeeping.  The *trusted* side — replaying
+UNSAT proofs by reverse unit propagation and evaluating SAT models —
+lives in :mod:`repro.check.proof` and :mod:`repro.check.model`, which
+deliberately never import the solver.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.smt.terms import Atom
+
+#: Serialization format tag; bumped on incompatible change.
+CERTIFICATE_FORMAT = "repro-cert-v1"
+
+STEP_LEMMA = "lemma"
+STEP_LEARNED = "learned"
+STEP_EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One derivation the checker must validate.
+
+    ``lemma`` steps are difference-logic theory lemmas; ``cycle`` carries
+    their negative-cycle witness as atoms in cycle order (edge ``y → x``
+    of weight ``c`` per atom ``x - y <= c``).  ``learned`` steps are CDCL
+    clauses, checkable by reverse unit propagation over everything that
+    precedes them.  The single ``empty`` step concludes an UNSAT proof.
+    """
+
+    kind: str
+    clause: List[int] = field(default_factory=list)
+    cycle: Optional[List[Atom]] = None
+
+
+class ProofLog:
+    """Append-only recorder the SAT core writes proof steps into."""
+
+    def __init__(self) -> None:
+        self.steps: List[ProofStep] = []
+
+    def add_lemma(self, clause: Sequence[int], cycle: Optional[Sequence[Atom]]) -> None:
+        """A theory lemma with its negative-cycle witness."""
+        self.steps.append(ProofStep(
+            kind=STEP_LEMMA,
+            clause=list(clause),
+            cycle=list(cycle) if cycle is not None else None,
+        ))
+
+    def add_learned(self, clause: Sequence[int]) -> None:
+        """A clause derived by conflict analysis (RUP-checkable)."""
+        self.steps.append(ProofStep(kind=STEP_LEARNED, clause=list(clause)))
+
+    def add_empty(self) -> None:
+        """The search concluded UNSAT: the empty clause is derivable."""
+        self.steps.append(ProofStep(kind=STEP_EMPTY))
+
+
+@dataclass
+class Certificate:
+    """Everything needed to re-judge one solver verdict independently.
+
+    ``cnf`` is the input formula exactly as the client asserted it
+    (boolean abstraction literals, DIMACS convention); ``atoms`` maps
+    each boolean variable to its canonical difference atom, so positive
+    literal ``v`` asserts the atom and ``-v`` its integer negation.
+    """
+
+    status: str  # "sat" | "unsat"
+    cnf: List[List[int]]
+    atoms: Dict[int, Atom]
+    model: Optional[Dict[str, int]] = None
+    proof: Optional[List[ProofStep]] = None
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.proof) if self.proof is not None else 0
+
+
+def certificate_to_dict(certificate: Certificate) -> Dict:
+    """JSON-able form of a certificate (inverse of :func:`certificate_from_dict`)."""
+    data: Dict = {
+        "format": CERTIFICATE_FORMAT,
+        "status": certificate.status,
+        "atoms": [
+            {"var": var, "x": atom.x, "y": atom.y, "c": atom.c}
+            for var, atom in sorted(certificate.atoms.items())
+        ],
+        "cnf": [list(clause) for clause in certificate.cnf],
+    }
+    if certificate.model is not None:
+        data["model"] = dict(certificate.model)
+    if certificate.proof is not None:
+        data["proof"] = [_step_to_dict(step) for step in certificate.proof]
+    return data
+
+
+def certificate_from_dict(data: Dict) -> Certificate:
+    """Rehydrate a certificate saved by :func:`certificate_to_dict`."""
+    tag = data.get("format")
+    if tag != CERTIFICATE_FORMAT:
+        raise ValueError(f"unsupported certificate format {tag!r}")
+    atoms = {
+        int(entry["var"]): Atom(entry["x"], entry["y"], int(entry["c"]))
+        for entry in data.get("atoms", [])
+    }
+    proof = None
+    if "proof" in data:
+        proof = [_step_from_dict(step) for step in data["proof"]]
+    model = data.get("model")
+    if model is not None:
+        model = {name: int(value) for name, value in model.items()}
+    return Certificate(
+        status=data["status"],
+        cnf=[[int(lit) for lit in clause] for clause in data.get("cnf", [])],
+        atoms=atoms,
+        model=model,
+        proof=proof,
+    )
+
+
+def save_certificate(path: str, certificate: Certificate) -> None:
+    with open(path, "w") as handle:
+        json.dump(certificate_to_dict(certificate), handle, indent=2)
+        handle.write("\n")
+
+
+def load_certificate(path: str) -> Certificate:
+    with open(path) as handle:
+        return certificate_from_dict(json.load(handle))
+
+
+def _step_to_dict(step: ProofStep) -> Dict:
+    data: Dict = {"kind": step.kind}
+    if step.clause:
+        data["clause"] = list(step.clause)
+    if step.cycle is not None:
+        data["cycle"] = [[a.x, a.y, a.c] for a in step.cycle]
+    return data
+
+
+def _step_from_dict(data: Dict) -> ProofStep:
+    cycle = None
+    if "cycle" in data:
+        cycle = [Atom(x, y, int(c)) for x, y, c in data["cycle"]]
+    return ProofStep(
+        kind=data["kind"],
+        clause=[int(lit) for lit in data.get("clause", [])],
+        cycle=cycle,
+    )

@@ -14,7 +14,9 @@ Literals are non-zero integers: ``+v`` / ``-v`` for variable ``v >= 1``
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.smt.proof import ProofLog
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,10 @@ class Theory(Protocol):
     def relevant(self, var: int) -> bool:
         """Whether assignments of ``var`` must be forwarded."""
 
+    # Theories that support proof logging additionally expose a
+    # ``last_conflict_cycle`` attribute: the witness of the most recent
+    # conflict, read immediately after ``on_assign`` reports it.
+
 
 UNASSIGNED = 0
 TRUE = 1
@@ -79,8 +85,13 @@ def _luby(i: int) -> int:
 class SatSolver:
     """CDCL solver over integer literals with an optional theory."""
 
-    def __init__(self, theory: Optional[Theory] = None) -> None:
+    def __init__(
+        self,
+        theory: Optional[Theory] = None,
+        proof: Optional[ProofLog] = None,
+    ) -> None:
         self._num_vars = 0
+        self._proof = proof
         self._clauses: List[List[int]] = []
         self._watches: Dict[int, List[List[int]]] = {}
         self._values: List[int] = [UNASSIGNED]  # 1-indexed by variable
@@ -272,7 +283,13 @@ class SatSolver:
                 # falsified clause.  The theory did not record the failed
                 # assertion, so its stack already matches _theory_trail.
                 self._theory_head = pos
-                return [-l for l in conflict_lits]
+                lemma = [-l for l in conflict_lits]
+                if self._proof is not None:
+                    self._proof.add_lemma(
+                        lemma,
+                        getattr(self._theory, "last_conflict_cycle", None),
+                    )
+                return lemma
             self._theory_trail.append((pos, lit))
         return None
 
@@ -286,7 +303,7 @@ class SatSolver:
                 self._activity[v] *= 1e-100
             self._activity_inc *= 1e-100
 
-    def _analyze(self, conflict: List[int]) -> (List[int], int):
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
         """First-UIP learning; returns (learned clause, backjump level)."""
         learned: List[int] = [0]  # slot 0 for the asserting literal
         seen = [False] * (self._num_vars + 1)
@@ -351,10 +368,16 @@ class SatSolver:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
+    def _conclude_unsat(self) -> bool:
+        """Every UNSAT exit runs through here so the proof is closed."""
+        if self._proof is not None:
+            self._proof.add_empty()
+        return False
+
     def solve(self) -> bool:
         """Decide satisfiability.  The model is readable via :meth:`value`."""
         if self._root_conflict:
-            return False
+            return self._conclude_unsat()
         restart_count = 0
         conflicts_until_restart = _luby(1) * _RESTART_UNIT
         conflicts_here = 0
@@ -364,22 +387,24 @@ class SatSolver:
                 self.num_conflicts += 1
                 conflicts_here += 1
                 if self.decision_level == 0:
-                    return False
+                    return self._conclude_unsat()
                 # A theory conflict found during re-assertion may involve
                 # only literals below the current decision level; analysis
                 # requires at least one current-level literal, so first
                 # fall back to the conflict's own highest level.
                 top = max(self._levels[abs(lit)] for lit in conflict)
                 if top == 0:
-                    return False
+                    return self._conclude_unsat()
                 if top < self.decision_level:
                     self._backjump(top)
                 learned, back_level = self._analyze(conflict)
                 self.num_learned += 1
+                if self._proof is not None:
+                    self._proof.add_learned(learned)
                 self._backjump(back_level)
                 if len(learned) == 1:
                     if self._lit_value(learned[0]) == FALSE:
-                        return False
+                        return self._conclude_unsat()
                     if self._lit_value(learned[0]) == UNASSIGNED:
                         self._assign(learned[0], None)
                 else:

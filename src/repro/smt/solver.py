@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.smt.proof import Certificate, ProofLog
 from repro.smt.sat import SatSolver, SolverStats
 from repro.smt.terms import Atom
 from repro.smt.theory import DifferenceLogic
@@ -21,6 +22,10 @@ class SmtResult:
     ``stats`` is the flat JSON-able counter dict (formula size plus the
     search counters); ``solver_stats`` is the typed
     :class:`~repro.smt.sat.SolverStats` snapshot of the CDCL core.
+    ``certificate`` is attached when the solver was built with
+    ``proof=True``: the input CNF and atom map plus either the model
+    (SAT) or the logged proof steps (UNSAT), ready for the independent
+    checkers in :mod:`repro.check`.
     """
 
     def __init__(
@@ -29,11 +34,13 @@ class SmtResult:
         model: Optional[Dict[str, int]],
         stats: Dict[str, int],
         solver_stats: Optional[SolverStats] = None,
+        certificate: Optional[Certificate] = None,
     ):
         self.sat = sat
         self._model = model
         self.stats = stats
         self.solver_stats = solver_stats or SolverStats()
+        self.certificate = certificate
 
     def __bool__(self) -> bool:
         return self.sat
@@ -76,6 +83,12 @@ class _DlTheoryAdapter:
             del self._depths[num_assigned:]
             self._dl.backtrack_to(depth)
 
+    @property
+    def last_conflict_cycle(self):
+        """Negative-cycle witness of the latest theory conflict (for
+        proof logging); atoms in cycle order."""
+        return self._dl.last_conflict_cycle
+
 
 class DlSmtSolver:
     """Public SMT interface: assert atoms/clauses over integer variables.
@@ -90,13 +103,17 @@ class DlSmtSolver:
             print(result.model["phi"])
     """
 
-    def __init__(self) -> None:
+    def __init__(self, proof: bool = False) -> None:
         self._dl = DifferenceLogic()
         self._adapter = _DlTheoryAdapter(self._dl)
-        self._sat = SatSolver(theory=self._adapter)
+        self._proof = ProofLog() if proof else None
+        self._sat = SatSolver(theory=self._adapter, proof=self._proof)
         self._vars_of_atom: Dict[Atom, int] = {}
         self._int_vars: List[str] = []
         self._int_var_set = set()
+        # With proof logging on, the input clauses are retained verbatim
+        # so the certificate can carry the formula the checker replays.
+        self._input_clauses: List[List[int]] = []
         self._num_clauses = 0
         self._checked: Optional[SmtResult] = None
 
@@ -130,6 +147,8 @@ class DlSmtSolver:
         self._checked = None
         lits = [self._literal(a) for a in atoms]
         self._num_clauses += 1
+        if self._proof is not None:
+            self._input_clauses.append(list(lits))
         self._sat.add_clause(lits)
 
     # ------------------------------------------------------------------
@@ -152,5 +171,14 @@ class DlSmtSolver:
             "clauses": self._num_clauses,
         }
         stats.update(solver_stats.to_dict())
-        self._checked = SmtResult(sat, model, stats, solver_stats)
+        certificate = None
+        if self._proof is not None:
+            certificate = Certificate(
+                status="sat" if sat else "unsat",
+                cnf=[list(clause) for clause in self._input_clauses],
+                atoms={var: atom for atom, var in self._vars_of_atom.items()},
+                model=dict(model) if model is not None else None,
+                proof=None if sat else list(self._proof.steps),
+            )
+        self._checked = SmtResult(sat, model, stats, solver_stats, certificate)
         return self._checked

@@ -44,6 +44,10 @@ class DifferenceLogic:
         self._pi: Dict[str, int] = {ZERO: 0}
         self._edges: List[_Edge] = []
         self._out: Dict[str, List[_Edge]] = {ZERO: []}
+        #: Witness of the most recent conflict: the atoms ``x - y <= c``
+        #: whose edges form the negative cycle, in cycle order (each
+        #: edge's head is the next edge's tail).  Read by proof logging.
+        self.last_conflict_cycle: Optional[List[Atom]] = None
 
     # ------------------------------------------------------------------
     def _ensure(self, name: str) -> None:
@@ -107,15 +111,22 @@ class DifferenceLogic:
         self, parent: Dict[str, _Edge], closing: _Edge, new_edge: _Edge
     ) -> List[Hashable]:
         """Walk parent pointers from the closing edge back to the new edge."""
-        tokens = [closing.token]
+        edges = [closing]
         node = closing.tail
         while True:
             step = parent[node]
-            tokens.append(step.token)
+            edges.append(step)
             if step is new_edge:
                 break
             node = step.tail
-        return tokens
+        # Parent-walk order is backwards; reversed, the edges chain
+        # new_edge -> ... -> closing with the closing edge returning to
+        # the new edge's tail — the witness a proof checker can sum.
+        edges.reverse()
+        self.last_conflict_cycle = [
+            Atom(e.head, e.tail, e.weight) for e in edges
+        ]
+        return [e.token for e in edges]
 
     def backtrack_to(self, depth: int) -> None:
         """Pop assertions until the stack is ``depth`` entries deep."""

@@ -1,0 +1,62 @@
+"""The SAT model checker: independent evaluation of every input clause."""
+
+import pytest
+
+from repro.check.model import check_model
+from repro.check.proof import CertificateError
+from repro.smt import ZERO, Atom, DlSmtSolver, var_ge, var_le
+
+
+def _atoms():
+    # var 1: x - ZERO <= 9   (x <= 9)
+    # var 2: y - x <= -3     (y + 3 <= x)
+    return {
+        1: Atom("x", ZERO, 9),
+        2: Atom("y", "x", -3),
+    }
+
+
+def test_satisfying_model_passes():
+    cnf = [[1], [2]]
+    model = {"x": 9, "y": 2, ZERO: 0}
+    assert check_model(cnf, _atoms(), model) == 2
+
+
+def test_negative_literal_satisfies_clause():
+    cnf = [[-1]]  # not(x <= 9)
+    model = {"x": 10, ZERO: 0}
+    assert check_model(cnf, {1: Atom("x", ZERO, 9)}, model) == 1
+
+
+def test_falsified_clause_rejected():
+    cnf = [[1], [2]]
+    model = {"x": 9, "y": 7, ZERO: 0}  # y - x = -2 > -3 falsifies var 2
+    with pytest.raises(CertificateError, match="clause"):
+        check_model(cnf, _atoms(), model)
+
+
+def test_missing_model_variable_rejected():
+    cnf = [[2]]
+    with pytest.raises(CertificateError, match="y"):
+        check_model(cnf, _atoms(), {"x": 0, ZERO: 0})
+
+
+def test_zero_var_defaults_to_zero():
+    # the ZERO pseudo-variable need not appear in the model
+    assert check_model([[1]], {1: Atom("x", ZERO, 9)}, {"x": 4}) == 1
+
+
+def test_unknown_atom_for_literal_rejected():
+    with pytest.raises(CertificateError, match="atom"):
+        check_model([[7]], _atoms(), {"x": 0, "y": 0})
+
+
+def test_solver_model_passes_checker_end_to_end():
+    solver = DlSmtSolver(proof=True)
+    solver.require(var_ge("a", 0))
+    solver.require(var_le("a", 10))
+    solver.require(Atom("a", "b", -2))  # a + 2 <= b
+    result = solver.check()
+    assert result.sat
+    cert = result.certificate
+    assert check_model(cert.cnf, cert.atoms, cert.model) == len(cert.cnf)

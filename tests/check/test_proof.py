@@ -1,0 +1,153 @@
+"""The trusted UNSAT checker: genuine proofs pass, tampered proofs fail.
+
+Every negative test here mutates a *real* certificate produced by the
+solver — the checker must reject the forgery without ever consulting
+the solver again.
+"""
+
+import itertools
+
+import pytest
+
+from repro.check.proof import (
+    CertificateError,
+    check_unsat_proof,
+    negate_atom,
+    verify_certificate,
+)
+from repro.smt import Atom, DlSmtSolver, diff_ge, var_ge, var_le
+from repro.smt.proof import ProofStep, STEP_EMPTY, STEP_LEARNED, STEP_LEMMA
+
+
+def _unsat_certificate():
+    """x>=0, x<=17 for five jobs spaced >=5 apart: only four fit."""
+    solver = DlSmtSolver(proof=True)
+    names = [f"j{i}" for i in range(5)]
+    for name in names:
+        solver.require(var_ge(name, 0))
+        solver.require(var_le(name, 17))
+    for a, b in itertools.combinations(names, 2):
+        solver.add_clause([diff_ge(a, b, 5), diff_ge(b, a, 5)])
+    result = solver.check()
+    assert not result.sat
+    return result.certificate
+
+
+def _tiny_unsat_certificate():
+    """x - y <= -1 and y - x <= -1: a two-atom contradiction."""
+    solver = DlSmtSolver(proof=True)
+    solver.require(Atom("x", "y", -1))
+    solver.require(Atom("y", "x", -1))
+    result = solver.check()
+    assert not result.sat
+    return result.certificate
+
+
+@pytest.fixture(scope="module")
+def certificate():
+    return _unsat_certificate()
+
+
+def test_negate_atom_flips_inequality():
+    # not(x - y <= c)  <=>  y - x <= -c - 1
+    assert negate_atom(Atom("x", "y", 3)) == Atom("y", "x", -4)
+    assert negate_atom(negate_atom(Atom("x", "y", 3))) == Atom("x", "y", 3)
+
+
+def test_genuine_proof_verifies(certificate):
+    steps = verify_certificate(certificate)
+    assert steps == len(certificate.proof) > 0
+
+
+def test_tiny_proof_verifies():
+    cert = _tiny_unsat_certificate()
+    assert verify_certificate(cert) == len(cert.proof)
+
+
+def test_missing_empty_step_rejected(certificate):
+    proof = [s for s in certificate.proof if s.kind != STEP_EMPTY]
+    with pytest.raises(CertificateError, match="empty clause"):
+        check_unsat_proof(certificate.cnf, proof, certificate.atoms)
+
+
+def test_dropped_lemma_rejected(certificate):
+    lemma_index = next(i for i, s in enumerate(certificate.proof)
+                       if s.kind == STEP_LEMMA)
+    proof = (certificate.proof[:lemma_index]
+             + certificate.proof[lemma_index + 1:])
+    with pytest.raises(CertificateError):
+        check_unsat_proof(certificate.cnf, proof, certificate.atoms)
+
+
+def test_nonnegative_cycle_witness_rejected(certificate):
+    proof = list(certificate.proof)
+    index = next(i for i, s in enumerate(proof) if s.kind == STEP_LEMMA)
+    step = proof[index]
+    # weaken one witness edge so the cycle no longer sums below zero
+    loose = [Atom(a.x, a.y, a.c + 1000) for a in step.cycle]
+    proof[index] = ProofStep(kind=STEP_LEMMA, clause=step.clause, cycle=loose)
+    with pytest.raises(CertificateError, match="cycle|witness|match"):
+        check_unsat_proof(certificate.cnf, proof, certificate.atoms)
+
+
+def test_broken_cycle_chain_rejected():
+    cert = _tiny_unsat_certificate()
+    proof = list(cert.proof)
+    index = next(i for i, s in enumerate(proof) if s.kind == STEP_LEMMA)
+    step = proof[index]
+    broken = [Atom(a.x, "nowhere", a.c) for a in step.cycle]
+    proof[index] = ProofStep(kind=STEP_LEMMA, clause=step.clause,
+                             cycle=broken)
+    with pytest.raises(CertificateError):
+        check_unsat_proof(cert.cnf, proof, cert.atoms)
+
+
+def test_non_rup_learned_clause_rejected(certificate):
+    proof = list(certificate.proof)
+    fresh = max(abs(l) for c in certificate.cnf for l in c) + 1
+    # a clause over an unconstrained variable can never be RUP-derived
+    # from the input CNF alone, so forge it as the very first step —
+    # later in the proof the database becomes refutable and every
+    # clause is (soundly) RUP
+    proof.insert(0, ProofStep(kind=STEP_LEARNED, clause=[fresh]))
+    with pytest.raises(CertificateError, match="unit propagation"):
+        check_unsat_proof(certificate.cnf, proof, certificate.atoms)
+
+
+def test_satisfiable_cnf_cannot_fake_empty_clause():
+    # claim UNSAT for a trivially satisfiable formula
+    cnf = [[1, 2], [-1, 2]]
+    proof = [ProofStep(kind=STEP_EMPTY, clause=[])]
+    with pytest.raises(CertificateError):
+        check_unsat_proof(cnf, proof, {})
+
+
+def test_lemma_clause_mismatching_witness_rejected():
+    cert = _tiny_unsat_certificate()
+    proof = list(cert.proof)
+    index = next(i for i, s in enumerate(proof) if s.kind == STEP_LEMMA)
+    step = proof[index]
+    # witness atoms that do not correspond to the lemma's literals
+    wrong = [Atom("a", "b", -1), Atom("b", "a", -1)]
+    proof[index] = ProofStep(kind=STEP_LEMMA, clause=step.clause, cycle=wrong)
+    with pytest.raises(CertificateError, match="match|witness"):
+        check_unsat_proof(cert.cnf, proof, cert.atoms)
+
+
+def test_sat_status_dispatches_to_model_check():
+    solver = DlSmtSolver(proof=True)
+    solver.require(var_ge("x", 3))
+    solver.require(var_le("x", 5))
+    result = solver.check()
+    assert result.sat
+    checked = verify_certificate(result.certificate)
+    assert checked == len(result.certificate.cnf)
+
+
+def test_unknown_status_rejected(certificate):
+    from repro.smt.proof import Certificate
+
+    bogus = Certificate(status="maybe", cnf=certificate.cnf,
+                        atoms=certificate.atoms)
+    with pytest.raises(CertificateError, match="maybe"):
+        verify_certificate(bogus)

@@ -100,6 +100,111 @@ class TestTamperedGcl:
             audit_gcl(schedule, gcl)
 
 
+class TestInvariantMessages:
+    """One test per numbered invariant in the module docstring; each
+    failure must name the offending stream, queue, or window."""
+
+    def _clean(self, star_topology, mode="etsn"):
+        tct, ects = _setup(star_topology)
+        schedule = schedule_etsn(star_topology, tct, ects)
+        return schedule, build_gcl(schedule, mode=mode)
+
+    def test_invariant_1_coverage_names_stream_and_queue(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        port.windows[Priorities.SH_PL] = []
+        port.finalize()
+        with pytest.raises(
+            GclAuditError,
+            match=r"sh\[0\] on \('SW1', 'D3'\): queue "
+                  rf"{Priorities.SH_PL} gate closed",
+        ):
+            audit_gcl(schedule, gcl)
+
+    def test_invariant_1_ownership_names_both_owners(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        port.windows[Priorities.SH_PL] = [
+            GateWindow(w.start_ns, w.end_ns, owner="intruder")
+            for w in port.windows[Priorities.SH_PL]
+        ]
+        port.finalize()
+        with pytest.raises(
+            GclAuditError,
+            match=r"owned by 'intruder', expected 'sh'",
+        ):
+            audit_gcl(schedule, gcl)
+
+    def test_invariant_2_ep_policy_names_nonshared_stream(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D2"))  # the non-shared stream's last link
+        port.windows[Priorities.EP] = [GateWindow(0, gcl.cycle_ns, owner=None)]
+        port.finalize()
+        with pytest.raises(
+            GclAuditError,
+            match=r"EP gate open at \d+ inside non-shared slot of ns",
+        ):
+            audit_gcl(schedule, gcl)
+
+    def test_invariant_2_strict_mode_names_probabilistic_slot(
+        self, star_topology
+    ):
+        schedule, gcl = self._clean(star_topology, mode="etsn-strict")
+        stripped = False
+        for port in gcl.ports.values():
+            if port.windows.get(Priorities.EP):
+                port.windows[Priorities.EP] = []
+                port.finalize()
+                stripped = True
+        assert stripped
+        with pytest.raises(
+            GclAuditError,
+            match=rf"alarm#ps\d+\[\d+\] on .*: queue {Priorities.EP} "
+                  r"gate closed",
+        ):
+            audit_gcl(schedule, gcl)
+
+    def test_invariant_3_be_leak_names_tct_stream(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        port.windows[Priorities.BE] = [GateWindow(0, gcl.cycle_ns, owner=None)]
+        port.finalize()
+        with pytest.raises(
+            GclAuditError,
+            match=r"BE gate open at \d+ inside TCT slot of sh",
+        ):
+            audit_gcl(schedule, gcl)
+
+    def test_invariant_4_cycle_overrun_names_link_and_queue(
+        self, star_topology
+    ):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        port.windows[Priorities.SH_PL].append(
+            GateWindow(port.cycle_ns + 1, port.cycle_ns + 2, owner="sh")
+        )
+        with pytest.raises(
+            GclAuditError,
+            match=rf"\('SW1', 'D3'\) q{Priorities.SH_PL}: "
+                  r"window past the cycle end",
+        ):
+            audit_gcl(schedule, gcl)
+
+    def test_invariant_4_overlap_names_both_windows(self, star_topology):
+        schedule, gcl = self._clean(star_topology)
+        port = gcl.port(("SW1", "D3"))
+        first = port.windows[Priorities.SH_PL][0]
+        port.windows[Priorities.SH_PL].append(
+            GateWindow(first.start_ns, first.end_ns + 1, owner=first.owner)
+        )
+        with pytest.raises(
+            GclAuditError,
+            match=rf"q{Priorities.SH_PL}: overlapping windows "
+                  rf"\[{first.start_ns},{first.end_ns}",
+        ):
+            audit_gcl(schedule, gcl)
+
+
 DEVICES = ["D1", "D2", "D3", "D4"]
 
 
