@@ -27,6 +27,12 @@ Commands
     Static analysis: ``check lint`` runs the repo-invariant AST linter,
     ``check proof`` / ``check model`` verify saved solver certificates
     (see :mod:`repro.check`).
+``cluster``
+    Sharded multi-tenant admission (:mod:`repro.cluster`):
+    ``cluster status`` prints the switch-cluster partition,
+    ``cluster admit`` decides one request against a fresh cluster, and
+    ``cluster serve`` drives a JSONL request stream across the shards
+    (``--audit`` gcl-audits the stitched global schedule afterwards).
 
 ``serve`` and ``admit`` accept ``--trace FILE`` to record admission
 spans (request -> rung -> solve) as JSON-lines, and ``--certify`` to
@@ -144,6 +150,65 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--deterministic", action="store_true",
                          help="drive the demo with a fake 1ms-per-call "
                               "clock so the output is reproducible")
+
+    cluster = sub.add_parser(
+        "cluster", help="sharded multi-tenant admission (repro.cluster)"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def _cluster_common(p) -> None:
+        p.add_argument("--topology", required=True,
+                       help="topology JSON (see repro.serialization)")
+        p.add_argument("--shards", type=int, default=4,
+                       help="number of switch-cluster shards")
+        p.add_argument("--seeds", metavar="SW[,SW...]",
+                       help="comma-separated seed switches to pin regions")
+
+    cstatus = cluster_sub.add_parser(
+        "status", help="print the partition and per-shard summary"
+    )
+    _cluster_common(cstatus)
+
+    cadmit = cluster_sub.add_parser(
+        "admit", help="decide one request against a fresh cluster"
+    )
+    _cluster_common(cadmit)
+    cadmit.add_argument("--remove", metavar="NAME",
+                        help="retire a stream instead of admitting one")
+    cadmit.add_argument("--name", help="stream name")
+    cadmit.add_argument("--source", help="talker device")
+    cadmit.add_argument("--dest", help="listener device")
+    cadmit.add_argument("--period-us", type=float,
+                        help="TCT period / ECT minimum inter-event time")
+    cadmit.add_argument("--length", type=int, default=1500,
+                        help="message length in bytes")
+    cadmit.add_argument("--e2e-us", type=float,
+                        help="end-to-end budget (default: the period)")
+    cadmit.add_argument("--share", action="store_true",
+                        help="TCT stream shares its slots with ECT")
+    cadmit.add_argument("--ect", action="store_true",
+                        help="admit an event-triggered stream")
+    cadmit.add_argument("--possibilities", type=int, default=4,
+                        help="probabilistic possibilities N for --ect")
+
+    cserve = cluster_sub.add_parser(
+        "serve", help="serve a JSONL request stream across the shards"
+    )
+    _cluster_common(cserve)
+    cserve.add_argument("--requests", default="-",
+                        help="JSONL request file, or '-' for stdin")
+    cserve.add_argument("--workers", type=int,
+                        help="thread-pool size (default: one per shard)")
+    cserve.add_argument("--backend", default="heuristic",
+                        choices=("heuristic", "smt"),
+                        help="backend for the full re-solve rung")
+    cserve.add_argument("--metrics-out",
+                        help="write the cluster metrics JSON here")
+    cserve.add_argument("--audit", action="store_true",
+                        help="gcl-audit the stitched global schedule "
+                             "after the run")
+    cserve.add_argument("--fail-on-reject", action="store_true",
+                        help="exit 1 if any request was rejected")
 
     trace = sub.add_parser("trace", help="inspect a span trace (JSONL)")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -441,6 +506,83 @@ def _registry_from_dict(data):
     return registry
 
 
+def _load_cluster(args):
+    """A ClusterCoordinator over the topology/shard arguments."""
+    from repro.cluster import ClusterCoordinator, partition_topology
+    from repro.serialization import topology_from_dict
+
+    with open(args.topology) as handle:
+        topology = topology_from_dict(json.load(handle))
+    seeds = args.seeds.split(",") if args.seeds else None
+    partition = partition_topology(topology, args.shards, seeds=seeds)
+    from repro.service import ServiceConfig
+
+    config = ServiceConfig(backend=getattr(args, "backend", "heuristic"))
+    return ClusterCoordinator(
+        partition=partition,
+        config=config,
+        max_workers=getattr(args, "workers", None),
+    )
+
+
+def _run_cluster(args) -> int:
+    if args.cluster_command == "status":
+        coordinator = _load_cluster(args)
+        print(coordinator.partition.describe())
+        print(json.dumps(coordinator.status(), indent=2))
+        coordinator.shutdown()
+        return 0
+    if args.cluster_command == "admit":
+        from repro.serialization import decision_to_dict
+
+        coordinator = _load_cluster(args)
+        decision = coordinator.submit(_admit_request(args))
+        print(json.dumps(decision_to_dict(decision)))
+        coordinator.audit()
+        coordinator.shutdown()
+        return 0 if decision.accepted else 1
+    return _run_cluster_serve(args)
+
+
+def _run_cluster_serve(args) -> int:
+    from repro.serialization import decision_to_dict
+    from repro.service import request_from_dict
+
+    coordinator = _load_cluster(args)
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests) as handle:
+            lines = handle.read().splitlines()
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            requests.append(request_from_dict(json.loads(line)))
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: requests line {lineno}: {exc}", file=sys.stderr)
+            coordinator.shutdown()
+            return 2
+    decisions = coordinator.submit_many(requests)
+    for decision in decisions:
+        print(json.dumps(decision_to_dict(decision)))
+    metrics = coordinator.status()
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(metrics, handle)
+    else:
+        print(json.dumps({"cluster": metrics["metrics"]}))
+    if args.audit:
+        coordinator.audit()  # raises GclAuditError on inconsistency
+        print(json.dumps({"audit": "ok"}))
+    coordinator.shutdown()
+    if args.fail_on_reject and any(not d.accepted for d in decisions):
+        return 1
+    return 0
+
+
 def _run_trace(args) -> int:
     from repro.obs import format_span_summary, summarize_spans
     from repro.serialization import load_trace
@@ -474,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_admit(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "cluster":
+        return _run_cluster(args)
     elif args.command == "metrics":
         return _run_metrics(args)
     elif args.command == "trace":

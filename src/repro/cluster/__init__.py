@@ -1,0 +1,65 @@
+"""Sharded multi-tenant admission over partitioned TSN networks.
+
+The layer between the single-node admission service and the solvers:
+:mod:`repro.cluster.partition` cuts the network into switch-cluster
+shards, :mod:`repro.cluster.coordinator` runs one admission service per
+shard (shard-local streams admit fully in parallel), and
+:mod:`repro.cluster.twophase` gives cross-shard streams an atomic
+prepare/commit publish over the per-shard store CAS versions.
+"""
+
+from repro.cluster.coordinator import (
+    REASON_CROSS_ECT,
+    REASON_UNKNOWN_STREAM,
+    REASON_UNROUTABLE,
+    RUNG_TWOPHASE,
+    ClusterCoordinator,
+)
+from repro.cluster.partition import (
+    NetworkPartition,
+    PartitionError,
+    RouteSegment,
+    Shard,
+    partition_by_assignment,
+    partition_topology,
+)
+from repro.cluster.twophase import (
+    REASON_CAS_EXHAUSTED,
+    STATE_ABORTED,
+    STATE_COMMITTED,
+    STATE_COMMITTING,
+    STATE_IDLE,
+    STATE_PREPARED,
+    STATE_PREPARING,
+    CrossShardPublish,
+    Participant,
+    PrepareFailure,
+    PublishOutcome,
+    TwoPhaseStateError,
+)
+
+__all__ = [
+    "ClusterCoordinator",
+    "CrossShardPublish",
+    "NetworkPartition",
+    "Participant",
+    "PartitionError",
+    "PrepareFailure",
+    "PublishOutcome",
+    "REASON_CAS_EXHAUSTED",
+    "REASON_CROSS_ECT",
+    "REASON_UNKNOWN_STREAM",
+    "REASON_UNROUTABLE",
+    "RUNG_TWOPHASE",
+    "RouteSegment",
+    "STATE_ABORTED",
+    "STATE_COMMITTED",
+    "STATE_COMMITTING",
+    "STATE_IDLE",
+    "STATE_PREPARED",
+    "STATE_PREPARING",
+    "Shard",
+    "TwoPhaseStateError",
+    "partition_by_assignment",
+    "partition_topology",
+]

@@ -1,0 +1,293 @@
+"""Two-phase cross-shard publish over per-shard CAS versions.
+
+A stream whose route crosses shard boundaries must appear in every
+involved shard's schedule or in none of them.  The cluster gets that
+atomicity from the :class:`~repro.service.store.ScheduleStore` CAS
+primitive alone — no shard ever blocks its local admissions while a
+cross-shard solve is running:
+
+**prepare**
+    Pin each involved shard's current ``(version, schedule)`` snapshot
+    and solve that shard's sub-problem against the *pinned* schedule
+    (nothing is published; local admissions keep flowing).
+
+**commit**
+    Take every involved shard's commit lock in a global deterministic
+    order (sorted by shard name — no deadlocks), then publish each
+    solved schedule with ``expected_version=`` the pinned version.  Any
+    :class:`~repro.service.store.StaleVersionError` — a local admission
+    landed between prepare and commit — aborts the whole publish.
+
+**abort / rollback**
+    Shards already published by this commit are rolled back by
+    republishing their pinned schedule against the version this commit
+    created.  The commit locks are still held, so the rollback CAS
+    cannot lose a race; afterwards every shard is bit-identical to a
+    state that never saw the aborted stream.
+
+:meth:`CrossShardPublish.execute` wraps the three steps in a bounded
+retry loop: a stale commit re-prepares from fresh snapshots, and after
+``max_attempts`` conflicts the request is rejected with reason
+``"cross_shard_cas_exhausted"`` — mirroring the single-store service's
+bounded CAS rebase.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import NetworkSchedule
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.service.metrics import MetricsRegistry
+from repro.service.store import ScheduleStore, StaleVersionError
+
+#: State machine vocabulary, in lifecycle order.
+STATE_IDLE = "idle"
+STATE_PREPARING = "preparing"
+STATE_PREPARED = "prepared"
+STATE_COMMITTING = "committing"
+STATE_COMMITTED = "committed"
+STATE_ABORTED = "aborted"
+
+#: How a failed cross-shard publish reports CAS starvation.
+REASON_CAS_EXHAUSTED = "cross_shard_cas_exhausted"
+
+
+class TwoPhaseStateError(RuntimeError):
+    """A phase was invoked out of lifecycle order."""
+
+
+@dataclass
+class Participant:
+    """One shard's stake in a cross-shard publish.
+
+    solve
+        Called with the pinned schedule during prepare; returns the
+        shard's new schedule, or raises/returns ``None`` with a reason
+        via :class:`PrepareFailure`.
+    lock
+        The shard's commit lock — shared with whatever serializes that
+        shard's local publishes (the coordinator's per-shard lock).
+    """
+
+    name: str
+    store: ScheduleStore
+    solve: Callable[[NetworkSchedule], NetworkSchedule]
+    lock: threading.Lock
+
+
+class PrepareFailure(RuntimeError):
+    """A shard's sub-solve rejected its segment (deterministic verdict)."""
+
+
+@dataclass
+class _Plan:
+    """Per-shard prepare/commit bookkeeping."""
+
+    participant: Participant
+    pinned_version: int
+    pinned_schedule: NetworkSchedule
+    new_schedule: Optional[NetworkSchedule] = None
+    published_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PublishOutcome:
+    """The final verdict of one cross-shard publish."""
+
+    committed: bool
+    reason: Optional[str] = None
+    attempts: int = 0
+    #: shard name -> version the commit published (empty when aborted).
+    versions: Dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.versions is None:
+            object.__setattr__(self, "versions", {})
+
+
+class CrossShardPublish:
+    """One cross-shard publish: prepare -> commit, abort on conflict.
+
+    The instance is single-use and single-threaded (the coordinator
+    runs one per cross-shard request); all concurrency control lives in
+    the participants' locks and their stores' CAS.
+    """
+
+    def __init__(
+        self,
+        participants: Sequence[Participant],
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        parent_span=None,
+    ) -> None:
+        if not participants:
+            raise ValueError("a cross-shard publish needs participants")
+        names = [p.name for p in participants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate participants: {names}")
+        # committing in sorted order is the global lock order that makes
+        # concurrent cross-shard publishes deadlock-free
+        self._participants = sorted(participants, key=lambda p: p.name)
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._parent_span = parent_span
+        self._state = STATE_IDLE
+        self._plans: List[_Plan] = []
+
+    # -- public surface ------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def shards(self) -> List[str]:
+        return [p.name for p in self._participants]
+
+    def execute(self, max_attempts: int = 4) -> PublishOutcome:
+        """Run prepare/commit with bounded re-prepare on CAS conflicts."""
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                self._reset()
+            try:
+                self.prepare()
+            except PrepareFailure as exc:
+                return PublishOutcome(
+                    committed=False, reason=str(exc), attempts=attempt
+                )
+            if self.commit():
+                return PublishOutcome(
+                    committed=True,
+                    attempts=attempt,
+                    versions={
+                        plan.participant.name: plan.published_version
+                        for plan in self._plans
+                    },
+                )
+            self._metrics.counter("cluster.twophase.retries").inc()
+        self._metrics.counter("cluster.twophase.cas_exhausted").inc()
+        return PublishOutcome(
+            committed=False,
+            reason=REASON_CAS_EXHAUSTED,
+            attempts=max_attempts,
+        )
+
+    def prepare(self) -> None:
+        """Pin every shard's snapshot and solve against the pins.
+
+        Raises :class:`PrepareFailure` when any shard's sub-solve
+        rejects its segment; the publish is then aborted (nothing was
+        published, so there is nothing to roll back).
+        """
+        if self._state != STATE_IDLE:
+            raise TwoPhaseStateError(f"prepare() in state {self._state!r}")
+        self._state = STATE_PREPARING
+        self._metrics.counter("cluster.twophase.prepares").inc()
+        with self._tracer.span(
+            "cluster.prepare",
+            parent=self._parent_span,
+            shards=",".join(self.shards),
+        ) as span:
+            for participant in self._participants:
+                snapshot = participant.store.snapshot()
+                plan = _Plan(
+                    participant=participant,
+                    pinned_version=snapshot.version,
+                    pinned_schedule=snapshot.schedule,
+                )
+                self._plans.append(plan)
+                try:
+                    plan.new_schedule = participant.solve(snapshot.schedule)
+                except PrepareFailure as exc:
+                    span.set(outcome="infeasible", shard=participant.name)
+                    self._state = STATE_ABORTED
+                    self._metrics.counter("cluster.twophase.aborts").inc()
+                    raise PrepareFailure(
+                        f"{participant.name}: {exc}"
+                    ) from exc
+                if plan.new_schedule is None:
+                    span.set(outcome="infeasible", shard=participant.name)
+                    self._state = STATE_ABORTED
+                    self._metrics.counter("cluster.twophase.aborts").inc()
+                    raise PrepareFailure(
+                        f"{participant.name}: sub-solve returned nothing"
+                    )
+            span.set(outcome="prepared")
+        self._state = STATE_PREPARED
+
+    def commit(self) -> bool:
+        """CAS-publish every prepared shard; roll back on the first
+        conflict.  Returns ``True`` when every shard published."""
+        if self._state != STATE_PREPARED:
+            raise TwoPhaseStateError(f"commit() in state {self._state!r}")
+        self._state = STATE_COMMITTING
+        with self._tracer.span(
+            "cluster.commit",
+            parent=self._parent_span,
+            shards=",".join(self.shards),
+        ) as span:
+            held: List[Participant] = []
+            published: List[_Plan] = []
+            try:
+                for participant in self._participants:  # sorted: no deadlock
+                    participant.lock.acquire()
+                    held.append(participant)
+                for plan in self._plans:
+                    try:
+                        snapshot = plan.participant.store.publish(
+                            plan.new_schedule,
+                            expected_version=plan.pinned_version,
+                        )
+                    except StaleVersionError:
+                        self._metrics.counter(
+                            "cluster.twophase.commit_conflicts"
+                        ).inc()
+                        span.set(
+                            outcome="stale", shard=plan.participant.name
+                        )
+                        self._rollback(published)
+                        self._state = STATE_ABORTED
+                        self._metrics.counter("cluster.twophase.aborts").inc()
+                        return False
+                    plan.published_version = snapshot.version
+                    published.append(plan)
+            finally:
+                for participant in reversed(held):
+                    participant.lock.release()
+            span.set(outcome="committed")
+        self._state = STATE_COMMITTED
+        self._metrics.counter("cluster.twophase.commits").inc()
+        return True
+
+    # -- internals -----------------------------------------------------
+    def _rollback(self, published: List[_Plan]) -> None:
+        """Republish each published shard's pinned schedule.
+
+        The commit locks are still held, so the expected version is
+        exactly what this commit created and the CAS cannot fail; a
+        failure here would mean a publish bypassed the shard lock and
+        is surfaced loudly rather than papered over.
+        """
+        with self._tracer.span(
+            "cluster.rollback",
+            parent=self._parent_span,
+            shards=",".join(p.participant.name for p in published),
+        ):
+            for plan in reversed(published):
+                plan.participant.store.publish(
+                    plan.pinned_schedule,
+                    expected_version=plan.published_version,
+                )
+                plan.published_version = None
+                self._metrics.counter("cluster.twophase.rollbacks").inc()
+
+    def _reset(self) -> None:
+        """Back to idle for the next execute() attempt."""
+        if self._state not in (STATE_ABORTED, STATE_IDLE):
+            raise TwoPhaseStateError(f"cannot reset from {self._state!r}")
+        self._state = STATE_IDLE
+        self._plans = []

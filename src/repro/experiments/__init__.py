@@ -13,7 +13,11 @@ from repro.experiments.scenarios import (
     simulation_workload,
     testbed_workload,
 )
-from repro.experiments.topologies import simulation_topology, testbed_topology
+from repro.experiments.topologies import (
+    line_of_rings,
+    simulation_topology,
+    testbed_topology,
+)
 
 __all__ = [
     "DEFAULT_POSSIBILITIES",
@@ -27,6 +31,7 @@ __all__ = [
     "fig15",
     "fig16",
     "run_method",
+    "line_of_rings",
     "simulation_topology",
     "simulation_workload",
     "testbed_topology",

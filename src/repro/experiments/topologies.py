@@ -1,10 +1,14 @@
-"""The two evaluation networks of the paper.
+"""The two evaluation networks of the paper, plus cluster-scale shapes.
 
 * :func:`testbed_topology` — paper Fig. 10: two switches, four devices,
   100 Mb/s links.  The ECT stream of Sec. VI-B runs D2 -> D4 (3 hops).
 * :func:`simulation_topology` — paper Fig. 13: four switches in a chain,
   twelve devices (three per switch), 100 Mb/s.  The ECT stream of
   Sec. VI-C runs D1 -> D12 (5 hops).
+* :func:`line_of_rings` — production-cell shape for the sharded
+  admission benchmarks: several switch rings (one per cell) joined in a
+  line by single trunk links, devices hanging off every switch.  The
+  trunks are the natural shard boundary.
 """
 
 from __future__ import annotations
@@ -51,4 +55,43 @@ def simulation_topology(
             topo.add_device(name)
             topo.add_link(name, switch, bandwidth_bps, propagation_ns)
             device += 1
+    return topo
+
+
+def line_of_rings(
+    rings: int = 4,
+    ring_size: int = 4,
+    devices_per_switch: int = 2,
+    bandwidth_bps: int = MBPS_100,
+    propagation_ns: int = DEFAULT_PROPAGATION_NS,
+) -> Topology:
+    """``rings`` switch rings chained by single trunk links.
+
+    Ring ``r`` has switches ``R<r>S0 .. R<r>S<ring_size-1>`` closed into
+    a cycle (for ``ring_size >= 3``; smaller rings degenerate to a
+    segment), each carrying ``devices_per_switch`` devices named
+    ``R<r>S<s>D<d>``.  Ring ``r``'s switch 0 trunks to ring ``r+1``'s
+    switch 0 — the line's only inter-ring links, so a per-ring partition
+    cuts exactly ``rings - 1`` full-duplex boundary links.
+    """
+    if rings < 1 or ring_size < 1:
+        raise ValueError("need at least one ring with at least one switch")
+    topo = Topology()
+    for ring in range(rings):
+        names = [f"R{ring}S{s}" for s in range(ring_size)]
+        for name in names:
+            topo.add_switch(name)
+        for a, b in zip(names, names[1:]):
+            topo.add_link(a, b, bandwidth_bps, propagation_ns)
+        if ring_size >= 3:
+            topo.add_link(names[-1], names[0], bandwidth_bps, propagation_ns)
+        for name in names:
+            for d in range(devices_per_switch):
+                device = f"{name}D{d}"
+                topo.add_device(device)
+                topo.add_link(device, name, bandwidth_bps, propagation_ns)
+    for ring in range(rings - 1):
+        topo.add_link(
+            f"R{ring}S0", f"R{ring + 1}S0", bandwidth_bps, propagation_ns
+        )
     return topo

@@ -65,6 +65,14 @@ RUNG_INCREMENTAL = "incremental"
 RUNG_FULL = "full"
 RUNG_HEURISTIC = "heuristic"
 
+#: How often a batch may rebase onto a fresh snapshot after losing the
+#: publish CAS race to another writer sharing the store, before it is
+#: rejected with reason ``"cas_exhausted"``.
+MAX_REBASE_ATTEMPTS = 8
+
+#: Rejection reason after the rebase budget is spent.
+REASON_CAS_EXHAUSTED = "cas_exhausted"
+
 
 class RungTimeout(RuntimeError):
     """One ladder rung exceeded its wall-clock budget."""
@@ -199,6 +207,36 @@ class AdmissionService:
                 decisions.extend(self._process_batch(batch))
         return decisions
 
+    def solve_against(
+        self,
+        schedule: NetworkSchedule,
+        requests: Sequence[AdmissionRequest],
+    ) -> Tuple[Optional[Tuple[str, NetworkSchedule]], Dict[str, str]]:
+        """Screen and solve ``requests`` against an arbitrary base
+        schedule *without publishing* anything.
+
+        This is the prepare half of a two-phase cross-shard publish
+        (:mod:`repro.cluster.twophase`): the coordinator pins a store
+        snapshot, solves against the pin here, and publishes later via
+        CAS.  Returns ``((rung, new schedule), attempts)`` on success or
+        ``(None, attempts)`` where ``attempts`` carries per-rung (or
+        screening) failure reasons.  Touches no service state beyond
+        metrics/tracing, so it is safe to call concurrently with
+        :meth:`submit_many`.
+        """
+        viable: List[AdmissionRequest] = []
+        attempts: Dict[str, str] = {}
+        for request in requests:
+            problem = self._screen(request, schedule, viable)
+            if problem is not None:
+                attempts["screen"] = f"{request.stream_name}: {problem}"
+                return None, attempts
+            viable.append(request)
+        if not viable:
+            attempts["screen"] = "no requests to solve"
+            return None, attempts
+        return self._climb_ladder(schedule, viable)
+
     def enqueue(self, request: AdmissionRequest) -> None:
         """Queue a request for the next :meth:`drain`."""
         self._queue.append(request)
@@ -261,6 +299,32 @@ class AdmissionService:
                     self._tracer.finish(span)
 
     def _process_batch_traced(self, batch: _Batch) -> List[Decision]:
+        """Decide a batch, rebasing onto fresh snapshots a bounded
+        number of times when the publish CAS loses to another writer.
+
+        The write lock makes a conflict unreachable from this service
+        instance, but the store may be shared between services; bounding
+        the loop keeps a pathologically contended store from recursing
+        without limit — the batch is rejected with
+        :data:`REASON_CAS_EXHAUSTED` instead.
+        """
+        for _ in range(MAX_REBASE_ATTEMPTS):
+            decisions = self._attempt_batch(batch)
+            if decisions is not None:
+                return decisions
+            self._metrics.counter("batches.rebased").inc()
+        self._metrics.counter("batches.rebase_exhausted").inc()
+        return [
+            self._decide(
+                request, batch, accepted=False,
+                reason=REASON_CAS_EXHAUSTED,
+            )
+            for request in batch.requests
+        ]
+
+    def _attempt_batch(self, batch: _Batch) -> Optional[List[Decision]]:
+        """One snapshot -> solve -> publish attempt; ``None`` on a lost
+        CAS race (the caller rebases)."""
         started = self._clock()
         self._metrics.counter("batches.total").inc()
         self._metrics.histogram("batch.size").observe(len(batch.requests))
@@ -310,11 +374,10 @@ class AdmissionService:
                     schedule, expected_version=snapshot.version
                 ).version
             except StaleVersionError:
-                # Lost the CAS race: rebase the whole batch on the new
-                # snapshot (the write lock makes this unreachable from
-                # this service instance, but the store may be shared).
-                self._metrics.counter("batches.rebased").inc()
-                return self._process_batch(batch)
+                # Lost the CAS race to a writer sharing the store:
+                # signal the bounded rebase loop to retry on a fresh
+                # snapshot.
+                return None
             self._emit_deployment(schedule)
 
         ordered = []
@@ -462,7 +525,9 @@ class AdmissionService:
             ) as rung_span:
                 traced = self._traced_solver(solver, rung, rung_span)
                 try:
-                    result = _call_with_timeout(traced, rung.timeout_s)
+                    result = _call_with_timeout(
+                        traced, rung.timeout_s, self._metrics
+                    )
                 except RungTimeout as exc:
                     self._metrics.counter(f"rungs.{rung.name}.timeouts").inc()
                     attempts[rung.name] = str(exc)
@@ -643,7 +708,9 @@ class AdmissionService:
 
 
 def _call_with_timeout(
-    fn: Callable[[], NetworkSchedule], timeout_s: Optional[float]
+    fn: Callable[[], NetworkSchedule],
+    timeout_s: Optional[float],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> NetworkSchedule:
     """Run ``fn`` under a wall-clock budget.
 
@@ -651,11 +718,18 @@ def _call_with_timeout(
     a daemon thread; on timeout the thread is abandoned (pure-python
     solvers cannot be preempted) and :class:`RungTimeout` raised — the
     orphan finishes in the background and its result is discarded.
+
+    Abandonment is no longer silent: every orphaned thread bumps the
+    ``solver.threads_abandoned`` counter, and the
+    ``solver.orphans_running`` gauge tracks how many orphans are *still*
+    burning CPU — the leak signal long cluster soak runs watch.
     """
     if timeout_s is None or timeout_s <= 0:
         return fn()
     outcome: Dict[str, object] = {}
     done = threading.Event()
+    state = {"abandoned": False, "finished": False}
+    state_lock = threading.Lock()
 
     def worker() -> None:
         try:
@@ -663,6 +737,10 @@ def _call_with_timeout(
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             outcome["error"] = exc
         finally:
+            with state_lock:
+                state["finished"] = True
+                if state["abandoned"] and metrics is not None:
+                    metrics.gauge("solver.orphans_running").add(-1)
             done.set()
 
     thread = threading.Thread(
@@ -670,7 +748,18 @@ def _call_with_timeout(
     )
     thread.start()
     if not done.wait(timeout_s):
-        raise RungTimeout(f"solve exceeded {timeout_s:.3f}s budget")
+        with state_lock:
+            if not state["finished"]:
+                # the solve is still running somewhere: count the orphan
+                # now and have the worker decrement on eventual exit
+                state["abandoned"] = True
+                if metrics is not None:
+                    metrics.counter("solver.threads_abandoned").inc()
+                    metrics.gauge("solver.orphans_running").add(1)
+                raise RungTimeout(
+                    f"solve exceeded {timeout_s:.3f}s budget"
+                )
+        # finished right on the deadline: take the result after all
     if "error" in outcome:
         raise outcome["error"]  # type: ignore[misc]
     return outcome["value"]  # type: ignore[return-value]

@@ -50,6 +50,12 @@ class ScheduleStore:
         metrics: Optional[MetricsRegistry] = None,
         history_limit: int = 8,
     ) -> None:
+        if history_limit < 0:
+            # a negative limit would silently corrupt the retention
+            # slice below (del self._history[: -self._history_limit])
+            raise ValueError(
+                f"history_limit must be >= 0, got {history_limit}"
+            )
         self._lock = threading.Lock()
         self._current = StoreSnapshot(version=0, schedule=schedule)
         self._history: List[StoreSnapshot] = []

@@ -1,0 +1,163 @@
+"""ClusterCoordinator: routing, parallel shard admission, stitching."""
+
+import pytest
+
+from repro.cluster import (
+    REASON_CROSS_ECT,
+    REASON_UNKNOWN_STREAM,
+    REASON_UNROUTABLE,
+    RUNG_TWOPHASE,
+    ClusterCoordinator,
+    partition_topology,
+)
+from repro.experiments import simulation_topology
+from repro.model.stream import EctStream, Priorities, TctRequirement
+from repro.model.units import milliseconds
+from repro.service import (
+    RUNG_INCREMENTAL,
+    AdmitEct,
+    AdmitTct,
+    Remove,
+)
+
+
+def _tct(name, src, dst, period_ms=8, length=1000):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=milliseconds(period_ms), length_bytes=length,
+        priority=Priorities.NSH_PH,
+    ))
+
+
+def _ect(name, src, dst, period_ms=16, length=512):
+    return AdmitEct(EctStream(
+        name=name, source=src, destination=dst,
+        min_interevent_ns=milliseconds(period_ms),
+        length_bytes=length, possibilities=4,
+    ))
+
+
+@pytest.fixture
+def coordinator():
+    topo = simulation_topology()
+    partition = partition_topology(topo, 2, seeds=["SW1", "SW4"])
+    coordinator = ClusterCoordinator(partition=partition)
+    yield coordinator
+    coordinator.shutdown()
+
+
+class TestLocalPath:
+    def test_local_admit_touches_only_its_shard(self, coordinator):
+        decision = coordinator.submit(_tct("a", "D1", "D4"))
+        assert decision.accepted
+        assert decision.rung == RUNG_INCREMENTAL
+        assert coordinator.shard_store("shard0").version == 1
+        assert coordinator.shard_store("shard1").version == 0
+        assert coordinator.metrics.counter(
+            "cluster.requests_local"
+        ).value == 1
+
+    def test_batch_fans_out_across_shards(self, coordinator):
+        decisions = coordinator.submit_many([
+            _tct("a0", "D1", "D4"),
+            _tct("a1", "D10", "D12"),
+            _tct("a2", "D2", "D5"),
+        ])
+        assert all(d.accepted for d in decisions)
+        # decisions come back in submission order
+        assert [d.stream for d in decisions] == ["a0", "a1", "a2"]
+        assert coordinator.shard_store("shard0").version == 1  # one batch
+        assert coordinator.shard_store("shard1").version == 1
+
+    def test_local_ect_admits_normally(self, coordinator):
+        decision = coordinator.submit(_ect("alarm", "D2", "D4"))
+        assert decision.accepted
+        schedule = coordinator.shard_store("shard0").schedule
+        assert any(e.name == "alarm" for e in schedule.ect_streams)
+
+
+class TestCrossShardPath:
+    def test_cross_admit_lands_in_every_involved_shard(self, coordinator):
+        decision = coordinator.submit(_tct("x", "D1", "D12"))
+        assert decision.accepted
+        assert decision.rung == RUNG_TWOPHASE
+        assert decision.batch_size == 2  # two shards published
+        for name in ("shard0", "shard1"):
+            schedule = coordinator.shard_store(name).schedule
+            assert any(s.name == "x" for s in schedule.streams)
+        assert coordinator.metrics.counter(
+            "cluster.admitted_cross"
+        ).value == 1
+
+    def test_stitched_stream_is_contiguous(self, coordinator):
+        assert coordinator.submit(_tct("x", "D1", "D12")).accepted
+        stitched = coordinator.global_schedule()
+        stream = next(s for s in stitched.streams if s.name == "x")
+        assert stream.path[0].src == "D1"
+        assert stream.path[-1].dst == "D12"
+        for left, right in zip(stream.path, stream.path[1:]):
+            assert left.dst == right.src
+        versions = stitched.meta["cluster"]["shard_versions"]
+        assert versions == {"shard0": 1, "shard1": 1}
+
+    def test_cross_admit_passes_global_audit(self, coordinator):
+        assert coordinator.submit(_tct("x", "D1", "D12")).accepted
+        assert coordinator.submit(_tct("y", "D2", "D5")).accepted
+        assert coordinator.audit() is not None
+        assert coordinator.metrics.counter("cluster.audits").value == 1
+
+    def test_cross_remove_retires_every_segment(self, coordinator):
+        assert coordinator.submit(_tct("x", "D1", "D12")).accepted
+        decision = coordinator.submit(Remove("x"))
+        assert decision.accepted
+        assert decision.rung == RUNG_TWOPHASE
+        for name in ("shard0", "shard1"):
+            schedule = coordinator.shard_store(name).schedule
+            assert all(s.name != "x" for s in schedule.streams)
+
+    def test_cross_ect_is_structured_rejection(self, coordinator):
+        decision = coordinator.submit(_ect("alarm", "D1", "D12"))
+        assert not decision.accepted
+        assert decision.reason == REASON_CROSS_ECT
+        assert coordinator.metrics.counter(
+            "cluster.rejected_cross_ect"
+        ).value == 1
+        # nothing published anywhere
+        assert coordinator.shard_store("shard0").version == 0
+        assert coordinator.shard_store("shard1").version == 0
+
+
+class TestRejections:
+    def test_unroutable_request(self, coordinator):
+        decision = coordinator.submit(_tct("ghost", "D1", "D99"))
+        assert not decision.accepted
+        assert decision.reason.startswith(REASON_UNROUTABLE)
+
+    def test_remove_unknown_stream(self, coordinator):
+        decision = coordinator.submit(Remove("never-admitted"))
+        assert not decision.accepted
+        assert decision.reason == REASON_UNKNOWN_STREAM
+
+    def test_empty_cluster_audit_is_none(self, coordinator):
+        assert coordinator.audit() is None
+
+
+class TestStatus:
+    def test_status_reports_shards_and_versions(self, coordinator):
+        assert coordinator.submit(_tct("a", "D1", "D4")).accepted
+        status = coordinator.status()
+        assert set(status["shards"]) == {"shard0", "shard1"}
+        assert status["shards"]["shard0"]["version"] == 1
+        assert status["shards"]["shard0"]["streams"] == 1
+        assert status["shards"]["shard1"]["version"] == 0
+        assert ["SW2", "SW3"] in status["boundary_links"]
+        assert status["metrics"]["counters"]["cluster.requests_total"] == 1
+
+    def test_shard_accessors_validate_names(self, coordinator):
+        with pytest.raises(ValueError):
+            coordinator.shard_store("nope")
+        assert coordinator.shard_names() == ["shard0", "shard1"]
+
+    def test_needs_topology_or_partition(self):
+        with pytest.raises(ValueError):
+            ClusterCoordinator()

@@ -1,0 +1,153 @@
+"""Topology partitioning: shard coverage, boundary links, route splits."""
+
+import pytest
+
+from repro.cluster import (
+    NetworkPartition,
+    PartitionError,
+    Shard,
+    partition_by_assignment,
+    partition_topology,
+)
+from repro.experiments import line_of_rings, simulation_topology
+from repro.model.topology import TopologyError
+
+
+@pytest.fixture
+def chain():
+    """Fig. 13 chain, cut between SW2 and SW3 (seeds at the ends)."""
+    topo = simulation_topology()
+    return topo, partition_topology(topo, 2, seeds=["SW1", "SW4"])
+
+
+class TestPartitioning:
+    def test_two_way_chain_cut(self, chain):
+        topo, partition = chain
+        assert [s.name for s in partition.shards] == ["shard0", "shard1"]
+        assert partition.shard("shard0").switches == ("SW1", "SW2")
+        assert partition.shard("shard1").switches == ("SW3", "SW4")
+        # devices follow their attached switch
+        assert partition.owner_of("D1") == "shard0"
+        assert partition.owner_of("D12") == "shard1"
+        # the single trunk is the cut, both directions
+        assert partition.boundary_links == (("SW2", "SW3"), ("SW3", "SW2"))
+
+    def test_every_node_owned_exactly_once(self, chain):
+        topo, partition = chain
+        owners = [partition.owner_of(n.name) for n in topo.nodes]
+        assert len(owners) == len(topo.nodes)
+
+    def test_directed_link_owned_by_source_shard(self, chain):
+        _, partition = chain
+        assert partition.owner_of_link(("SW2", "SW3")) == "shard0"
+        assert partition.owner_of_link(("SW3", "SW2")) == "shard1"
+
+    def test_line_of_rings_cuts_on_trunks(self):
+        topo = line_of_rings(rings=4, ring_size=3, devices_per_switch=1)
+        seeds = [f"R{r}S1" for r in range(4)]
+        partition = partition_topology(topo, 4, seeds=seeds)
+        assert len(partition.shards) == 4
+        for shard in partition.shards:
+            # each shard is exactly one ring
+            rings = {name[:2] for name in shard.switches}
+            assert len(rings) == 1
+        # 3 trunks x 2 directions
+        assert len(partition.boundary_links) == 6
+        for src, dst in partition.boundary_links:
+            assert src.endswith("S0") and dst.endswith("S0")
+
+    def test_ghosts_are_dead_ends(self, chain):
+        _, partition = chain
+        shard0 = partition.shard("shard0")
+        assert shard0.border_nodes == ("SW3",)
+        # shard-local routing cannot tunnel through the neighbour shard
+        with pytest.raises((TopologyError, ValueError, KeyError)):
+            shard0.topology.shortest_path("D1", "D12")
+        # but a segment may legally terminate on the ghost
+        path = shard0.topology.shortest_path("D1", "SW3")
+        assert path[-1].dst == "SW3"
+
+    def test_describe_mentions_every_shard(self, chain):
+        _, partition = chain
+        text = partition.describe()
+        assert "2 shards" in text
+        assert "shard0" in text and "shard1" in text
+
+
+class TestRouteSplitting:
+    def test_local_route_is_one_segment(self, chain):
+        topo, partition = chain
+        path = topo.shortest_path("D1", "D4")
+        segments = partition.split_route(path)
+        assert len(segments) == 1
+        assert segments[0].shard == "shard0"
+        assert partition.shards_for_route(path) == ["shard0"]
+
+    def test_cross_route_cut_after_boundary_link(self, chain):
+        topo, partition = chain
+        path = topo.shortest_path("D1", "D12")
+        segments = partition.split_route(path)
+        assert [s.shard for s in segments] == ["shard0", "shard1"]
+        # the cut is after the boundary link: shard0's segment ends on
+        # shard1's border switch, where shard1's segment starts
+        assert segments[0].destination == "SW3"
+        assert segments[1].source == "SW3"
+        # the concatenation is the original route
+        rejoined = [link for s in segments for link in s.links]
+        assert rejoined == list(path)
+
+    def test_empty_route_rejected(self, chain):
+        _, partition = chain
+        with pytest.raises(PartitionError):
+            partition.split_route([])
+
+
+class TestValidation:
+    def test_shard_count_bounds(self):
+        topo = simulation_topology()
+        with pytest.raises(PartitionError):
+            partition_topology(topo, 0)
+        with pytest.raises(PartitionError):
+            partition_topology(topo, 5)  # only 4 switches
+
+    def test_seed_list_validated(self):
+        topo = simulation_topology()
+        with pytest.raises(PartitionError):
+            partition_topology(topo, 2, seeds=["SW1"])
+        with pytest.raises(PartitionError):
+            partition_topology(topo, 2, seeds=["SW1", "D1"])
+
+    def test_assignment_must_cover_switches(self):
+        topo = simulation_topology()
+        with pytest.raises(PartitionError):
+            partition_by_assignment(topo, {"SW1": 0, "SW2": 0})
+
+    def test_double_assignment_rejected(self):
+        topo = simulation_topology()
+        good = partition_by_assignment(
+            topo, {"SW1": 0, "SW2": 0, "SW3": 1, "SW4": 1}
+        )
+        shard = good.shards[0]
+        clone = Shard(
+            name="clone",
+            switches=shard.switches,
+            devices=shard.devices,
+            border_nodes=shard.border_nodes,
+            topology=shard.topology,
+        )
+        with pytest.raises(PartitionError):
+            NetworkPartition(topo, list(good.shards) + [clone])
+
+    def test_partition_needs_full_coverage(self):
+        topo = simulation_topology()
+        good = partition_by_assignment(
+            topo, {"SW1": 0, "SW2": 0, "SW3": 1, "SW4": 1}
+        )
+        with pytest.raises(PartitionError):
+            NetworkPartition(topo, good.shards[:1])
+
+    def test_default_seeds_are_deterministic(self):
+        topo = simulation_topology()
+        a = partition_topology(topo, 2)
+        b = partition_topology(topo, 2)
+        assert [s.switches for s in a.shards] == [s.switches for s in b.shards]

@@ -1,0 +1,219 @@
+"""Two-phase cross-shard publish: commit, abort, rollback, starvation.
+
+Unit tests drive :class:`CrossShardPublish` with fabricated participants
+over toy stores; the integration tests force an abort on a real
+:class:`ClusterCoordinator` and prove the no-half-commit invariant with
+a GCL audit of the stitched global schedule.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster import (
+    REASON_CAS_EXHAUSTED,
+    RUNG_TWOPHASE,
+    STATE_ABORTED,
+    STATE_COMMITTED,
+    STATE_PREPARED,
+    ClusterCoordinator,
+    CrossShardPublish,
+    Participant,
+    PrepareFailure,
+    TwoPhaseStateError,
+    partition_topology,
+)
+from repro.core.schedule import NetworkSchedule
+from repro.experiments import simulation_topology
+from repro.model.stream import Priorities, TctRequirement
+from repro.model.units import milliseconds
+from repro.service import AdmitTct, ScheduleStore, empty_schedule
+from repro.service.metrics import MetricsRegistry
+
+
+def _marked(pinned: NetworkSchedule, marker: str) -> NetworkSchedule:
+    """A fresh schedule distinguishable from its pinned base."""
+    return NetworkSchedule(
+        topology=pinned.topology,
+        streams=list(pinned.streams),
+        slots=dict(pinned.slots),
+        ect_streams=list(pinned.ect_streams),
+        meta={"marker": marker},
+    )
+
+
+def _participant(name, topology, solve=None):
+    store = ScheduleStore(empty_schedule(topology))
+    return Participant(
+        name=name,
+        store=store,
+        solve=solve or (lambda pinned: _marked(pinned, name)),
+        lock=threading.Lock(),
+    )
+
+
+def _tct(name, src, dst, period_ms=8, length=1000):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=milliseconds(period_ms), length_bytes=length,
+        priority=Priorities.NSH_PH,
+    ))
+
+
+class TestCrossShardPublish:
+    def test_clean_commit_publishes_every_shard(self, star_topology):
+        a = _participant("a", star_topology)
+        b = _participant("b", star_topology)
+        metrics = MetricsRegistry()
+        publish = CrossShardPublish([b, a], metrics=metrics)
+        assert publish.shards == ["a", "b"]  # sorted = global lock order
+        outcome = publish.execute()
+        assert outcome.committed
+        assert outcome.attempts == 1
+        assert outcome.versions == {"a": 1, "b": 1}
+        assert publish.state == STATE_COMMITTED
+        assert a.store.schedule.meta["marker"] == "a"
+        assert b.store.schedule.meta["marker"] == "b"
+        assert metrics.counter("cluster.twophase.prepares").value == 1
+        assert metrics.counter("cluster.twophase.commits").value == 1
+
+    def test_stale_shard_aborts_and_rolls_back_published(self, star_topology):
+        a = _participant("a", star_topology)
+        b = _participant("b", star_topology)
+        pinned_a = a.store.schedule
+        metrics = MetricsRegistry()
+        publish = CrossShardPublish([a, b], metrics=metrics)
+        publish.prepare()
+        assert publish.state == STATE_PREPARED
+        # a local admission lands on b between prepare and commit; the
+        # commit publishes a first (sorted order), then hits the stale
+        # version on b and must roll a back
+        b.store.publish(_marked(b.store.schedule, "local-admit"))
+        assert publish.commit() is False
+        assert publish.state == STATE_ABORTED
+        # a was published then rolled back to the exact pinned schedule
+        assert a.store.schedule is pinned_a
+        assert a.store.version == 2  # publish + rollback both version
+        # b kept the conflicting local admission, never saw the marker
+        assert b.store.schedule.meta["marker"] == "local-admit"
+        assert metrics.counter("cluster.twophase.commit_conflicts").value == 1
+        assert metrics.counter("cluster.twophase.rollbacks").value == 1
+        assert metrics.counter("cluster.twophase.aborts").value == 1
+
+    def test_execute_retries_then_reports_cas_exhaustion(self, star_topology):
+        a = _participant("a", star_topology)
+
+        def hostile_solve(pinned):
+            # every prepare triggers a fresh conflicting publish on a,
+            # so every commit attempt goes stale
+            a.store.publish(_marked(a.store.schedule, "hostile"))
+            return _marked(pinned, "b")
+
+        b = _participant("b", star_topology, solve=hostile_solve)
+        metrics = MetricsRegistry()
+        publish = CrossShardPublish([a, b], metrics=metrics)
+        outcome = publish.execute(max_attempts=3)
+        assert not outcome.committed
+        assert outcome.reason == REASON_CAS_EXHAUSTED
+        assert outcome.attempts == 3
+        assert outcome.versions == {}
+        assert metrics.counter("cluster.twophase.retries").value == 3
+        assert metrics.counter("cluster.twophase.cas_exhausted").value == 1
+        # b never kept anything: every attempt aborted before b published
+        assert b.store.version == 0
+
+    def test_prepare_failure_aborts_without_publishing(self, star_topology):
+        def refusing_solve(pinned):
+            raise PrepareFailure("no capacity")
+
+        a = _participant("a", star_topology, solve=refusing_solve)
+        b = _participant("b", star_topology)
+        metrics = MetricsRegistry()
+        publish = CrossShardPublish([a, b], metrics=metrics)
+        outcome = publish.execute()
+        assert not outcome.committed
+        assert "a" in outcome.reason and "no capacity" in outcome.reason
+        assert a.store.version == 0 and b.store.version == 0
+        assert publish.state == STATE_ABORTED
+        assert metrics.counter("cluster.twophase.aborts").value == 1
+
+    def test_lifecycle_enforced(self, star_topology):
+        a = _participant("a", star_topology)
+        publish = CrossShardPublish([a])
+        with pytest.raises(TwoPhaseStateError):
+            publish.commit()
+        publish.prepare()
+        with pytest.raises(TwoPhaseStateError):
+            publish.prepare()
+        with pytest.raises(ValueError):
+            CrossShardPublish([])
+        with pytest.raises(ValueError):
+            CrossShardPublish([a, _participant("a", star_topology)])
+        with pytest.raises(ValueError):
+            CrossShardPublish([a]).execute(max_attempts=0)
+
+
+class TestCoordinatorAbort:
+    """The acceptance invariant: an aborted cross-shard publish leaves
+    no half-committed schedule, proven by auditing the stitched GCL."""
+
+    @pytest.fixture
+    def coordinator(self):
+        topo = simulation_topology()
+        partition = partition_topology(topo, 2, seeds=["SW1", "SW4"])
+        coordinator = ClusterCoordinator(partition=partition)
+        yield coordinator
+        coordinator.shutdown()
+
+    def test_abort_leaves_no_half_commit(self, coordinator):
+        # seed both shards so the audit has gates to check either way
+        assert coordinator.submit(_tct("loc0", "D1", "D4")).accepted
+        assert coordinator.submit(_tct("loc1", "D10", "D12")).accepted
+
+        request = _tct("crosser", "D1", "D12")
+        attempts = {}
+        participants = coordinator._participants_for(request, attempts)
+        publish = CrossShardPublish(
+            participants, metrics=coordinator.metrics
+        )
+        publish.prepare()
+        # a shard-local admission lands on shard1 — the shard the commit
+        # publishes *second* — so shard0 publishes and must roll back
+        assert coordinator.submit(_tct("conflict", "D7", "D12")).accepted
+        assert publish.commit() is False
+
+        # no shard holds any trace of the aborted stream
+        for name in coordinator.shard_names():
+            schedule = coordinator.shard_store(name).schedule
+            assert all(s.name != "crosser" for s in schedule.streams)
+        stitched = coordinator.global_schedule()
+        assert {s.name for s in stitched.streams} == {
+            "loc0", "loc1", "conflict"
+        }
+        # the stitched GCL still audits clean after the abort
+        assert coordinator.audit() is not None
+
+        metrics = coordinator.metrics
+        assert metrics.counter("cluster.twophase.rollbacks").value >= 1
+        assert metrics.counter("cluster.twophase.aborts").value >= 1
+
+    def test_retry_after_abort_commits_clean(self, coordinator):
+        assert coordinator.submit(_tct("loc0", "D1", "D4")).accepted
+        request = _tct("crosser", "D1", "D12")
+        participants = coordinator._participants_for(request, {})
+        publish = CrossShardPublish(
+            participants, metrics=coordinator.metrics
+        )
+        publish.prepare()
+        assert coordinator.submit(_tct("conflict", "D7", "D12")).accepted
+        assert publish.commit() is False
+
+        # the coordinator's own retry path re-prepares and lands it
+        decision = coordinator.submit(request)
+        assert decision.accepted
+        assert decision.rung == RUNG_TWOPHASE
+        stitched = coordinator.global_schedule()
+        crosser = next(s for s in stitched.streams if s.name == "crosser")
+        assert crosser.path[0].src == "D1"
+        assert crosser.path[-1].dst == "D12"
+        assert coordinator.audit() is not None

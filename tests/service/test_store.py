@@ -24,6 +24,15 @@ def base(star_topology):
 
 
 class TestStore:
+    def test_negative_history_limit_rejected(self, base):
+        with pytest.raises(ValueError, match="history_limit"):
+            ScheduleStore(base, history_limit=-1)
+
+    def test_zero_history_limit_disables_retention(self, star_topology, base):
+        store = ScheduleStore(base, history_limit=0)
+        store.publish(add_tct_stream(base, _tct(star_topology, "s2", src="D2")))
+        assert store.history() == []
+
     def test_initial_snapshot_is_version_zero(self, base):
         store = ScheduleStore(base)
         snap = store.snapshot()
