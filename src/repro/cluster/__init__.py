@@ -10,6 +10,8 @@ prepare/commit publish over the per-shard store CAS versions.
 
 from repro.cluster.coordinator import (
     REASON_CROSS_ECT,
+    REASON_NAME_IN_USE,
+    REASON_REENTRANT,
     REASON_UNKNOWN_STREAM,
     REASON_UNROUTABLE,
     RUNG_TWOPHASE,
@@ -48,6 +50,8 @@ __all__ = [
     "PublishOutcome",
     "REASON_CAS_EXHAUSTED",
     "REASON_CROSS_ECT",
+    "REASON_NAME_IN_USE",
+    "REASON_REENTRANT",
     "REASON_UNKNOWN_STREAM",
     "REASON_UNROUTABLE",
     "RUNG_TWOPHASE",

@@ -27,16 +27,32 @@ One :class:`ClusterCoordinator` fronts a fleet of per-shard
 Timing across a boundary is store-and-forward: each shard times its
 segment on its own axis and the border switch buffers until the next
 shard's slot opens (the per-domain stitching used by cycle-based
-TSN deployments).  Per-link gate consistency — what the audit checks —
-holds exactly, because every directed link is scheduled by exactly one
-shard.  Cross-shard **ECT** admission is rejected as a structured
-decision (reason ``cross_shard_ect_unsupported``): splitting an event's
-probabilistic possibilities across independently-timed shards has no
-sound semantics in the paper's model.
+TSN deployments).  A cross-shard stream's end-to-end budget is split
+across its segments proportionally to hop count (the splits sum exactly
+to the budget), so each shard validates its segment against a share of
+the deadline rather than the whole of it.  Per-link gate consistency —
+what the audit checks — holds exactly, because every directed link is
+scheduled by exactly one shard.  Cross-shard **ECT** admission is
+rejected as a structured decision (reason
+``cross_shard_ect_unsupported``): splitting an event's probabilistic
+possibilities across independently-timed shards has no sound semantics
+in the paper's model.  A route that leaves a shard and re-enters it
+(possible with shortest paths on ring-containing topologies) is
+rejected as ``reentrant_route_unsupported``: two disjoint sub-paths in
+one shard cannot be expressed as a single source→destination
+sub-admit.
+
+Stream names are unique **cluster-wide**, not merely per shard: an
+admit claims its name under the coordinator lock and is rejected with
+``name_in_use`` when any shard already holds it (or a concurrent admit
+is in flight for it) — otherwise two same-named streams on different
+shards would corrupt the stitched global view and a ``Remove`` would
+retire both.
 
 All traffic for a shard must flow through the coordinator: its
 per-shard locks are what let an aborting cross-shard commit roll back
-with a guaranteed CAS.
+with a guaranteed CAS, and its name claims are what keep stream names
+unique across shards.
 """
 
 from __future__ import annotations
@@ -76,6 +92,8 @@ RUNG_TWOPHASE = "twophase"
 REASON_CROSS_ECT = "cross_shard_ect_unsupported"
 REASON_UNROUTABLE = "unroutable"
 REASON_UNKNOWN_STREAM = "unknown_stream"
+REASON_NAME_IN_USE = "name_in_use"
+REASON_REENTRANT = "reentrant_route_unsupported"
 
 
 @dataclass
@@ -145,6 +163,10 @@ class ClusterCoordinator:
         self._metrics.gauge("cluster.shards").set(len(partition.shards))
         self._lock = threading.Lock()
         self._request_counter = 0
+        #: names claimed by admits between placement and decision,
+        #: guarded by ``_lock`` — closes the window in which two
+        #: concurrent admits could land the same name on two shards.
+        self._inflight_names: set = set()
 
     # -- public surface ------------------------------------------------
     @property
@@ -227,33 +249,55 @@ class ClusterCoordinator:
         """Place and decide one wave; returns (local, cross) counts."""
         by_shard: Dict[str, List[int]] = {}
         cross: List[int] = []
-        for index in wave:
-            placement = self._place(requests[index])
-            self._metrics.counter("cluster.requests_total").inc()
-            if placement.reject_reason is not None:
-                decisions[index] = self._reject(
-                    requests[index], placement.reject_reason
+        claimed: List[str] = []
+        try:
+            for index in wave:
+                request = requests[index]
+                self._metrics.counter("cluster.requests_total").inc()
+                if isinstance(request, (AdmitTct, AdmitEct)):
+                    problem = self._claim_name(request.stream_name)
+                    if problem is not None:
+                        self._metrics.counter(
+                            "cluster.rejected_name_in_use"
+                        ).inc()
+                        decisions[index] = self._reject(request, problem)
+                        continue
+                    claimed.append(request.stream_name)
+                placement = self._place(request)
+                if placement.reject_reason is not None:
+                    decisions[index] = self._reject(
+                        request, placement.reject_reason
+                    )
+                elif placement.is_local:
+                    by_shard.setdefault(placement.shards[0], []).append(index)
+                else:
+                    cross.append(index)
+
+            futures = {}
+            for shard_name, indices in by_shard.items():
+                self._metrics.counter(
+                    "cluster.requests_local"
+                ).inc(len(indices))
+                futures[shard_name] = self._pool.submit(
+                    self._run_shard_batch,
+                    shard_name,
+                    [requests[i] for i in indices],
                 )
-            elif placement.is_local:
-                by_shard.setdefault(placement.shards[0], []).append(index)
-            else:
-                cross.append(index)
+            for shard_name, indices in by_shard.items():
+                for i, decision in zip(indices, futures[shard_name].result()):
+                    decisions[i] = decision
 
-        futures = {}
-        for shard_name, indices in by_shard.items():
-            self._metrics.counter("cluster.requests_local").inc(len(indices))
-            futures[shard_name] = self._pool.submit(
-                self._run_shard_batch,
-                shard_name,
-                [requests[i] for i in indices],
-            )
-        for shard_name, indices in by_shard.items():
-            for i, decision in zip(indices, futures[shard_name].result()):
-                decisions[i] = decision
-
-        for index in cross:
-            self._metrics.counter("cluster.requests_cross").inc()
-            decisions[index] = self._submit_cross(requests[index], batch_span)
+            for index in cross:
+                self._metrics.counter("cluster.requests_cross").inc()
+                decisions[index] = self._submit_cross(
+                    requests[index], batch_span
+                )
+        finally:
+            # claims cover placement through publish; once the wave's
+            # decisions are in, the stores themselves hold the names
+            if claimed:
+                with self._lock:
+                    self._inflight_names.difference_update(claimed)
         return sum(len(v) for v in by_shard.values()), len(cross)
 
     def global_schedule(self) -> NetworkSchedule:
@@ -303,6 +347,14 @@ class ClusterCoordinator:
         program contradicts the stitched schedule — the invariant a
         two-phase abort must never break.  Returns ``None`` while the
         cluster is empty (there is no GCL for an empty schedule).
+
+        The audit covers per-link gate consistency, which is exact
+        (every directed link is scheduled by one shard).  Whole-path
+        latency is *not* re-validated here: segments across a border
+        run on independent shard time axes under store-and-forward
+        hand-over, so adjacent-link ordering does not hold across
+        borders by construction; each segment's deadline share was
+        already validated by its shard at admission.
         """
         schedule = self.global_schedule()
         if not schedule.streams and not schedule.ect_streams:
@@ -361,11 +413,42 @@ class ClusterCoordinator:
                 )
         except (TopologyError, ValueError, KeyError) as exc:
             return _Placement(reject_reason=f"{REASON_UNROUTABLE}: {exc}")
-        shards = tuple(self._partition.shards_for_route(path))
+        order = [s.shard for s in self._partition.split_route(path)]
+        shards = tuple(dict.fromkeys(order))
         if isinstance(request, AdmitEct) and len(shards) > 1:
             self._metrics.counter("cluster.rejected_cross_ect").inc()
             return _Placement(reject_reason=REASON_CROSS_ECT)
+        if len(order) != len(shards):
+            # the route left a shard and came back (shortest paths can
+            # do that on ring-containing topologies); two disjoint
+            # sub-paths in one shard cannot be expressed as a single
+            # source->destination sub-admit, so reject rather than
+            # mis-solve
+            self._metrics.counter("cluster.rejected_reentrant").inc()
+            return _Placement(reject_reason=REASON_REENTRANT)
         return _Placement(shards=shards)
+
+    def _claim_name(self, name: str) -> Optional[str]:
+        """Atomically claim an admit's stream name, cluster-wide.
+
+        Returns a rejection reason when any shard already holds the
+        name or another in-flight admit claimed it; on ``None`` the
+        name stays claimed until the wave releases it.
+        """
+        with self._lock:
+            if name in self._inflight_names:
+                return (
+                    f"{REASON_NAME_IN_USE}: stream name {name!r} has a "
+                    f"concurrent admit in flight"
+                )
+            for shard_name, runtime in sorted(self._runtimes.items()):
+                if self._holds_stream(runtime, name):
+                    return (
+                        f"{REASON_NAME_IN_USE}: stream name {name!r} is "
+                        f"already admitted on {shard_name}"
+                    )
+            self._inflight_names.add(name)
+            return None
 
     @staticmethod
     def _holds_stream(runtime: _ShardRuntime, name: str) -> bool:
@@ -418,7 +501,7 @@ class ClusterCoordinator:
                     per_shard[name] = [Remove(request.name)]
         elif isinstance(request, AdmitTct):
             for segment_request, shard_name in self._segment_requests(
-                request.requirement
+                request.requirement, attempts
             ):
                 per_shard.setdefault(shard_name, []).append(segment_request)
         else:
@@ -435,28 +518,52 @@ class ClusterCoordinator:
         return participants
 
     def _segment_requests(
-        self, requirement: TctRequirement
+        self, requirement: TctRequirement, attempts: Dict[str, str]
     ) -> List[Tuple[AdmitTct, str]]:
         """Split a TCT requirement into one per-shard segment admit.
 
-        Each segment keeps the stream's name, period, length, priority
-        and deadline; only the endpoints change — a segment starts and
-        ends on this shard's devices or border switches, where the
-        previous shard handed the frames over.
+        Each segment keeps the stream's name, period, length and
+        priority; the endpoints and the deadline change — a segment
+        starts and ends on this shard's devices or border switches,
+        and the stream's end-to-end budget is split across segments
+        proportionally to hop count.  The shares sum exactly to the
+        budget, so independently-timed segments that each meet their
+        share keep the stitched stream inside its deadline up to the
+        store-and-forward hand-over at the borders; the split is
+        recorded in the decision's ``attempts["e2e_split"]`` so the
+        caveat is visible to the caller.
         """
         path = self._partition.topology.shortest_path(
             requirement.source, requirement.destination
         )
+        segments = self._partition.split_route(path)
+        e2e = (requirement.e2e_ns if requirement.e2e_ns is not None
+               else requirement.period_ns)
+        total_hops = sum(len(segment.links) for segment in segments)
+        budgets = [
+            e2e * len(segment.links) // total_hops for segment in segments
+        ]
+        budgets[-1] += e2e - sum(budgets)  # rounding dust: exact sum
+        if min(budgets) <= 0:
+            raise PrepareFailure(
+                f"e2e budget {e2e}ns cannot cover {len(segments)} shard "
+                f"segments over {total_hops} hops"
+            )
+        attempts["e2e_split"] = " + ".join(
+            f"{segment.shard}:{budget}ns"
+            for segment, budget in zip(segments, budgets)
+        ) + " (store-and-forward at borders)"
         return [
             (
                 AdmitTct(replace(
                     requirement,
                     source=segment.source,
                     destination=segment.destination,
+                    e2e_ns=budget,
                 )),
                 segment.shard,
             )
-            for segment in self._partition.split_route(path)
+            for segment, budget in zip(segments, budgets)
         ]
 
     def _solver_for(
@@ -512,7 +619,10 @@ class ClusterCoordinator:
         versions: Dict[str, int],
         attempts: Dict[str, str],
     ) -> Decision:
-        self._metrics.counter("cluster.admitted_cross").inc()
+        if request.op == "remove":
+            self._metrics.counter("cluster.removed_cross").inc()
+        else:
+            self._metrics.counter("cluster.admitted_cross").inc()
         return Decision(
             request_id=self._next_request_id(),
             op=request.op,
@@ -559,4 +669,10 @@ def _stitch_segments(name: str, segments: List[Stream]) -> Stream:
             )
         chain.append(nxt)
     path = tuple(link for segment in chain for link in segment.path)
-    return replace(chain[0], path=path)
+    # per-segment deadlines were carved from the stream's budget and
+    # sum back to it exactly (see ClusterCoordinator._segment_requests)
+    return replace(
+        chain[0],
+        path=path,
+        e2e_ns=sum(segment.e2e_ns for segment in chain),
+    )

@@ -4,14 +4,18 @@ import pytest
 
 from repro.cluster import (
     REASON_CROSS_ECT,
+    REASON_NAME_IN_USE,
+    REASON_REENTRANT,
     REASON_UNKNOWN_STREAM,
     REASON_UNROUTABLE,
     RUNG_TWOPHASE,
     ClusterCoordinator,
+    partition_by_assignment,
     partition_topology,
 )
 from repro.experiments import simulation_topology
 from repro.model.stream import EctStream, Priorities, TctRequirement
+from repro.model.topology import Topology
 from repro.model.units import milliseconds
 from repro.service import (
     RUNG_INCREMENTAL,
@@ -114,6 +118,33 @@ class TestCrossShardPath:
         for name in ("shard0", "shard1"):
             schedule = coordinator.shard_store(name).schedule
             assert all(s.name != "x" for s in schedule.streams)
+        # retirements and admissions are separate counters
+        assert coordinator.metrics.counter("cluster.removed_cross").value == 1
+        assert coordinator.metrics.counter(
+            "cluster.admitted_cross"
+        ).value == 1
+
+    def test_cross_admit_splits_e2e_budget(self, coordinator):
+        e2e = milliseconds(6)
+        decision = coordinator.submit(AdmitTct(TctRequirement(
+            name="x", source="D1", destination="D12",
+            period_ns=milliseconds(8), length_bytes=1000,
+            e2e_ns=e2e, priority=Priorities.NSH_PH,
+        )))
+        assert decision.accepted
+        assert "e2e_split" in decision.attempts
+        segments = [
+            next(s for s in coordinator.shard_store(name).schedule.streams
+                 if s.name == "x")
+            for name in ("shard0", "shard1")
+        ]
+        # each shard validated its segment against a share of the
+        # deadline, not the whole of it, and the shares sum exactly
+        assert all(s.e2e_ns < e2e for s in segments)
+        assert sum(s.e2e_ns for s in segments) == e2e
+        stitched = coordinator.global_schedule()
+        stream = next(s for s in stitched.streams if s.name == "x")
+        assert stream.e2e_ns == e2e
 
     def test_cross_ect_is_structured_rejection(self, coordinator):
         decision = coordinator.submit(_ect("alarm", "D1", "D12"))
@@ -125,6 +156,66 @@ class TestCrossShardPath:
         # nothing published anywhere
         assert coordinator.shard_store("shard0").version == 0
         assert coordinator.shard_store("shard1").version == 0
+
+
+class TestNameUniqueness:
+    def test_same_name_on_two_shards_is_rejected(self, coordinator):
+        assert coordinator.submit(_tct("dup", "D1", "D4")).accepted
+        decision = coordinator.submit(_tct("dup", "D10", "D12"))
+        assert not decision.accepted
+        assert decision.reason.startswith(REASON_NAME_IN_USE)
+        assert "shard0" in decision.reason
+        assert coordinator.shard_store("shard1").version == 0
+        assert coordinator.metrics.counter(
+            "cluster.rejected_name_in_use"
+        ).value == 1
+        # the stitched view never sees two streams under one name
+        stitched = coordinator.global_schedule()
+        assert [s.name for s in stitched.streams] == ["dup"]
+
+    def test_duplicate_name_in_one_batch_is_rejected(self, coordinator):
+        first, second = coordinator.submit_many([
+            _tct("dup", "D1", "D4"),
+            _tct("dup", "D10", "D12"),
+        ])
+        assert first.accepted
+        assert not second.accepted
+        assert second.reason.startswith(REASON_NAME_IN_USE)
+
+    def test_remove_frees_the_name_cluster_wide(self, coordinator):
+        assert coordinator.submit(_tct("dup", "D1", "D4")).accepted
+        assert coordinator.submit(Remove("dup")).accepted
+        assert coordinator.submit(_tct("dup", "D10", "D12")).accepted
+
+
+class TestReentrantRoutes:
+    def test_reentrant_route_is_structured_rejection(self):
+        # a 3-switch line whose middle switch belongs to another shard:
+        # the only DA -> DB route is shard0 -> shard1 -> shard0
+        topo = Topology()
+        for switch in ("SW1", "SW2", "SW3"):
+            topo.add_switch(switch)
+        topo.add_device("DA")
+        topo.add_device("DB")
+        topo.add_link("DA", "SW1")
+        topo.add_link("SW1", "SW2")
+        topo.add_link("SW2", "SW3")
+        topo.add_link("SW3", "DB")
+        partition = partition_by_assignment(
+            topo, {"SW1": 0, "SW3": 0, "SW2": 1}
+        )
+        coordinator = ClusterCoordinator(partition=partition)
+        try:
+            decision = coordinator.submit(_tct("re", "DA", "DB"))
+            assert not decision.accepted
+            assert decision.reason == REASON_REENTRANT
+            assert coordinator.metrics.counter(
+                "cluster.rejected_reentrant"
+            ).value == 1
+            for name in coordinator.shard_names():
+                assert coordinator.shard_store(name).version == 0
+        finally:
+            coordinator.shutdown()
 
 
 class TestRejections:
