@@ -15,6 +15,7 @@ REPRO_BENCH_MS
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -23,6 +24,7 @@ import pytest
 from repro.model.units import milliseconds
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -40,3 +42,23 @@ def emit():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Persist machine-readable headline numbers as BENCH_<name>.json
+    at the repo root.
+
+    Deliberately timestamp-free: the files are meant to be diffable
+    across runs, so they carry only the measured figures and the
+    workload metadata that identifies what was measured.
+    """
+
+    def _record(name: str, data: dict) -> Path:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    return _record

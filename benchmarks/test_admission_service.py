@@ -38,7 +38,7 @@ def _percentile(values, q):
     return ordered[rank]
 
 
-def test_admission_service_throughput(benchmark, emit):
+def test_admission_service_throughput(benchmark, emit, bench_record):
     from repro.core import schedule_etsn
 
     workload = simulation_workload(0.25, seed=1)
@@ -74,6 +74,7 @@ def test_admission_service_throughput(benchmark, emit):
         by_rung.setdefault(rung, []).append(decision.latency_ms)
 
     rows = []
+    rungs_json = {}
     for rung in ("incremental", "full", "heuristic", "rejected"):
         latencies = by_rung.get(rung)
         if not latencies:
@@ -86,6 +87,19 @@ def test_admission_service_throughput(benchmark, emit):
             f"{_percentile(latencies, 50):.2f}",
             f"{_percentile(latencies, 99):.2f}",
         ])
+        rungs_json[rung] = {
+            "decisions": len(latencies),
+            "admissions_per_sec": round(1e3 / mean_ms, 1) if mean_ms else None,
+            "p50_ms": round(_percentile(latencies, 50), 3),
+            "p99_ms": round(_percentile(latencies, 99), 3),
+        }
+    bench_record("admission", {
+        "benchmark": "admission_service_throughput",
+        "network": "fig13-simulation",
+        "seed_streams": len(workload.tct_streams) + len(workload.ect_streams),
+        "decisions": len(decisions),
+        "rungs": rungs_json,
+    })
     emit("admission_service", format_table(
         ["rung", "decisions", "admissions_per_sec", "p50_ms", "p99_ms"],
         rows,

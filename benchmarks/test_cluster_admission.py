@@ -95,7 +95,7 @@ def _run_cluster(requests):
     return elapsed, coordinator
 
 
-def test_cluster_throughput_multiple(benchmark, emit):
+def test_cluster_throughput_multiple(benchmark, emit, bench_record):
     requests = _local_workload()
 
     # warm-up pass (imports, pools), then best-of-3 for both arms
@@ -136,6 +136,23 @@ def test_cluster_throughput_multiple(benchmark, emit):
             f"{RING_SIZE} switches ({count} streams)"
         ),
     ))
+
+    bench_record("cluster", {
+        "benchmark": "cluster_throughput_multiple",
+        "network": f"{RINGS}-rings-of-{RING_SIZE}",
+        "streams": count,
+        "single_store": {
+            "wall_s": round(single_s, 4),
+            "admits_per_sec": round(count / single_s, 1),
+        },
+        "cluster": {
+            "shards": RINGS,
+            "wall_s": round(cluster_s, 4),
+            "admits_per_sec": round(count / cluster_s, 1),
+        },
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+    })
 
     # the acceptance bar: 2x on the shard-local workload by default,
     # relaxed via REPRO_CLUSTER_SPEEDUP_FLOOR on loaded shared runners

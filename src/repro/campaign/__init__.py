@@ -1,0 +1,90 @@
+"""Monte Carlo robustness campaigns over loss, clock error, and load.
+
+The paper's claim is that E-TSN's prudent reservations — and 802.1CB
+replication on top — keep event-triggered critical traffic within
+deadline on *imperfect* networks.  This package turns that from a
+single-seed anecdote into measured probabilities: a declarative
+:class:`~repro.campaign.spec.CampaignSpec` sweeps per-link loss, clock
+drift/offset/sync-residual, background load, and FRER on/off over many
+seeds; a process pool fans the runs out (each fully determined by its
+``(cell, seed)`` identity); per-run shards land on disk resumably; and
+the aggregator reports per-stream deadline-miss probability with Wilson
+95 % intervals plus p50/p99/p999 latency percentiles per matrix cell.
+
+Layers:
+
+* :mod:`repro.campaign.spec` — the scenario matrix and seed derivation;
+* :mod:`repro.campaign.harness` — one run: schedule, simulate with
+  fault injection and per-hop tracing, reduce to a ``RunResult``;
+* :mod:`repro.campaign.runner` — process-pool execution with atomic,
+  resumable shards;
+* :mod:`repro.campaign.stats` / ``aggregate`` — Wilson intervals,
+  percentiles, per-cell reduction;
+* :mod:`repro.campaign.report` — markdown / JSON scenario-matrix
+  reports;
+* :mod:`repro.campaign.cli` — ``repro campaign run|status|report``.
+"""
+
+from repro.campaign.aggregate import (
+    CampaignReport,
+    CellAggregate,
+    StreamAggregate,
+    aggregate_results,
+)
+from repro.campaign.harness import RunResult, StreamOutcome, execute_run
+from repro.campaign.report import render_json, render_markdown, render_status
+from repro.campaign.runner import (
+    CampaignError,
+    RunProgress,
+    campaign_status,
+    load_results,
+    load_spec,
+    run_campaign,
+    shard_path,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    CellSpec,
+    ClockErrorSpec,
+    RunSpec,
+    SpecError,
+    derive_seed,
+    example_spec,
+)
+from repro.campaign.stats import (
+    WilsonInterval,
+    latency_summary,
+    nearest_rank,
+    wilson_interval,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignReport",
+    "CampaignSpec",
+    "CellAggregate",
+    "CellSpec",
+    "ClockErrorSpec",
+    "RunProgress",
+    "RunResult",
+    "RunSpec",
+    "SpecError",
+    "StreamAggregate",
+    "StreamOutcome",
+    "WilsonInterval",
+    "aggregate_results",
+    "campaign_status",
+    "derive_seed",
+    "example_spec",
+    "execute_run",
+    "latency_summary",
+    "load_results",
+    "load_spec",
+    "nearest_rank",
+    "render_json",
+    "render_markdown",
+    "render_status",
+    "run_campaign",
+    "shard_path",
+    "wilson_interval",
+]

@@ -1,0 +1,157 @@
+"""Reduce run shards to the per-cell scenario-matrix statistics.
+
+Per cell and stream, across all seeds: total injected messages, total
+deadline misses, the Wilson 95 % interval on the miss probability, and
+p50/p99/p999/max latency over the pooled delivered samples.  Cell-level
+FRER and fault counters (duplicates eliminated, frames lost, worst
+observed clock error) ride along so the report can show *why* a cell
+missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.campaign.harness import RunResult
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.stats import WilsonInterval, latency_summary, wilson_interval
+
+
+@dataclass
+class StreamAggregate:
+    """One stream's statistics over every seed of one cell."""
+
+    deadline_ns: int
+    injected: int = 0
+    delivered: int = 0
+    deadline_misses: int = 0
+    latencies_ns: List[int] = field(default_factory=list)
+
+    @property
+    def miss(self) -> WilsonInterval:
+        return wilson_interval(self.deadline_misses, self.injected)
+
+    def to_dict(self) -> Dict[str, object]:
+        miss = self.miss
+        data: Dict[str, object] = {
+            "deadline_ns": self.deadline_ns,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "deadline_misses": self.deadline_misses,
+            "miss_probability": miss.estimate,
+            "miss_ci_low": miss.low,
+            "miss_ci_high": miss.high,
+        }
+        data.update(latency_summary(self.latencies_ns))
+        return data
+
+
+@dataclass
+class CellAggregate:
+    """One matrix cell, fully reduced."""
+
+    cell_id: str
+    axes: Dict[str, object]
+    runs: int = 0
+    streams: Dict[str, StreamAggregate] = field(default_factory=dict)
+    frames_lost: int = 0
+    duplicates_eliminated: int = 0
+    sync_error_max_ns: int = 0
+    drops_by_link: Dict[str, int] = field(default_factory=dict)
+    trace_overflow: int = 0
+
+    def add(self, result: RunResult) -> None:
+        self.runs += 1
+        self.frames_lost += result.frames_lost
+        self.duplicates_eliminated += result.duplicates_eliminated
+        self.sync_error_max_ns = max(
+            self.sync_error_max_ns, result.sync_error_max_ns
+        )
+        self.trace_overflow += result.trace_overflow
+        for link, count in result.drops_by_link.items():
+            self.drops_by_link[link] = self.drops_by_link.get(link, 0) + count
+        for name, outcome in result.streams.items():
+            aggregate = self.streams.get(name)
+            if aggregate is None:
+                aggregate = StreamAggregate(deadline_ns=outcome.deadline_ns)
+                self.streams[name] = aggregate
+            aggregate.injected += outcome.injected
+            aggregate.delivered += outcome.delivered
+            aggregate.deadline_misses += outcome.deadline_misses
+            aggregate.latencies_ns.extend(outcome.latencies_ns)
+
+    def finalize(self) -> None:
+        for aggregate in self.streams.values():
+            aggregate.latencies_ns.sort()
+
+    def worst_miss(self) -> WilsonInterval:
+        """The worst per-stream miss interval of the cell."""
+        worst = wilson_interval(0, 0)
+        for aggregate in self.streams.values():
+            candidate = aggregate.miss
+            if candidate.estimate > worst.estimate or worst.trials == 0:
+                worst = candidate
+        return worst
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cell_id": self.cell_id,
+            "axes": dict(self.axes),
+            "runs": self.runs,
+            "streams": {
+                name: aggregate.to_dict()
+                for name, aggregate in sorted(self.streams.items())
+            },
+            "frames_lost": self.frames_lost,
+            "duplicates_eliminated": self.duplicates_eliminated,
+            "sync_error_max_ns": self.sync_error_max_ns,
+            "drops_by_link": dict(sorted(self.drops_by_link.items())),
+            "trace_overflow": self.trace_overflow,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """The aggregated scenario matrix of one campaign."""
+
+    spec: CampaignSpec
+    cells: List[CellAggregate]
+
+    def cell(self, cell_id: str) -> CellAggregate:
+        for aggregate in self.cells:
+            if aggregate.cell_id == cell_id:
+                return aggregate
+        raise KeyError(f"no cell {cell_id!r} in report")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "total_runs": self.spec.total_runs(),
+            "aggregated_runs": sum(cell.runs for cell in self.cells),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def aggregate_results(
+    spec: CampaignSpec, results: List[RunResult]
+) -> CampaignReport:
+    """Group shards by cell in matrix order and reduce each."""
+    by_cell: Dict[str, CellAggregate] = {}
+    order = spec.cells()
+    for cell in order:
+        by_cell[cell.cell_id] = CellAggregate(
+            cell_id=cell.cell_id, axes=cell.axes()
+        )
+    for result in results:
+        aggregate = by_cell.get(result.cell_id)
+        if aggregate is None:
+            # a stale shard from an older spec revision: ignore rather
+            # than silently polluting a cell
+            continue
+        aggregate.add(result)
+    cells = [by_cell[cell.cell_id] for cell in order]
+    for aggregate in cells:
+        aggregate.finalize()
+    return CampaignReport(spec=spec, cells=cells)

@@ -1,0 +1,150 @@
+"""``repro campaign`` subcommands: run / status / report / example-spec.
+
+``run`` executes (or resumes) a campaign from a spec JSON into an
+output directory; ``status`` prints per-cell completion; ``report``
+aggregates the shards into the scenario-matrix report (markdown and/or
+JSON); ``example-spec`` prints a ready-to-edit spec for the
+loss x drift acceptance matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.campaign.aggregate import aggregate_results
+from repro.campaign.report import render_json, render_markdown, render_status
+from repro.campaign.runner import (
+    CampaignError,
+    campaign_status,
+    load_results,
+    load_spec,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec, SpecError, example_spec
+
+
+def add_campaign_parser(subparsers) -> None:
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="Monte Carlo robustness campaigns (repro.campaign)",
+    )
+    sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute (or resume) a campaign from a spec JSON"
+    )
+    run.add_argument("--spec", required=True, help="CampaignSpec JSON file")
+    run.add_argument("--out", required=True,
+                     help="campaign directory (spec pin + run shards)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: one per core; "
+                          "1 runs inline)")
+    run.add_argument("--seeds", type=int, default=None,
+                     help="override the spec's seeds-per-cell")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-run progress lines")
+
+    status = sub.add_parser(
+        "status", help="per-cell completion of a campaign directory"
+    )
+    status.add_argument("--out", required=True, help="campaign directory")
+    status.add_argument("--format", default="text", choices=("text", "json"))
+
+    report = sub.add_parser(
+        "report", help="aggregate shards into the scenario-matrix report"
+    )
+    report.add_argument("--out", required=True, help="campaign directory")
+    report.add_argument("--format", default="markdown",
+                        choices=("markdown", "json"))
+    report.add_argument("--output", metavar="FILE",
+                        help="write the report here instead of stdout")
+    report.add_argument("--json-out", metavar="FILE",
+                        help="additionally write the JSON report here")
+
+    example = sub.add_parser(
+        "example-spec", help="print the loss x drift example spec JSON"
+    )
+    example.add_argument("--seeds", type=int, default=20)
+
+
+def _load_spec_file(path: str) -> CampaignSpec:
+    try:
+        with open(path) as handle:
+            return CampaignSpec.from_dict(json.load(handle))
+    except FileNotFoundError:
+        raise SystemExit(f"campaign: no such spec file: {path}")
+    except (json.JSONDecodeError, SpecError) as exc:
+        raise SystemExit(f"campaign: bad spec {path}: {exc}")
+
+
+def _run(args) -> int:
+    spec = _load_spec_file(args.spec)
+    if args.seeds is not None:
+        spec = spec.with_seeds(args.seeds)
+
+    def progress(run_id: str, done: int, total: int) -> None:
+        print(f"[{done}/{total}] {run_id}", file=sys.stderr)
+
+    try:
+        outcome = run_campaign(
+            spec, Path(args.out), workers=args.workers,
+            progress=None if args.quiet else progress,
+        )
+    except CampaignError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps({
+        "campaign": spec.name,
+        "total_runs": outcome.total,
+        "executed": outcome.executed,
+        "skipped": outcome.skipped,
+    }))
+    return 0
+
+
+def _status(args) -> int:
+    try:
+        status = campaign_status(Path(args.out))
+    except CampaignError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(status, indent=2))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _report(args) -> int:
+    try:
+        spec = load_spec(Path(args.out))
+    except CampaignError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 1
+    results = load_results(Path(args.out))
+    report = aggregate_results(spec, results)
+    text = (
+        render_json(report) if args.format == "json"
+        else render_markdown(report)
+    )
+    if args.output:
+        Path(args.output).write_text(text)
+    else:
+        sys.stdout.write(text)
+    if args.json_out:
+        Path(args.json_out).write_text(render_json(report))
+    return 0
+
+
+def run_campaign_cli(args) -> int:
+    if args.campaign_command == "run":
+        return _run(args)
+    if args.campaign_command == "status":
+        return _status(args)
+    if args.campaign_command == "report":
+        return _report(args)
+    spec = example_spec().with_seeds(args.seeds)
+    print(json.dumps(spec.to_dict(), indent=2))
+    return 0

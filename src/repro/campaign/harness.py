@@ -1,0 +1,295 @@
+"""Per-run harness: one matrix cell x one seed -> a compact RunResult.
+
+The harness reuses the evaluation pipeline end to end — scenario
+workload (:mod:`repro.experiments.scenarios`), E-TSN scheduling (with
+802.1CB members when the cell's FRER axis is on), GCL synthesis, and the
+discrete-event simulator with per-hop frame tracing enabled — then
+reduces the run to what the aggregator needs: per-stream deadline-miss
+counts and latency samples, FRER elimination stats, per-link drop
+counts harvested from the trace, and the sync domain's worst observed
+clock error.
+
+Everything random in a run is derived from the campaign spec and the
+run identity (see :mod:`repro.campaign.spec`), so a ``RunResult`` is a
+pure function of ``(spec, cell_id, seed_index)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.campaign.spec import CampaignSpec, RunSpec, derive_seed
+from repro.core import build_gcl, schedule_etsn, schedule_etsn_frer
+from repro.experiments.scenarios import (
+    Workload,
+    ring_workload,
+    simulation_workload,
+    testbed_workload,
+)
+from repro.model.units import milliseconds
+from repro.obs import Tracer
+from repro.sim import SimConfig, SyncConfig, TsnSimulation
+
+_WORKLOAD_BUILDERS = {
+    "ring": ring_workload,
+    "testbed": testbed_workload,
+    "simulation": simulation_workload,
+}
+
+#: (scenario, load, frer, length, possibilities, base_seed) ->
+#: (workload, schedule, gcl).  Scheduling is deterministic and loss /
+#: clock error are run-time knobs, so every run of a (scenario, load,
+#: frer) slice shares one schedule; the memo saves re-solving it per
+#: seed inside a worker process.
+_SCHEDULE_MEMO: Dict[Tuple, Tuple[Workload, object, object]] = {}
+
+
+@dataclass
+class StreamOutcome:
+    """One stream's reduction of one run."""
+
+    deadline_ns: int
+    injected: int
+    delivered: int
+    deadline_misses: int
+    #: ascending end-to-end latencies of the delivered messages
+    latencies_ns: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "deadline_ns": self.deadline_ns,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "deadline_misses": self.deadline_misses,
+            "latencies_ns": list(self.latencies_ns),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamOutcome":
+        return cls(
+            deadline_ns=int(data["deadline_ns"]),
+            injected=int(data["injected"]),
+            delivered=int(data["delivered"]),
+            deadline_misses=int(data["deadline_misses"]),
+            latencies_ns=[int(v) for v in data["latencies_ns"]],
+        )
+
+
+@dataclass
+class RunResult:
+    """The compact, JSON-serializable product of one run."""
+
+    run_id: str
+    cell_id: str
+    seed_index: int
+    sim_seed: int
+    axes: Dict[str, object]
+    duration_ns: int
+    streams: Dict[str, StreamOutcome]
+    frames_lost: int
+    duplicates_eliminated: int
+    sync_error_max_ns: int
+    #: per-directed-link count of frames the loss process dropped,
+    #: harvested from the per-hop ``frame.drop`` trace events.
+    drops_by_link: Dict[str, int]
+    #: per-hop frame event counts by kind (enqueue/transmit/deliver/drop).
+    frame_events: Dict[str, int]
+    #: trace spans evicted by the ring buffer (0 = full per-hop record).
+    trace_overflow: int
+    num_events: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "cell_id": self.cell_id,
+            "seed_index": self.seed_index,
+            "sim_seed": self.sim_seed,
+            "axes": dict(self.axes),
+            "duration_ns": self.duration_ns,
+            "streams": {
+                name: outcome.to_dict()
+                for name, outcome in sorted(self.streams.items())
+            },
+            "frames_lost": self.frames_lost,
+            "duplicates_eliminated": self.duplicates_eliminated,
+            "sync_error_max_ns": self.sync_error_max_ns,
+            "drops_by_link": dict(sorted(self.drops_by_link.items())),
+            "frame_events": dict(sorted(self.frame_events.items())),
+            "trace_overflow": self.trace_overflow,
+            "num_events": self.num_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        return cls(
+            run_id=str(data["run_id"]),
+            cell_id=str(data["cell_id"]),
+            seed_index=int(data["seed_index"]),
+            sim_seed=int(data["sim_seed"]),
+            axes=dict(data["axes"]),
+            duration_ns=int(data["duration_ns"]),
+            streams={
+                name: StreamOutcome.from_dict(outcome)
+                for name, outcome in data["streams"].items()
+            },
+            frames_lost=int(data["frames_lost"]),
+            duplicates_eliminated=int(data["duplicates_eliminated"]),
+            sync_error_max_ns=int(data["sync_error_max_ns"]),
+            drops_by_link={k: int(v) for k, v in data["drops_by_link"].items()},
+            frame_events={k: int(v) for k, v in data["frame_events"].items()},
+            trace_overflow=int(data["trace_overflow"]),
+            num_events=int(data["num_events"]),
+        )
+
+
+# ---------------------------------------------------------------- build
+def _workload_seed(spec: CampaignSpec, scenario: str, load: float) -> int:
+    """One workload per (scenario, load) slice — identical across the
+    loss / clock / FRER axes, so those cells differ only in the fault
+    process, never in the traffic they carry."""
+    key = f"workload:{scenario}:{format(load, 'g')}"
+    return derive_seed(spec.base_seed, key, 0, "workload") % (2**31)
+
+
+def _build_schedule(spec: CampaignSpec, run: RunSpec):
+    cell = run.cell
+    memo_key = (
+        cell.scenario, format(cell.load, "g"), cell.frer,
+        spec.ect_length_bytes, spec.possibilities, spec.base_seed,
+    )
+    if memo_key in _SCHEDULE_MEMO:
+        return _SCHEDULE_MEMO[memo_key]
+    workload = _WORKLOAD_BUILDERS[cell.scenario](
+        cell.load,
+        seed=_workload_seed(spec, cell.scenario, cell.load),
+        ect_length_bytes=spec.ect_length_bytes,
+        possibilities=spec.possibilities,
+    )
+    if cell.frer:
+        schedule = schedule_etsn_frer(
+            workload.topology, workload.tct_streams, workload.ect_streams
+        )
+    else:
+        schedule = schedule_etsn(
+            workload.topology, workload.tct_streams, workload.ect_streams
+        )
+    gcl = build_gcl(
+        schedule, mode="etsn", ect_proxies=schedule.meta.get("ect_proxies")
+    )
+    _SCHEDULE_MEMO[memo_key] = (workload, schedule, gcl)
+    return _SCHEDULE_MEMO[memo_key]
+
+
+def _backbone_loss(workload: Workload, loss_rate: float) -> Dict[Tuple[str, str], float]:
+    """Uniform loss on every switch-to-switch link.
+
+    Device attach links stay clean: loss there would hit plain and
+    FRER runs before replication diverges the copies, muddying the
+    axis the campaign measures.
+    """
+    if loss_rate <= 0.0:
+        return {}
+    topology = workload.topology
+    return {
+        link.key: loss_rate
+        for link in topology.links
+        if topology.node(link.src).is_switch and topology.node(link.dst).is_switch
+    }
+
+
+def _clock_assignment(
+    spec: CampaignSpec, run: RunSpec, workload: Workload
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Draw per-node drift and initial offset for this run.
+
+    Offsets are drawn non-positive (local clocks start at or behind
+    true time) so the talkers' time-0 slot conversions never land
+    before the simulation epoch.
+    """
+    clock = run.cell.clock
+    if clock.is_perfect:
+        return {}, {}
+    rng = random.Random(spec.clock_seed(run))
+    drifts: Dict[str, int] = {}
+    offsets: Dict[str, int] = {}
+    for name in sorted(node.name for node in workload.topology.nodes):
+        if clock.drift_ppb:
+            drifts[name] = rng.randint(-clock.drift_ppb, clock.drift_ppb)
+        if clock.offset_ns:
+            offsets[name] = -rng.randint(0, clock.offset_ns)
+    return drifts, offsets
+
+
+# -------------------------------------------------------------- execute
+def execute_run(spec: CampaignSpec, run: RunSpec) -> RunResult:
+    """Run one cell x seed and reduce it to a :class:`RunResult`."""
+    workload, schedule, gcl = _build_schedule(spec, run)
+    cell = run.cell
+    drifts, offsets = _clock_assignment(spec, run, workload)
+    sync = None
+    if not cell.clock.is_perfect:
+        sync = SyncConfig(
+            sync_interval_ns=cell.clock.sync_interval_ns,
+            residual_error_ns=cell.clock.sync_residual_ns,
+        )
+    tracer = Tracer(max_spans=spec.trace_spans)
+    config = SimConfig(
+        duration_ns=milliseconds(spec.duration_ms),
+        seed=spec.sim_seed(run),
+        clock_drift_ppb=drifts,
+        clock_offset_ns=offsets,
+        sync=sync,
+        link_loss=_backbone_loss(workload, cell.loss_rate),
+        tracer=tracer,
+    )
+    report = TsnSimulation(schedule, gcl, config).run()
+    recorder = report.recorder
+
+    deadlines: Dict[str, int] = {
+        stream.name: stream.e2e_ns for stream in workload.tct_streams
+    }
+    for ect in workload.ect_streams:
+        deadlines[ect.name] = ect.effective_e2e_ns
+
+    streams: Dict[str, StreamOutcome] = {}
+    for name, deadline_ns in deadlines.items():
+        latencies = sorted(recorder.latencies(name))
+        injected = recorder.injected(name)
+        late = sum(1 for value in latencies if value > deadline_ns)
+        lost = injected - len(latencies)
+        streams[name] = StreamOutcome(
+            deadline_ns=deadline_ns,
+            injected=injected,
+            delivered=len(latencies),
+            deadline_misses=lost + late,
+            latencies_ns=latencies,
+        )
+
+    drops_by_link: Dict[str, int] = {}
+    frame_events: Dict[str, int] = {}
+    for span in tracer.spans():
+        if not span.name.startswith("frame."):
+            continue
+        frame_events[span.name] = frame_events.get(span.name, 0) + 1
+        if span.name == "frame.drop":
+            link = str(span.attributes.get("link", "?"))
+            drops_by_link[link] = drops_by_link.get(link, 0) + 1
+
+    return RunResult(
+        run_id=run.run_id,
+        cell_id=cell.cell_id,
+        seed_index=run.seed_index,
+        sim_seed=config.seed,
+        axes=cell.axes(),
+        duration_ns=config.duration_ns,
+        streams=streams,
+        frames_lost=report.frames_lost,
+        duplicates_eliminated=recorder.duplicates_eliminated,
+        sync_error_max_ns=report.sync_error_ns,
+        drops_by_link=drops_by_link,
+        frame_events=frame_events,
+        trace_overflow=tracer.dropped,
+        num_events=report.num_events,
+    )

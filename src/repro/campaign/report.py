@@ -1,0 +1,112 @@
+"""Render a campaign's scenario-matrix report as markdown or JSON.
+
+The markdown table is keyed by axis values (one row per cell x stream
+of interest) so a loss x drift sweep reads like the paper's evaluation
+tables; the JSON carries the full per-stream statistics for downstream
+tooling and the CI schema check.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.campaign.aggregate import CampaignReport, CellAggregate
+from repro.campaign.stats import nearest_rank
+from repro.model.units import ns_to_us
+
+
+def render_json(report: CampaignReport, indent: int = 2) -> str:
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+
+def _axis_cols(cell: CellAggregate) -> List[str]:
+    axes = cell.axes
+    return [
+        str(axes["scenario"]),
+        format(axes["loss_rate"], "g"),
+        str(axes["drift_ppb"]),
+        str(axes["sync_residual_ns"]),
+        format(axes["load"], "g"),
+        "on" if axes["frer"] else "off",
+    ]
+
+
+def _fmt_prob(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    return f"{value:.2e}" if value < 0.001 else f"{value:.4f}"
+
+
+def render_markdown(report: CampaignReport) -> str:
+    """The human-facing scenario matrix."""
+    spec = report.spec
+    lines: List[str] = []
+    lines.append(f"# Robustness campaign `{spec.name}`")
+    lines.append("")
+    lines.append(
+        f"{len(report.cells)} cells x {spec.seeds} seeds "
+        f"({spec.total_runs()} runs, "
+        f"{sum(cell.runs for cell in report.cells)} aggregated), "
+        f"{spec.duration_ms} simulated ms per run."
+    )
+    lines.append("")
+    header = [
+        "scenario", "loss", "drift_ppb", "residual_ns", "load", "frer",
+        "stream", "events", "misses", "miss_prob", "wilson_95",
+        "p50_us", "p99_us", "p999_us",
+    ]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for cell in report.cells:
+        for name, aggregate in sorted(cell.streams.items()):
+            miss = aggregate.miss
+            if aggregate.latencies_ns:
+                values = aggregate.latencies_ns
+                p50 = f"{ns_to_us(nearest_rank(values, 0.50)):.1f}"
+                p99 = f"{ns_to_us(nearest_rank(values, 0.99)):.1f}"
+                p999 = f"{ns_to_us(nearest_rank(values, 0.999)):.1f}"
+            else:
+                p50 = p99 = p999 = "-"
+            lines.append("| " + " | ".join(
+                _axis_cols(cell) + [
+                    name,
+                    str(aggregate.injected),
+                    str(aggregate.deadline_misses),
+                    _fmt_prob(miss.estimate),
+                    f"[{_fmt_prob(miss.low)}, {_fmt_prob(miss.high)}]",
+                    p50, p99, p999,
+                ]
+            ) + " |")
+    lines.append("")
+    lines.append("Per-cell fault totals:")
+    lines.append("")
+    fault_header = [
+        "cell", "runs", "frames_lost", "frer_duplicates_eliminated",
+        "max_clock_error_ns",
+    ]
+    lines.append("| " + " | ".join(fault_header) + " |")
+    lines.append("|" + "|".join("---" for _ in fault_header) + "|")
+    for cell in report.cells:
+        lines.append("| " + " | ".join([
+            cell.cell_id,
+            str(cell.runs),
+            str(cell.frames_lost),
+            str(cell.duplicates_eliminated),
+            str(cell.sync_error_max_ns),
+        ]) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_status(status: Dict[str, object]) -> str:
+    """Human-readable completion summary for ``repro campaign status``."""
+    lines = [
+        f"campaign {status['campaign']}: "
+        f"{status['completed_runs']}/{status['total_runs']} runs complete"
+    ]
+    for cell in status["cells"]:  # type: ignore[union-attr]
+        lines.append(
+            f"  {cell['cell_id']}: {cell['completed']}/{cell['seeds']}"
+        )
+    return "\n".join(lines)

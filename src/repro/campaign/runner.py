@@ -1,0 +1,225 @@
+"""Campaign execution: fan runs across a process pool, resumably.
+
+Layout of a campaign directory::
+
+    <out>/spec.json           the spec that owns the directory
+    <out>/runs/<run_id>.json  one shard per completed run
+
+Shards are written atomically (temp file + ``os.replace``), so an
+interrupted campaign leaves only whole shards behind; re-running skips
+every run whose shard already parses and carries the matching run id.
+Because a run is a pure function of ``(spec, cell_id, seed_index)``,
+resuming with more workers — or with one — produces byte-identical
+shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.harness import RunResult, execute_run
+from repro.campaign.spec import CampaignSpec, RunSpec, SpecError
+
+SPEC_FILENAME = "spec.json"
+RUNS_DIRNAME = "runs"
+
+
+class CampaignError(RuntimeError):
+    """Raised when a campaign directory cannot be used."""
+
+
+@dataclass
+class RunProgress:
+    """What :func:`run_campaign` reports back."""
+
+    total: int
+    skipped: int = 0
+    executed: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.skipped + self.executed
+
+
+def _canonical_json(data: Dict[str, object]) -> str:
+    """One serialization for shards: key-sorted, fixed separators, so
+    equal results are equal bytes."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def shard_path(out_dir: Path, run_id: str) -> Path:
+    return Path(out_dir) / RUNS_DIRNAME / f"{run_id}.json"
+
+
+def _shard_complete(path: Path, run_id: str) -> bool:
+    """A shard counts as done when it parses and names this run."""
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return False
+    return isinstance(data, dict) and data.get("run_id") == run_id
+
+
+def _prepare_dir(spec: CampaignSpec, out_dir: Path) -> None:
+    """Create/validate the campaign directory; pin the spec to it."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / RUNS_DIRNAME).mkdir(exist_ok=True)
+    spec_path = out_dir / SPEC_FILENAME
+    if spec_path.exists():
+        try:
+            existing = json.loads(spec_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"unreadable {spec_path}: {exc}") from exc
+        if existing != spec.to_dict():
+            raise CampaignError(
+                f"{out_dir} belongs to a different campaign spec "
+                f"({existing.get('name')!r}); pick another --out directory "
+                f"or delete it to start over"
+            )
+    else:
+        _write_atomic(spec_path, _canonical_json(spec.to_dict()))
+
+
+def load_spec(out_dir: Path) -> CampaignSpec:
+    """The spec pinned to a campaign directory."""
+    spec_path = Path(out_dir) / SPEC_FILENAME
+    if not spec_path.exists():
+        raise CampaignError(f"no {SPEC_FILENAME} in {out_dir}; run first")
+    try:
+        return CampaignSpec.from_dict(json.loads(spec_path.read_text()))
+    except (json.JSONDecodeError, SpecError) as exc:
+        raise CampaignError(f"unreadable {spec_path}: {exc}") from exc
+
+
+def _execute_to_shard(spec_dict: Dict[str, object], out: str, cell_index: int,
+                      seed_index: int) -> str:
+    """Worker entry point: rebuild identity, execute, persist, return id.
+
+    Module-level (picklable) and self-contained: workers re-derive the
+    run from the spec dict rather than receiving live objects.
+    """
+    spec = CampaignSpec.from_dict(spec_dict)
+    run = RunSpec(cell=spec.cells()[cell_index], seed_index=seed_index)
+    result = execute_run(spec, run)
+    path = shard_path(Path(out), run.run_id)
+    _write_atomic(path, _canonical_json(result.to_dict()))
+    return run.run_id
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: Path,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> RunProgress:
+    """Execute every not-yet-completed run of ``spec`` into ``out_dir``.
+
+    ``workers`` <= 1 runs inline (no pool) — handy for tests and for
+    deterministic single-process debugging.  ``progress`` is called as
+    ``(run_id, done, total)`` after each run completes.
+    """
+    out_dir = Path(out_dir)
+    _prepare_dir(spec, out_dir)
+    runs = list(spec.runs())
+    cell_index = {cell.cell_id: i for i, cell in enumerate(spec.cells())}
+    report = RunProgress(total=len(runs))
+
+    pending: List[RunSpec] = []
+    for run in runs:
+        if _shard_complete(shard_path(out_dir, run.run_id), run.run_id):
+            report.skipped += 1
+        else:
+            pending.append(run)
+
+    done = report.skipped
+    if workers is not None and workers <= 1:
+        for run in pending:
+            _execute_to_shard(
+                spec.to_dict(), str(out_dir),
+                cell_index[run.cell.cell_id], run.seed_index,
+            )
+            report.executed += 1
+            done += 1
+            if progress is not None:
+                progress(run.run_id, done, report.total)
+        return report
+
+    spec_dict = spec.to_dict()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(
+                _execute_to_shard, spec_dict, str(out_dir),
+                cell_index[run.cell.cell_id], run.seed_index,
+            ): run
+            for run in pending
+        }
+        for future in as_completed(futures):
+            run = futures[future]
+            try:
+                future.result()
+            except Exception as exc:  # noqa: BLE001 - reported per run
+                report.failures.append(f"{run.run_id}: {exc}")
+                continue
+            report.executed += 1
+            done += 1
+            if progress is not None:
+                progress(run.run_id, done, report.total)
+    if report.failures:
+        raise CampaignError(
+            f"{len(report.failures)} run(s) failed, e.g. {report.failures[0]}"
+        )
+    return report
+
+
+def load_results(out_dir: Path) -> List[RunResult]:
+    """Every completed shard in ``out_dir``, sorted by run id."""
+    runs_dir = Path(out_dir) / RUNS_DIRNAME
+    if not runs_dir.is_dir():
+        return []
+    results: List[RunResult] = []
+    for path in sorted(runs_dir.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue  # half-written shard from a crashed run: not complete
+        results.append(RunResult.from_dict(data))
+    return results
+
+
+def campaign_status(out_dir: Path) -> Dict[str, object]:
+    """Completion summary of a campaign directory."""
+    spec = load_spec(out_dir)
+    per_cell: Dict[str, int] = {}
+    completed = 0
+    for run in spec.runs():
+        if _shard_complete(shard_path(Path(out_dir), run.run_id), run.run_id):
+            completed += 1
+            per_cell[run.cell.cell_id] = per_cell.get(run.cell.cell_id, 0) + 1
+    cells = [
+        {
+            "cell_id": cell.cell_id,
+            "completed": per_cell.get(cell.cell_id, 0),
+            "seeds": spec.seeds,
+        }
+        for cell in spec.cells()
+    ]
+    return {
+        "campaign": spec.name,
+        "total_runs": spec.total_runs(),
+        "completed_runs": completed,
+        "cells": cells,
+    }

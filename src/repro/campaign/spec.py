@@ -1,0 +1,310 @@
+"""Declarative Monte Carlo campaign specifications.
+
+A :class:`CampaignSpec` names a scenario matrix: the cross product of
+per-link loss rates, clock-error profiles (drift / initial offset /
+802.1AS sync residual), background TCT load, FRER on/off, and the
+figure scenario, each cell replicated over ``seeds`` independent runs.
+
+Determinism is the load-bearing property.  Every run is identified by
+``(cell_id, seed_index)`` and all of its randomness is derived from that
+identity with :func:`derive_seed` (SHA-256, not ``hash()``, so the
+derivation survives interpreter restarts and ``PYTHONHASHSEED``):
+
+* the simulator seed — which in turn seeds the per-link loss RNGs
+  (``f"{seed}:loss:{src}->{dst}"`` inside :class:`repro.sim.TsnSimulation`),
+  the per-source event RNGs, and the :class:`repro.sim.SyncDomain`
+  residual RNG;
+* the clock-assignment RNG that draws each node's drift and initial
+  offset.
+
+Re-running any run therefore reproduces it bit for bit, regardless of
+which worker process executes it or in which order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Tuple
+
+#: Scenarios a campaign may sweep.  ``ring`` is the dual-homed ring —
+#: the only one with two link-disjoint ECT paths, hence the only one on
+#: which the FRER axis may be switched on.
+SCENARIOS = ("ring", "testbed", "simulation")
+
+#: Scenarios whose talker is dual-homed (FRER-capable).
+FRER_SCENARIOS = ("ring",)
+
+
+class SpecError(ValueError):
+    """Raised for invalid campaign specifications."""
+
+
+def derive_seed(base_seed: int, cell_id: str, seed_index: int, purpose: str) -> int:
+    """A 63-bit seed bound to one run and one purpose.
+
+    Stable across processes and Python versions: SHA-256 over the
+    textual identity, truncated.  Distinct ``purpose`` strings give
+    independent streams for the same run.
+    """
+    text = f"{base_seed}|{cell_id}|{seed_index}|{purpose}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class ClockErrorSpec:
+    """One point on the clock-error axis.
+
+    drift_ppb
+        Maximum |per-node drift|; each node draws uniformly from
+        ``[-drift_ppb, +drift_ppb]``.
+    offset_ns
+        Maximum initial clock phase error; each node draws uniformly
+        from ``[-offset_ns, 0]`` (non-positive, so the talkers' global
+        injection instants stay inside the simulated horizon).
+    sync_residual_ns
+        802.1AS post-correction residual bound (the paper's toolkit
+        timestamps at 10 ns).  Sync runs whenever the profile is not
+        all-zero.
+    sync_interval_ns
+        802.1AS correction period (default 1/32 s).
+    """
+
+    drift_ppb: int = 0
+    offset_ns: int = 0
+    sync_residual_ns: int = 0
+    sync_interval_ns: int = 31_250_000
+
+    def __post_init__(self) -> None:
+        if self.drift_ppb < 0:
+            raise SpecError(f"drift_ppb must be >= 0, got {self.drift_ppb}")
+        if self.offset_ns < 0:
+            raise SpecError(f"offset_ns must be >= 0, got {self.offset_ns}")
+        if self.sync_residual_ns < 0:
+            raise SpecError(
+                f"sync_residual_ns must be >= 0, got {self.sync_residual_ns}"
+            )
+        if self.sync_interval_ns <= 0:
+            raise SpecError(
+                f"sync_interval_ns must be positive, got {self.sync_interval_ns}"
+            )
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when every clock is ideal (sync has nothing to do)."""
+        return (
+            self.drift_ppb == 0
+            and self.offset_ns == 0
+            and self.sync_residual_ns == 0
+        )
+
+    def label(self) -> str:
+        return (
+            f"drift{self.drift_ppb}-off{self.offset_ns}"
+            f"-res{self.sync_residual_ns}"
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "drift_ppb": self.drift_ppb,
+            "offset_ns": self.offset_ns,
+            "sync_residual_ns": self.sync_residual_ns,
+            "sync_interval_ns": self.sync_interval_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ClockErrorSpec":
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown clock-error field(s): {', '.join(unknown)}")
+        return cls(**data)
+
+
+def _loss_label(loss: float) -> str:
+    """Deterministic short text for a loss probability (``0.0001`` -> ``1e-04``)."""
+    if loss == 0:
+        return "0"
+    return format(loss, ".0e") if loss < 0.01 else format(loss, "g")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the matrix: every axis pinned, seeds still free."""
+
+    scenario: str
+    loss_rate: float
+    clock: ClockErrorSpec
+    load: float
+    frer: bool
+
+    @property
+    def cell_id(self) -> str:
+        """Filename-safe, human-readable identity of this cell."""
+        return (
+            f"{self.scenario}-loss{_loss_label(self.loss_rate)}"
+            f"-{self.clock.label()}-load{format(self.load, 'g')}"
+            f"-frer{'on' if self.frer else 'off'}"
+        )
+
+    def axes(self) -> Dict[str, object]:
+        """The cell's coordinates, as the report keys them."""
+        return {
+            "scenario": self.scenario,
+            "loss_rate": self.loss_rate,
+            "drift_ppb": self.clock.drift_ppb,
+            "offset_ns": self.clock.offset_ns,
+            "sync_residual_ns": self.clock.sync_residual_ns,
+            "load": self.load,
+            "frer": self.frer,
+        }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run: a cell plus a seed index."""
+
+    cell: CellSpec
+    seed_index: int
+
+    @property
+    def run_id(self) -> str:
+        return f"{self.cell.cell_id}-seed{self.seed_index:04d}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative scenario matrix of one robustness campaign."""
+
+    name: str
+    scenarios: Tuple[str, ...] = ("ring",)
+    loss_rates: Tuple[float, ...] = (0.0,)
+    clock_errors: Tuple[ClockErrorSpec, ...] = (ClockErrorSpec(),)
+    loads: Tuple[float, ...] = (0.25,)
+    frer: Tuple[bool, ...] = (False,)
+    seeds: int = 20
+    base_seed: int = 1
+    duration_ms: int = 400
+    ect_length_bytes: int = 1500
+    possibilities: int = 4
+    #: ring-buffer capacity for the per-hop frame tracer of each run.
+    trace_spans: int = 1 << 18
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in "/\\ "):
+            raise SpecError(
+                f"campaign name must be non-empty and path-safe, got {self.name!r}"
+            )
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise SpecError(
+                    f"unknown scenario {scenario!r}; expected one of {SCENARIOS}"
+                )
+            if scenario not in FRER_SCENARIOS and True in self.frer:
+                raise SpecError(
+                    f"scenario {scenario!r} has a single-homed talker; the "
+                    f"FRER axis needs link-disjoint paths (use "
+                    f"{', '.join(FRER_SCENARIOS)!s})"
+                )
+        for loss in self.loss_rates:
+            if not 0.0 <= loss <= 1.0:
+                raise SpecError(f"loss rate {loss} outside [0, 1]")
+        for load in self.loads:
+            if not 0.0 < load < 1.0:
+                raise SpecError(f"load {load} outside (0, 1)")
+        if not (self.scenarios and self.loss_rates and self.clock_errors
+                and self.loads and self.frer):
+            raise SpecError("every axis needs at least one value")
+        if self.seeds < 1:
+            raise SpecError(f"seeds must be >= 1, got {self.seeds}")
+        if self.duration_ms < 1:
+            raise SpecError(f"duration_ms must be >= 1, got {self.duration_ms}")
+        if self.trace_spans < 1:
+            raise SpecError(f"trace_spans must be >= 1, got {self.trace_spans}")
+
+    # ------------------------------------------------------------- matrix
+    def cells(self) -> List[CellSpec]:
+        """Every cell, in deterministic axis order."""
+        return [
+            CellSpec(scenario=scenario, loss_rate=loss, clock=clock,
+                     load=load, frer=frer)
+            for scenario in self.scenarios
+            for loss in self.loss_rates
+            for clock in self.clock_errors
+            for load in self.loads
+            for frer in self.frer
+        ]
+
+    def runs(self) -> Iterator[RunSpec]:
+        """Every run of the campaign, cells outer, seeds inner."""
+        for cell in self.cells():
+            for seed_index in range(self.seeds):
+                yield RunSpec(cell=cell, seed_index=seed_index)
+
+    def total_runs(self) -> int:
+        return len(self.cells()) * self.seeds
+
+    def sim_seed(self, run: RunSpec) -> int:
+        """The simulator seed of one run (drives loss/event/sync RNGs)."""
+        return derive_seed(self.base_seed, run.cell.cell_id, run.seed_index, "sim")
+
+    def clock_seed(self, run: RunSpec) -> int:
+        """The seed drawing per-node drift and initial offset."""
+        return derive_seed(self.base_seed, run.cell.cell_id, run.seed_index, "clock")
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "scenarios": list(self.scenarios),
+            "loss_rates": list(self.loss_rates),
+            "clock_errors": [c.to_dict() for c in self.clock_errors],
+            "loads": list(self.loads),
+            "frer": list(self.frer),
+            "seeds": self.seeds,
+            "base_seed": self.base_seed,
+            "duration_ms": self.duration_ms,
+            "ect_length_bytes": self.ect_length_bytes,
+            "possibilities": self.possibilities,
+            "trace_spans": self.trace_spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown campaign field(s): {', '.join(unknown)}")
+        if "name" not in data:
+            raise SpecError("campaign spec needs a name")
+        kwargs = dict(data)
+        for axis in ("scenarios", "loss_rates", "loads", "frer"):
+            if axis in kwargs:
+                kwargs[axis] = tuple(kwargs[axis])  # type: ignore[arg-type]
+        if "clock_errors" in kwargs:
+            kwargs["clock_errors"] = tuple(
+                ClockErrorSpec.from_dict(c)  # type: ignore[arg-type]
+                for c in kwargs["clock_errors"]  # type: ignore[union-attr]
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def with_seeds(self, seeds: int) -> "CampaignSpec":
+        return replace(self, seeds=seeds)
+
+
+def example_spec() -> CampaignSpec:
+    """The loss x drift matrix of the acceptance criteria, ready to run."""
+    return CampaignSpec(
+        name="loss-x-drift",
+        scenarios=("ring",),
+        loss_rates=(0.0, 1e-4, 1e-3),
+        clock_errors=(
+            ClockErrorSpec(),
+            ClockErrorSpec(drift_ppb=50, sync_residual_ns=10),
+            ClockErrorSpec(drift_ppb=500, sync_residual_ns=10),
+        ),
+        loads=(0.25,),
+        frer=(False, True),
+        seeds=20,
+    )

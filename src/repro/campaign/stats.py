@@ -1,0 +1,89 @@
+"""Statistical reductions for campaign aggregation.
+
+Deadline misses are Bernoulli outcomes, so per-cell miss probability is
+reported with a Wilson score interval — well-behaved at the extremes
+(0 misses out of N does not collapse to a zero-width interval the way
+the normal approximation does), which is exactly where a robustness
+campaign lives.  Latency percentiles are nearest-rank over the pooled
+per-run samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+#: Two-sided z for the default 95 % interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class WilsonInterval:
+    """A binomial proportion with its Wilson score bounds."""
+
+    successes: int
+    trials: int
+    estimate: float
+    low: float
+    high: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "estimate": self.estimate,
+            "low": self.low,
+            "high": self.high,
+        }
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> WilsonInterval:
+    """Wilson score interval for ``successes`` out of ``trials``.
+
+    ``trials == 0`` yields the vacuous [0, 1] interval with estimate 0.
+    """
+    if successes < 0 or trials < 0 or successes > trials:
+        raise ValueError(
+            f"need 0 <= successes <= trials, got {successes}/{trials}"
+        )
+    if trials == 0:
+        return WilsonInterval(0, 0, 0.0, 0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    # at the extremes the bounds are exactly 0 / 1 algebraically; pin
+    # them so float rounding cannot exclude the point estimate
+    low = 0.0 if successes == 0 else max(0.0, center - margin)
+    high = 1.0 if successes == trials else min(1.0, center + margin)
+    return WilsonInterval(
+        successes=successes, trials=trials, estimate=p, low=low, high=high,
+    )
+
+
+def nearest_rank(sorted_values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile over an ascending-sorted sample."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if not sorted_values:
+        raise ValueError("no samples")
+    rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
+    return sorted_values[rank]
+
+
+def latency_summary(sorted_values: Sequence[int]) -> Dict[str, int]:
+    """The p50/p99/p999/max quartet the campaign report carries."""
+    if not sorted_values:
+        return {}
+    return {
+        "p50_ns": nearest_rank(sorted_values, 0.50),
+        "p99_ns": nearest_rank(sorted_values, 0.99),
+        "p999_ns": nearest_rank(sorted_values, 0.999),
+        "max_ns": sorted_values[-1],
+    }

@@ -33,6 +33,14 @@ Commands
     ``cluster admit`` decides one request against a fresh cluster, and
     ``cluster serve`` drives a JSONL request stream across the shards
     (``--audit`` gcl-audits the stitched global schedule afterwards).
+``campaign``
+    Monte Carlo robustness campaigns (:mod:`repro.campaign`):
+    ``campaign run`` fans a loss x clock-error x load x FRER matrix
+    across a process pool (resumable), ``campaign status`` prints
+    per-cell completion, ``campaign report`` emits the scenario-matrix
+    report with deadline-miss probabilities (Wilson 95 % CIs) and
+    latency percentiles, and ``campaign example-spec`` prints a
+    ready-to-edit spec.
 
 ``serve`` and ``admit`` accept ``--trace FILE`` to record admission
 spans (request -> rung -> solve) as JSON-lines, and ``--certify`` to
@@ -222,6 +230,10 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.check.cli import add_check_parser
 
     add_check_parser(sub)
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(sub)
     return parser
 
 
@@ -626,6 +638,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.check.cli import run_check
 
         return run_check(args)
+    elif args.command == "campaign":
+        from repro.campaign.cli import run_campaign_cli
+
+        return run_campaign_cli(args)
     else:
         _run_figure(args.command, args.duration_ms, args.seed)
     return 0

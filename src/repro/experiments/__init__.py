@@ -10,6 +10,8 @@ from repro.experiments.runner import METHODS, MethodResult, build_schedule, run_
 from repro.experiments.scenarios import (
     DEFAULT_POSSIBILITIES,
     Workload,
+    ring_topology,
+    ring_workload,
     simulation_workload,
     testbed_workload,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "fig14",
     "fig15",
     "fig16",
+    "ring_topology",
+    "ring_workload",
     "run_method",
     "line_of_rings",
     "simulation_topology",

@@ -9,7 +9,7 @@ from typing import List
 from repro.experiments.topologies import simulation_topology, testbed_topology
 from repro.model.stream import EctStream, Stream
 from repro.model.topology import Topology
-from repro.model.units import ETHERNET_MTU_BYTES, milliseconds
+from repro.model.units import ETHERNET_MTU_BYTES, MBPS_100, milliseconds
 from repro.traffic import TrafficConfig, generate_tct
 
 #: Number of probabilistic possibilities (N) per ECT stream across the
@@ -59,6 +59,68 @@ def testbed_workload(
         name="ect1",
         source="D2",
         destination="D4",
+        min_interevent_ns=milliseconds(16),
+        length_bytes=ect_length_bytes,
+        possibilities=possibilities,
+    )
+    return Workload(
+        topology=topology,
+        tct_streams=traffic.streams,
+        ect_streams=[ect],
+        achieved_load=traffic.achieved_load,
+        payload_bytes=traffic.payload_bytes,
+    )
+
+
+def ring_topology() -> Topology:
+    """Four switches in a ring, dual-homed talker A and listener B.
+
+    The one evaluation topology with two link-disjoint A -> B routes, so
+    it is where 802.1CB replication (:mod:`repro.core.frer`) is
+    exercised — the robustness campaigns' FRER on/off axis runs here.
+    """
+    topo = Topology()
+    switches = ["SW1", "SW2", "SW3", "SW4"]
+    for switch in switches:
+        topo.add_switch(switch)
+    for a, b in zip(switches, switches[1:] + switches[:1]):
+        topo.add_link(a, b, bandwidth_bps=MBPS_100)
+    topo.add_device("A")
+    topo.add_link("A", "SW1", bandwidth_bps=MBPS_100)
+    topo.add_link("A", "SW3", bandwidth_bps=MBPS_100)
+    topo.add_device("B")
+    topo.add_link("B", "SW2", bandwidth_bps=MBPS_100)
+    topo.add_link("B", "SW4", bandwidth_bps=MBPS_100)
+    return topo
+
+
+def ring_workload(
+    load: float,
+    seed: int = 1,
+    ect_length_bytes: int = ETHERNET_MTU_BYTES,
+    possibilities: int = DEFAULT_POSSIBILITIES,
+) -> Workload:
+    """Dual-homed ring: 4 sharing TCT streams + the ``alarm`` ECT stream.
+
+    The ECT message is one MTU (by default) with 16 ms minimum
+    inter-event time, A -> B; schedulable plain or with FRER members on
+    the two disjoint ring paths.
+    """
+    topology = ring_topology()
+    traffic = generate_tct(
+        topology,
+        TrafficConfig(
+            num_streams=4,
+            periods_ns=[milliseconds(4), milliseconds(8), milliseconds(16)],
+            target_load=load,
+            seed=seed,
+            share=True,
+        ),
+    )
+    ect = EctStream(
+        name="alarm",
+        source="A",
+        destination="B",
         min_interevent_ns=milliseconds(16),
         length_bytes=ect_length_bytes,
         possibilities=possibilities,

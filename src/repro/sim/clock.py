@@ -26,6 +26,11 @@ class Clock:
     """A node-local clock: ``local(t) = t + offset + drift·(t - ref)``."""
 
     def __init__(self, name: str, offset_ns: int = 0, drift_ppb: int = 0) -> None:
+        if drift_ppb <= -1_000_000_000:
+            raise ValueError(
+                f"clock {name!r}: drift_ppb must exceed -1e9 (got "
+                f"{drift_ppb}); at -1e9 local time stops advancing"
+            )
         self.name = name
         self._offset_ns = offset_ns
         self._drift_ppb = drift_ppb
@@ -39,17 +44,42 @@ class Clock:
     def to_global(self, local_ns: int) -> int:
         """Global instant at which this clock reads ``local_ns``.
 
-        Inverse of :meth:`local`; exact up to the 1 ns integer floor of
-        the drift term (resolved by a final adjustment step).
+        Inverse of :meth:`local`: when ``local_ns`` is an exact reading
+        the returned instant reproduces it (``local(to_global(x)) == x``),
+        and for non-negative drift the inverse is exact
+        (``to_global(local(t)) == t``, since ``local`` is then strictly
+        increasing).  Between two readings — positive drift makes the
+        local clock skip values — the latest instant reading no later
+        than ``local_ns`` is returned.
         """
-        # First-order guess ignoring drift, then correct.
+        # Newton iteration: the error contracts by |drift|/1e9 per step,
+        # so a few steps settle every physical drift; extreme drifts
+        # (approaching clock rate) fall through to exact bisection
+        # instead of returning an off-by-one fixed-point miss.
         guess = local_ns - self._offset_ns
-        for _ in range(4):
+        for _ in range(8):
             error = self.local(guess) - local_ns
             if error == 0:
                 return guess
             guess -= error
-        return guess
+        # local() is monotone non-decreasing (drift_ppb > -1e9), so the
+        # largest t with local(t) <= local_ns is found by bisection.
+        lo = hi = guess
+        step = 1
+        while self.local(lo) > local_ns:
+            lo -= step
+            step *= 2
+        step = 1
+        while self.local(hi + 1) <= local_ns:
+            hi += step
+            step *= 2
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.local(mid) <= local_ns:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
 
     def offset_error_ns(self, global_ns: int) -> int:
         """How far local time is from true time right now."""
@@ -72,6 +102,17 @@ class SyncConfig:
     sync_interval_ns: int = 31_250_000  # 802.1AS default: 1/32 s
     residual_error_ns: int = 10  # hardware timestamping accuracy
     enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sync_interval_ns <= 0:
+            raise ValueError(
+                f"sync_interval_ns must be positive, got {self.sync_interval_ns}"
+            )
+        if self.residual_error_ns < 0:
+            raise ValueError(
+                f"residual_error_ns must be >= 0, got {self.residual_error_ns} "
+                f"(it bounds the post-correction offset magnitude)"
+            )
 
 
 class SyncDomain:

@@ -60,6 +60,14 @@ class SimConfig:
     #: ``None`` keeps the hot path event-free.
     tracer: Optional[Tracer] = None
 
+    def __post_init__(self) -> None:
+        for key, probability in self.link_loss.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"link_loss[{key[0]}->{key[1]}]: loss probability must "
+                    f"be within [0, 1], got {probability}"
+                )
+
 
 @dataclass
 class SimReport:

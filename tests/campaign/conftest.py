@@ -1,0 +1,37 @@
+"""Shared campaign fixtures: tiny matrices that run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, ClockErrorSpec
+
+
+@pytest.fixture
+def tiny_spec() -> CampaignSpec:
+    """One clean cell and one faulty cell, two seeds, 50 simulated ms."""
+    return CampaignSpec(
+        name="tiny",
+        scenarios=("ring",),
+        loss_rates=(0.0, 0.2),
+        clock_errors=(ClockErrorSpec(),),
+        loads=(0.25,),
+        frer=(False,),
+        seeds=2,
+        duration_ms=50,
+    )
+
+
+@pytest.fixture
+def frer_spec() -> CampaignSpec:
+    """A single lossy FRER-on cell."""
+    return CampaignSpec(
+        name="tiny-frer",
+        scenarios=("ring",),
+        loss_rates=(0.3,),
+        clock_errors=(ClockErrorSpec(),),
+        loads=(0.25,),
+        frer=(True,),
+        seeds=1,
+        duration_ms=50,
+    )

@@ -1,0 +1,113 @@
+"""Aggregation of run shards into the per-cell scenario matrix."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    RunResult,
+    StreamOutcome,
+    aggregate_results,
+)
+
+
+@pytest.fixture
+def one_cell_spec():
+    return CampaignSpec(name="agg", loss_rates=(0.1,), seeds=2,
+                        duration_ms=50)
+
+
+def _result(spec, seed_index, misses, latencies, cell_id=None):
+    cell = spec.cells()[0]
+    return RunResult(
+        run_id=f"{cell.cell_id}-seed{seed_index:04d}",
+        cell_id=cell_id or cell.cell_id,
+        seed_index=seed_index,
+        sim_seed=seed_index,
+        axes=cell.axes(),
+        duration_ns=50_000_000,
+        streams={
+            "s": StreamOutcome(
+                deadline_ns=1_000,
+                injected=10,
+                delivered=10 - misses,
+                deadline_misses=misses,
+                latencies_ns=sorted(latencies),
+            )
+        },
+        frames_lost=misses,
+        duplicates_eliminated=1,
+        sync_error_max_ns=100 * (seed_index + 1),
+        drops_by_link={"SW1->SW2": misses},
+        frame_events={"frame.deliver": 10 - misses},
+        trace_overflow=0,
+        num_events=50,
+    )
+
+
+class TestAggregation:
+    def test_pools_across_seeds(self, one_cell_spec):
+        results = [
+            _result(one_cell_spec, 0, misses=2, latencies=[100, 200, 300]),
+            _result(one_cell_spec, 1, misses=1, latencies=[150, 250]),
+        ]
+        report = aggregate_results(one_cell_spec, results)
+        assert len(report.cells) == 1
+        cell = report.cells[0]
+        assert cell.runs == 2
+        stream = cell.streams["s"]
+        assert stream.injected == 20
+        assert stream.deadline_misses == 3
+        assert stream.miss.estimate == pytest.approx(0.15)
+        assert stream.miss.low < 0.15 < stream.miss.high
+        # pooled, re-sorted latencies
+        assert stream.latencies_ns == [100, 150, 200, 250, 300]
+        assert cell.frames_lost == 3
+        assert cell.duplicates_eliminated == 2
+        assert cell.sync_error_max_ns == 200  # max, not sum
+        assert cell.drops_by_link == {"SW1->SW2": 3}
+
+    def test_stale_shard_from_unknown_cell_ignored(self, one_cell_spec):
+        results = [
+            _result(one_cell_spec, 0, misses=0, latencies=[100]),
+            _result(one_cell_spec, 1, misses=9, latencies=[1],
+                    cell_id="old-spec-cell"),
+        ]
+        report = aggregate_results(one_cell_spec, results)
+        assert report.cells[0].runs == 1
+        assert report.cells[0].streams["s"].deadline_misses == 0
+        assert report.to_dict()["aggregated_runs"] == 1
+
+    def test_empty_results_still_enumerate_cells(self, one_cell_spec):
+        report = aggregate_results(one_cell_spec, [])
+        assert len(report.cells) == 1
+        assert report.cells[0].runs == 0
+        assert report.cells[0].worst_miss().trials == 0
+
+    def test_worst_miss_picks_dominant_stream(self, one_cell_spec):
+        result = _result(one_cell_spec, 0, misses=5, latencies=[100])
+        result.streams["clean"] = StreamOutcome(
+            deadline_ns=1_000, injected=10, delivered=10,
+            deadline_misses=0, latencies_ns=[10] * 10,
+        )
+        report = aggregate_results(one_cell_spec, [result])
+        assert report.cells[0].worst_miss().estimate == pytest.approx(0.5)
+
+    def test_cell_lookup(self, one_cell_spec):
+        report = aggregate_results(one_cell_spec, [])
+        cell_id = one_cell_spec.cells()[0].cell_id
+        assert report.cell(cell_id).cell_id == cell_id
+        with pytest.raises(KeyError):
+            report.cell("missing")
+
+    def test_to_dict_schema(self, one_cell_spec):
+        result = _result(one_cell_spec, 0, misses=1, latencies=[100, 200])
+        data = aggregate_results(one_cell_spec, [result]).to_dict()
+        assert data["campaign"] == "agg"
+        assert data["total_runs"] == 2
+        assert data["aggregated_runs"] == 1
+        cell = data["cells"][0]
+        stream = cell["streams"]["s"]
+        for key in ("miss_probability", "miss_ci_low", "miss_ci_high",
+                    "p50_ns", "p99_ns", "p999_ns", "max_ns"):
+            assert key in stream, key
+        assert cell["axes"]["loss_rate"] == 0.1

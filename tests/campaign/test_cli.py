@@ -1,0 +1,146 @@
+"""``repro campaign`` CLI and report rendering (in-process, via main())."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    aggregate_results,
+    load_results,
+    render_markdown,
+    run_campaign,
+)
+from repro.cli import main
+
+
+@pytest.fixture
+def spec_file(tiny_spec, tmp_path):
+    spec = tiny_spec.with_seeds(1)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    return path, spec
+
+
+class TestRunCommand:
+    def test_run_then_resume(self, spec_file, tmp_path, capsys):
+        path, spec = spec_file
+        out = tmp_path / "camp"
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--out", str(out), "--workers", "1", "--quiet"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary == {"campaign": "tiny", "total_runs": 2,
+                           "executed": 2, "skipped": 0}
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--out", str(out), "--workers", "1", "--quiet"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert (resumed["executed"], resumed["skipped"]) == (0, 2)
+
+    def test_seeds_override(self, spec_file, tmp_path, capsys):
+        path, _ = spec_file
+        out = tmp_path / "camp"
+        assert main(["campaign", "run", "--spec", str(path), "--out",
+                     str(out), "--workers", "1", "--seeds", "2",
+                     "--quiet"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_runs"] == 4
+
+    def test_progress_lines_on_stderr(self, spec_file, tmp_path, capsys):
+        path, _ = spec_file
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--out", str(tmp_path / "camp"), "--workers", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
+
+    def test_missing_spec_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such spec file"):
+            main(["campaign", "run", "--spec", str(tmp_path / "nope.json"),
+                  "--out", str(tmp_path / "camp")])
+
+    def test_invalid_spec_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "scenarios": ["mesh"]}))
+        with pytest.raises(SystemExit, match="bad spec"):
+            main(["campaign", "run", "--spec", str(bad),
+                  "--out", str(tmp_path / "camp")])
+
+
+class TestStatusCommand:
+    def test_text_and_json(self, spec_file, tmp_path, capsys):
+        path, spec = spec_file
+        out = tmp_path / "camp"
+        main(["campaign", "run", "--spec", str(path), "--out", str(out),
+              "--workers", "1", "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "2/2 runs complete" in text
+        assert main(["campaign", "status", "--out", str(out),
+                     "--format", "json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed_runs"] == 2
+
+    def test_unknown_directory_fails(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--out",
+                     str(tmp_path / "nope")]) == 1
+        assert "run first" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_markdown_and_json_outputs(self, spec_file, tmp_path, capsys):
+        path, spec = spec_file
+        out = tmp_path / "camp"
+        main(["campaign", "run", "--spec", str(path), "--out", str(out),
+              "--workers", "1", "--quiet"])
+        capsys.readouterr()
+        md_file = tmp_path / "report.md"
+        json_file = tmp_path / "report.json"
+        assert main(["campaign", "report", "--out", str(out),
+                     "--output", str(md_file),
+                     "--json-out", str(json_file)]) == 0
+        markdown = md_file.read_text()
+        assert "# Robustness campaign `tiny`" in markdown
+        assert "| scenario |" in markdown
+        report = json.loads(json_file.read_text())
+        assert report["campaign"] == "tiny"
+        assert report["aggregated_runs"] == 2
+        # the clean cell of the matrix has zero miss probability
+        clean = report["cells"][0]
+        assert clean["axes"]["loss_rate"] == 0.0
+        for stream in clean["streams"].values():
+            assert stream["miss_probability"] == 0.0
+
+    def test_report_to_stdout(self, spec_file, tmp_path, capsys):
+        path, _ = spec_file
+        out = tmp_path / "camp"
+        main(["campaign", "run", "--spec", str(path), "--out", str(out),
+              "--workers", "1", "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "report", "--out", str(out),
+                     "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["campaign"] == "tiny"
+
+    def test_report_without_campaign_fails(self, tmp_path, capsys):
+        assert main(["campaign", "report", "--out",
+                     str(tmp_path / "nope")]) == 1
+
+
+class TestExampleSpecCommand:
+    def test_output_is_a_valid_spec(self, capsys):
+        assert main(["campaign", "example-spec", "--seeds", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        spec = CampaignSpec.from_dict(data)
+        assert spec.seeds == 3
+        assert spec.name == "loss-x-drift"
+
+
+class TestMarkdownRendering:
+    def test_fault_totals_table(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec.with_seeds(1), out, workers=1)
+        report = aggregate_results(tiny_spec.with_seeds(1), load_results(out))
+        markdown = render_markdown(report)
+        # one row per cell in both tables
+        for cell in report.cells:
+            assert markdown.count(cell.cell_id) >= 1
+        assert "frames_lost" in markdown
+        assert "frer_duplicates_eliminated" in markdown

@@ -1,0 +1,85 @@
+"""execute_run: one cell x seed through the full sim pipeline."""
+
+from repro.campaign import RunResult, execute_run
+from repro.campaign.spec import RunSpec
+
+
+def _run(spec, cell_index=0, seed_index=0):
+    return execute_run(
+        spec, RunSpec(cell=spec.cells()[cell_index], seed_index=seed_index)
+    )
+
+
+class TestCleanCell:
+    def test_no_faults_no_misses(self, tiny_spec):
+        result = _run(tiny_spec, cell_index=0)
+        assert result.frames_lost == 0
+        assert result.sync_error_max_ns == 0
+        assert result.duplicates_eliminated == 0
+        assert result.drops_by_link == {}
+        assert result.streams  # the workload carries TCT + ECT streams
+        for name, outcome in result.streams.items():
+            assert outcome.deadline_misses == 0, name
+            assert outcome.delivered == outcome.injected
+            assert len(outcome.latencies_ns) == outcome.delivered
+            assert outcome.latencies_ns == sorted(outcome.latencies_ns)
+            assert all(0 < lat <= outcome.deadline_ns
+                       for lat in outcome.latencies_ns)
+
+    def test_per_hop_trace_is_complete(self, tiny_spec):
+        result = _run(tiny_spec, cell_index=0)
+        assert result.trace_overflow == 0
+        assert result.frame_events.get("frame.deliver", 0) > 0
+        assert result.frame_events.get("frame.transmit", 0) >= \
+            result.frame_events["frame.deliver"]
+        assert "frame.drop" not in result.frame_events
+
+
+class TestFaultyCell:
+    def test_loss_surfaces_in_drops_and_misses(self, tiny_spec):
+        result = _run(tiny_spec, cell_index=1)  # loss 0.2
+        assert result.frames_lost > 0
+        assert result.frame_events.get("frame.drop", 0) == result.frames_lost
+        assert sum(result.drops_by_link.values()) == result.frames_lost
+        # loss is confined to the switch backbone
+        for link in result.drops_by_link:
+            src, _, dst = link.partition("->")
+            assert src.startswith("SW") and dst.startswith("SW"), link
+
+    def test_frer_eliminates_duplicates(self, frer_spec):
+        result = _run(frer_spec)
+        assert result.duplicates_eliminated > 0
+
+    def test_frer_beats_plain_at_equal_loss(self, frer_spec):
+        """The acceptance direction: replication can only help the ECT
+        stream, and at 30 % loss it measurably does."""
+        plain_spec = frer_spec.from_dict(
+            {**frer_spec.to_dict(), "name": "tiny-plain", "frer": [False]}
+        )
+        misses = {}
+        for label, spec in (("frer", frer_spec), ("plain", plain_spec)):
+            lost = 0
+            injected = 0
+            for seed_index in range(4):
+                outcome = _run(spec, seed_index=seed_index).streams["alarm"]
+                lost += outcome.deadline_misses
+                injected += outcome.injected
+            assert injected > 0
+            misses[label] = lost / injected
+        assert misses["frer"] < misses["plain"]
+
+
+class TestDeterminism:
+    def test_result_is_pure_function_of_identity(self, tiny_spec):
+        first = _run(tiny_spec, cell_index=1, seed_index=1)
+        second = _run(tiny_spec, cell_index=1, seed_index=1)
+        assert first.to_dict() == second.to_dict()
+
+    def test_seeds_differ(self, tiny_spec):
+        a = _run(tiny_spec, cell_index=1, seed_index=0)
+        b = _run(tiny_spec, cell_index=1, seed_index=1)
+        assert a.sim_seed != b.sim_seed
+
+    def test_round_trip(self, tiny_spec):
+        result = _run(tiny_spec, cell_index=1)
+        assert RunResult.from_dict(result.to_dict()).to_dict() == result.to_dict()

@@ -1,0 +1,136 @@
+"""Resumable, deterministic campaign execution (inline and pooled)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    campaign_status,
+    load_results,
+    load_spec,
+    run_campaign,
+    shard_path,
+)
+from repro.campaign.runner import RUNS_DIRNAME, SPEC_FILENAME
+
+
+def _shard_bytes(out_dir, spec):
+    return {
+        run.run_id: shard_path(out_dir, run.run_id).read_bytes()
+        for run in spec.runs()
+    }
+
+
+class TestExecution:
+    def test_inline_run_completes_every_shard(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        progress = run_campaign(tiny_spec, out, workers=1)
+        assert (progress.total, progress.executed, progress.skipped) == (4, 4, 0)
+        assert not progress.failures
+        for run in tiny_spec.runs():
+            assert shard_path(out, run.run_id).exists()
+        assert (out / SPEC_FILENAME).exists()
+
+    def test_progress_callback_sees_every_run(self, tiny_spec, tmp_path):
+        seen = []
+        run_campaign(tiny_spec, tmp_path / "camp", workers=1,
+                     progress=lambda run_id, done, total: seen.append(
+                         (run_id, done, total)))
+        assert len(seen) == 4
+        assert [done for _, done, _ in seen] == [1, 2, 3, 4]
+        assert all(total == 4 for _, _, total in seen)
+
+    def test_spec_is_pinned_to_directory(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        assert load_spec(out) == tiny_spec
+
+    def test_foreign_spec_rejected(self, tiny_spec, frer_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec.with_seeds(1), out, workers=1)
+        with pytest.raises(CampaignError, match="different campaign spec"):
+            run_campaign(frer_spec, out, workers=1)
+
+    def test_load_spec_requires_directory(self, tmp_path):
+        with pytest.raises(CampaignError, match="run first"):
+            load_spec(tmp_path / "nope")
+
+
+class TestResume:
+    def test_second_run_skips_everything(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        resumed = run_campaign(tiny_spec, out, workers=1)
+        assert (resumed.executed, resumed.skipped) == (0, 4)
+
+    def test_missing_shard_is_recomputed_identically(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        before = _shard_bytes(out, tiny_spec)
+        victim = next(tiny_spec.runs()).run_id
+        shard_path(out, victim).unlink()
+        resumed = run_campaign(tiny_spec, out, workers=1)
+        assert (resumed.executed, resumed.skipped) == (1, 3)
+        assert _shard_bytes(out, tiny_spec) == before
+
+    def test_corrupt_shard_is_recomputed(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        victim = next(tiny_spec.runs()).run_id
+        shard_path(out, victim).write_text("{half a sha")
+        resumed = run_campaign(tiny_spec, out, workers=1)
+        assert resumed.executed == 1
+
+    def test_wrong_run_id_in_shard_is_recomputed(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        victim = next(tiny_spec.runs()).run_id
+        shard_path(out, victim).write_text(json.dumps({"run_id": "other"}))
+        resumed = run_campaign(tiny_spec, out, workers=1)
+        assert resumed.executed == 1
+
+
+class TestDeterminismAcrossWorkers:
+    def test_pool_and_inline_shards_are_byte_identical(self, tiny_spec,
+                                                       tmp_path):
+        """The satellite guarantee: worker count never changes results."""
+        inline = tmp_path / "inline"
+        pooled = tmp_path / "pooled"
+        run_campaign(tiny_spec, inline, workers=1)
+        progress = run_campaign(tiny_spec, pooled, workers=2)
+        assert progress.executed == 4 and not progress.failures
+        assert _shard_bytes(inline, tiny_spec) == _shard_bytes(pooled, tiny_spec)
+
+    def test_rerun_from_scratch_is_byte_identical(self, tiny_spec, tmp_path):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        run_campaign(tiny_spec, first, workers=1)
+        run_campaign(tiny_spec, second, workers=1)
+        assert _shard_bytes(first, tiny_spec) == _shard_bytes(second, tiny_spec)
+
+
+class TestStatusAndLoading:
+    def test_status_counts_per_cell(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        shard_path(out, list(tiny_spec.runs())[-1].run_id).unlink()
+        status = campaign_status(out)
+        assert status["campaign"] == "tiny"
+        assert status["total_runs"] == 4
+        assert status["completed_runs"] == 3
+        per_cell = {cell["cell_id"]: cell["completed"]
+                    for cell in status["cells"]}
+        assert sorted(per_cell.values()) == [1, 2]
+        assert all(cell["seeds"] == 2 for cell in status["cells"])
+
+    def test_load_results_sorted_and_skips_garbage(self, tiny_spec, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(tiny_spec, out, workers=1)
+        (out / RUNS_DIRNAME / "zzz-broken.json").write_text("not json")
+        results = load_results(out)
+        assert len(results) == 4
+        assert [r.run_id for r in results] == sorted(r.run_id for r in results)
+
+    def test_load_results_of_empty_directory(self, tmp_path):
+        assert load_results(tmp_path / "nothing") == []

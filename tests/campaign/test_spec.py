@@ -1,0 +1,157 @@
+"""CampaignSpec: matrix enumeration, validation, seed derivation."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CellSpec,
+    ClockErrorSpec,
+    SpecError,
+    derive_seed,
+    example_spec,
+)
+from repro.campaign.spec import RunSpec
+
+
+class TestDeriveSeed:
+    def test_deterministic_across_calls(self):
+        a = derive_seed(1, "cell", 0, "sim")
+        b = derive_seed(1, "cell", 0, "sim")
+        assert a == b
+
+    def test_axes_of_identity_are_independent(self):
+        base = derive_seed(1, "cell", 0, "sim")
+        assert derive_seed(2, "cell", 0, "sim") != base
+        assert derive_seed(1, "other", 0, "sim") != base
+        assert derive_seed(1, "cell", 1, "sim") != base
+        assert derive_seed(1, "cell", 0, "clock") != base
+
+    def test_pinned_value(self):
+        """SHA-256 derivation is stable across processes and versions;
+        a pinned value catches accidental re-derivation changes (which
+        would silently invalidate every resumable campaign directory)."""
+        assert derive_seed(1, "cell", 0, "sim") == 839392218682205090
+
+    def test_fits_in_63_bits(self):
+        for i in range(32):
+            assert 0 <= derive_seed(i, "c", i, "p") < 2**63
+
+
+class TestClockErrorSpec:
+    def test_defaults_are_perfect(self):
+        assert ClockErrorSpec().is_perfect
+
+    def test_any_error_axis_disables_perfect(self):
+        assert not ClockErrorSpec(drift_ppb=1).is_perfect
+        assert not ClockErrorSpec(offset_ns=1).is_perfect
+        assert not ClockErrorSpec(sync_residual_ns=1).is_perfect
+
+    def test_label(self):
+        clock = ClockErrorSpec(drift_ppb=500, offset_ns=1000, sync_residual_ns=10)
+        assert clock.label() == "drift500-off1000-res10"
+
+    def test_round_trip(self):
+        clock = ClockErrorSpec(drift_ppb=50, sync_residual_ns=10)
+        assert ClockErrorSpec.from_dict(clock.to_dict()) == clock
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown clock-error field"):
+            ClockErrorSpec.from_dict({"drift_ppm": 1})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"drift_ppb": -1},
+        {"offset_ns": -1},
+        {"sync_residual_ns": -1},
+        {"sync_interval_ns": 0},
+    ])
+    def test_negative_knobs_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            ClockErrorSpec(**kwargs)
+
+
+class TestCellIdentity:
+    def test_cell_id_is_readable_and_path_safe(self):
+        cell = CellSpec(scenario="ring", loss_rate=1e-4,
+                        clock=ClockErrorSpec(drift_ppb=50), load=0.25,
+                        frer=True)
+        assert cell.cell_id == "ring-loss1e-04-drift50-off0-res0-load0.25-freron"
+        assert "/" not in cell.cell_id and " " not in cell.cell_id
+
+    def test_run_id_appends_seed(self):
+        cell = CellSpec(scenario="ring", loss_rate=0.0,
+                        clock=ClockErrorSpec(), load=0.25, frer=False)
+        run = RunSpec(cell=cell, seed_index=7)
+        assert run.run_id.endswith("-seed0007")
+
+    def test_axes_carry_every_coordinate(self):
+        cell = CellSpec(scenario="ring", loss_rate=0.5,
+                        clock=ClockErrorSpec(drift_ppb=9), load=0.3, frer=True)
+        axes = cell.axes()
+        assert axes["loss_rate"] == 0.5
+        assert axes["drift_ppb"] == 9
+        assert axes["frer"] is True
+
+
+class TestCampaignSpec:
+    def test_matrix_is_full_cross_product(self, tiny_spec):
+        assert len(tiny_spec.cells()) == 2
+        assert tiny_spec.total_runs() == 4
+        assert len(list(tiny_spec.runs())) == 4
+
+    def test_cells_keep_axis_order(self):
+        spec = CampaignSpec(name="m", loss_rates=(0.0, 0.1),
+                            frer=(False, True), seeds=1)
+        ids = [cell.cell_id for cell in spec.cells()]
+        assert ids == sorted(set(ids), key=ids.index)  # no duplicates
+        # loss is the outer axis, frer the inner
+        assert ids[0].endswith("freroff") and ids[1].endswith("freron")
+        assert "loss0-" in ids[0] and "loss0.1" in ids[2]
+
+    def test_seed_derivation_separates_sim_and_clock(self, tiny_spec):
+        run = next(tiny_spec.runs())
+        assert tiny_spec.sim_seed(run) != tiny_spec.clock_seed(run)
+
+    def test_round_trip(self, tiny_spec):
+        assert CampaignSpec.from_dict(tiny_spec.to_dict()) == tiny_spec
+
+    def test_with_seeds(self, tiny_spec):
+        assert tiny_spec.with_seeds(9).seeds == 9
+        assert tiny_spec.seeds == 2  # original untouched
+
+    @pytest.mark.parametrize("kwargs,message", [
+        ({"scenarios": ("mesh",)}, "unknown scenario"),
+        ({"scenarios": ("testbed",), "frer": (True,)}, "single-homed"),
+        ({"loss_rates": (1.5,)}, r"outside \[0, 1\]"),
+        ({"loads": (0.0,)}, r"outside \(0, 1\)"),
+        ({"loads": ()}, "at least one value"),
+        ({"seeds": 0}, "seeds must be >= 1"),
+        ({"duration_ms": 0}, "duration_ms"),
+        ({"name": "has space"}, "path-safe"),
+        ({"name": ""}, "path-safe"),
+    ])
+    def test_validation(self, kwargs, message):
+        base = {"name": "ok"}
+        base.update(kwargs)
+        with pytest.raises(SpecError, match=message):
+            CampaignSpec(**base)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown campaign field"):
+            CampaignSpec.from_dict({"name": "x", "velocity": 3})
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(SpecError, match="needs a name"):
+            CampaignSpec.from_dict({"seeds": 3})
+
+
+class TestExampleSpec:
+    def test_matches_acceptance_matrix(self):
+        spec = example_spec()
+        assert spec.loss_rates == (0.0, 1e-4, 1e-3)
+        assert tuple(c.drift_ppb for c in spec.clock_errors) == (0, 50, 500)
+        assert spec.frer == (False, True)
+        assert spec.seeds >= 20
+
+    def test_round_trips_through_json_dict(self):
+        spec = example_spec()
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec

@@ -1,0 +1,84 @@
+"""Wilson intervals and nearest-rank percentiles."""
+
+import pytest
+
+from repro.campaign import latency_summary, nearest_rank, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_vacuous(self):
+        interval = wilson_interval(0, 0)
+        assert (interval.estimate, interval.low, interval.high) == (0.0, 0.0, 1.0)
+
+    def test_zero_misses_keeps_open_upper_bound(self):
+        """0/20 must not collapse to [0, 0] — the whole point of Wilson
+        over the normal approximation for robustness campaigns."""
+        interval = wilson_interval(0, 20)
+        assert interval.estimate == 0.0
+        assert interval.low == pytest.approx(0.0, abs=1e-12)
+        # closed form at p=0: z^2 / (n + z^2)
+        z2 = 1.959963984540054**2
+        assert interval.high == pytest.approx(z2 / (20 + z2))
+
+    def test_all_misses_mirror(self):
+        assert wilson_interval(20, 20).low == pytest.approx(
+            1.0 - wilson_interval(0, 20).high
+        )
+
+    def test_estimate_is_sample_proportion(self):
+        assert wilson_interval(3, 12).estimate == pytest.approx(0.25)
+
+    def test_interval_brackets_estimate(self):
+        for successes in range(0, 11):
+            interval = wilson_interval(successes, 10)
+            assert interval.low <= interval.estimate <= interval.high
+            assert 0.0 <= interval.low and interval.high <= 1.0
+
+    def test_more_trials_tighten(self):
+        wide = wilson_interval(1, 10)
+        tight = wilson_interval(10, 100)
+        assert tight.high - tight.low < wide.high - wide.low
+
+    @pytest.mark.parametrize("successes,trials", [(-1, 5), (5, -1), (6, 5)])
+    def test_invalid_counts_rejected(self, successes, trials):
+        with pytest.raises(ValueError, match="successes <= trials"):
+            wilson_interval(successes, trials)
+
+
+class TestNearestRank:
+    def test_median_of_even_sample(self):
+        assert nearest_rank([10, 20, 30, 40], 0.50) == 20
+
+    def test_p100_is_max(self):
+        assert nearest_rank([10, 20, 30, 40], 1.0) == 40
+
+    def test_p99_of_100_samples(self):
+        values = list(range(100))
+        assert nearest_rank(values, 0.99) == 98
+        assert nearest_rank(values, 0.999) == 99
+
+    def test_single_sample_serves_every_fraction(self):
+        assert nearest_rank([7], 0.001) == 7
+        assert nearest_rank([7], 1.0) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            nearest_rank([], 0.5)
+
+    def test_fraction_domain(self):
+        with pytest.raises(ValueError, match="fraction"):
+            nearest_rank([1], 0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            nearest_rank([1], 1.1)
+
+
+class TestLatencySummary:
+    def test_empty_sample_yields_no_keys(self):
+        assert latency_summary([]) == {}
+
+    def test_quartet(self):
+        values = list(range(1, 1001))
+        summary = latency_summary(values)
+        assert summary == {
+            "p50_ns": 500, "p99_ns": 990, "p999_ns": 999, "max_ns": 1000,
+        }

@@ -49,6 +49,56 @@ class TestClock:
         # exact up to the integer floor of the drift term
         assert abs(clock.local(recovered) - local) <= 1
 
+    @given(st.integers(-10**15, 10**15), st.integers(0, 900_000_000),
+           st.integers(0, 10**15))
+    def test_to_global_exact_inverse_for_nonnegative_drift(self, offset, drift, t):
+        """For drift >= 0 local() is strictly increasing, so the inverse
+        is exact even at extreme drift (90 % of clock rate) and offsets."""
+        clock = Clock("n", offset_ns=offset, drift_ppb=drift)
+        assert clock.to_global(clock.local(t)) == t
+
+    @given(st.integers(-10**12, 10**12),
+           st.integers(-999_999_999, 1_000_000_000),
+           st.integers(0, 10**15))
+    def test_to_global_is_fixed_point_for_any_drift(self, offset, drift, t):
+        """Negative drift plateaus local(); several instants share a
+        reading, so only the round trip through local() is exact."""
+        clock = Clock("n", offset_ns=offset, drift_ppb=drift)
+        local = clock.local(t)
+        recovered = clock.to_global(local)
+        assert clock.local(recovered) == local
+        if drift >= 0:
+            # no plateaus: the result is the unique preimage
+            assert recovered == t
+
+    def test_to_global_converges_for_large_drift(self):
+        """Regression: a fixed 4-step iteration leaves a residual once
+        the drift term stops contracting fast (here 50 % of clock rate
+        over ~17 minutes, a ~5e11 ns drift term)."""
+        clock = Clock("n", drift_ppb=500_000_000)
+        t = 10**12
+        assert clock.to_global(clock.local(t)) == t
+
+    def test_drift_at_clock_stop_rejected(self):
+        with pytest.raises(ValueError, match="drift_ppb must exceed"):
+            Clock("n", drift_ppb=-1_000_000_000)
+        # just above the floor is fine
+        Clock("n", drift_ppb=-999_999_999)
+
+
+class TestSyncConfigValidation:
+    def test_negative_residual_rejected(self):
+        with pytest.raises(ValueError, match="residual_error_ns must be >= 0"):
+            SyncConfig(residual_error_ns=-1)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError, match="sync_interval_ns must be positive"):
+            SyncConfig(sync_interval_ns=0)
+
+    def test_valid_config_accepted(self):
+        config = SyncConfig(sync_interval_ns=1, residual_error_ns=0)
+        assert config.residual_error_ns == 0
+
 
 class TestSyncDomain:
     def test_sync_bounds_error(self):

@@ -96,3 +96,18 @@ class TestReportPlumbing:
                             SimConfig(duration_ns=milliseconds(400), seed=5))
         sim.run()
         assert sim.sources[0].event_times != sim.sources[1].event_times
+
+
+class TestSimConfigValidation:
+    def test_link_loss_probability_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError, match=r"link_loss\[SW1->SW2\]"):
+            SimConfig(duration_ns=milliseconds(1),
+                      link_loss={("SW1", "SW2"): 1.5})
+        with pytest.raises(ValueError, match="within \\[0, 1\\]"):
+            SimConfig(duration_ns=milliseconds(1),
+                      link_loss={("SW1", "SW2"): -0.1})
+
+    def test_link_loss_boundaries_accepted(self):
+        config = SimConfig(duration_ns=milliseconds(1),
+                           link_loss={("a", "b"): 0.0, ("b", "c"): 1.0})
+        assert config.link_loss[("b", "c")] == 1.0
