@@ -5,7 +5,8 @@ reported with a Wilson score interval — well-behaved at the extremes
 (0 misses out of N does not collapse to a zero-width interval the way
 the normal approximation does), which is exactly where a robustness
 campaign lives.  Latency percentiles are nearest-rank over the pooled
-per-run samples.
+per-run samples — the repo-wide :func:`repro.obs.nearest_rank`
+implementation, re-exported here for campaign callers.
 """
 
 from __future__ import annotations
@@ -13,6 +14,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, Sequence
+
+from repro.obs.histogram import nearest_rank
+
+__all__ = [
+    "WilsonInterval",
+    "Z_95",
+    "latency_summary",
+    "nearest_rank",
+    "wilson_interval",
+]
 
 #: Two-sided z for the default 95 % interval.
 Z_95 = 1.959963984540054
@@ -65,16 +76,6 @@ def wilson_interval(
     return WilsonInterval(
         successes=successes, trials=trials, estimate=p, low=low, high=high,
     )
-
-
-def nearest_rank(sorted_values: Sequence[int], fraction: float) -> int:
-    """Nearest-rank percentile over an ascending-sorted sample."""
-    if not 0.0 < fraction <= 1.0:
-        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-    if not sorted_values:
-        raise ValueError("no samples")
-    rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
-    return sorted_values[rank]
 
 
 def latency_summary(sorted_values: Sequence[int]) -> Dict[str, int]:

@@ -22,7 +22,25 @@ Commands
 ``trace``
     Inspect a span trace written by ``--trace``:
     ``repro trace summarize out.jsonl`` prints per-span-name and
-    per-rung latency distributions (count / mean / p50 / p99).
+    per-rung latency distributions (count / mean / p50 / p99),
+    ``repro trace tree out.jsonl`` renders the trace forest as an
+    indented tree, and ``repro trace cluster`` runs a deterministic
+    2-shard cross-shard admission and renders its single distributed
+    trace (coordinator → shard batches → rungs → solves → two-phase
+    prepare/commit).
+``slo``
+    Evaluate latency SLO targets (p-quantile ≤ objective with an error
+    budget) against a live demo run or a saved metrics JSON; exit 1 on
+    violation.
+``events``
+    Inspect a structured event journal written by ``--events``:
+    ``repro events tail FILE`` prints the last N events, ``repro
+    events query FILE --kind twophase.`` filters by kind prefix /
+    trace id / stream.
+``bench``
+    ``repro bench diff BASELINE CURRENT`` compares two BENCH_*.json
+    payloads and exits 1 when any throughput metric regressed more
+    than the allowed margin (default 20 %) — the CI trajectory gate.
 ``check``
     Static analysis: ``check lint`` runs the repo-invariant AST linter,
     ``check proof`` / ``check model`` verify saved solver certificates
@@ -141,6 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="backend for the full re-solve rung")
     serve.add_argument("--trace", metavar="FILE",
                        help="write admission spans here as JSON-lines")
+    serve.add_argument("--events", metavar="FILE",
+                       help="write the structured event journal here as "
+                            "JSON-lines")
     serve.add_argument("--certify", action="store_true",
                        help="verify every solver verdict with the "
                             "repro.check certificate checker "
@@ -217,6 +238,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              "after the run")
     cserve.add_argument("--fail-on-reject", action="store_true",
                         help="exit 1 if any request was rejected")
+    cserve.add_argument("--trace", metavar="FILE",
+                        help="write the distributed admission spans here "
+                             "as JSON-lines")
+    cserve.add_argument("--events", metavar="FILE",
+                        help="write the structured event journal here as "
+                             "JSON-lines")
+    cserve.add_argument("--prometheus-out", metavar="FILE",
+                        help="write per-shard + cluster Prometheus text "
+                             "exposition here after the run")
 
     trace = sub.add_parser("trace", help="inspect a span trace (JSONL)")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -226,6 +256,74 @@ def _build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("file", help="JSONL trace from --trace")
     summarize.add_argument("--format", default="table",
                            choices=("table", "json"))
+    tree = trace_sub.add_parser(
+        "tree", help="render the trace forest as an indented tree"
+    )
+    tree.add_argument("file", help="JSONL trace from --trace")
+    tree.add_argument("--durations", action="store_true",
+                      help="append each span's duration in ms")
+    tcluster = trace_sub.add_parser(
+        "cluster",
+        help="run a deterministic 2-shard cross-shard admission and "
+             "render its single distributed trace tree",
+    )
+    tcluster.add_argument("--durations", action="store_true",
+                          help="append each span's duration in ms "
+                               "(fake-clock ticks; still deterministic)")
+    tcluster.add_argument("--out", metavar="FILE",
+                          help="also write the raw spans here as JSONL")
+
+    slo = sub.add_parser(
+        "slo", help="evaluate latency SLO targets against metrics"
+    )
+    slo.add_argument("--metrics", metavar="FILE",
+                     help="saved metrics JSON (default: run the "
+                          "deterministic demo admission)")
+    slo.add_argument("--target", action="append", metavar="SPEC",
+                     help="metric:quantile:objective_ms, e.g. "
+                          "latency.decision_ms:0.99:250 (repeatable; "
+                          "default: the built-in admission targets)")
+    slo.add_argument("--require-all", action="store_true",
+                     help="treat a missing histogram as a violation")
+    slo.add_argument("--format", default="table",
+                     choices=("table", "json"))
+
+    events = sub.add_parser(
+        "events", help="inspect a structured event journal (JSONL)"
+    )
+    events_sub = events.add_subparsers(dest="events_command", required=True)
+    etail = events_sub.add_parser("tail", help="print the last N events")
+    etail.add_argument("file", help="JSONL journal from --events")
+    etail.add_argument("-n", "--count", type=int, default=20,
+                       help="how many trailing events to print")
+    equery = events_sub.add_parser(
+        "query", help="filter events by kind / trace / attribute"
+    )
+    equery.add_argument("file", help="JSONL journal from --events")
+    equery.add_argument("--kind",
+                        help="exact kind, or a 'family.' prefix")
+    equery.add_argument("--trace-id", type=int,
+                        help="only events tagged with this trace id")
+    equery.add_argument("--since-seq", type=int,
+                        help="only events with seq > this")
+    equery.add_argument("--attr", action="append", metavar="KEY=VALUE",
+                        help="attribute equality filter (repeatable)")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark result tooling"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bdiff = bench_sub.add_parser(
+        "diff", help="compare two BENCH_*.json payloads; exit 1 on "
+                     "throughput regression beyond the margin"
+    )
+    bdiff.add_argument("baseline", help="committed baseline BENCH json")
+    bdiff.add_argument("current", help="freshly produced BENCH json")
+    bdiff.add_argument("--max-regression", type=float, default=0.20,
+                       help="allowed fractional throughput drop "
+                            "(default 0.20)")
+    bdiff.add_argument("--format", default="table",
+                       choices=("table", "json"))
 
     from repro.check.cli import add_check_parser
 
@@ -335,6 +433,23 @@ def _dump_trace(path, tracer) -> None:
     save_trace(path, tracer.spans())
 
 
+def _make_event_log(path):
+    """A ring-buffered event log when ``--events`` was given, else None."""
+    if not path:
+        return None
+    from repro.obs import EventLog
+
+    return EventLog()
+
+
+def _dump_events(path, events) -> None:
+    if not path or events is None:
+        return
+    from repro.obs import save_events
+
+    save_events(path, events.events())
+
+
 def _run_admit(args) -> int:
     from repro.serialization import decision_to_dict, schedule_to_dict
     from repro.service import AdmissionService, ScheduleStore, ServiceConfig
@@ -378,13 +493,14 @@ def _run_serve(args) -> int:
             schedule = empty_schedule(topology_from_dict(json.load(handle)))
     store = ScheduleStore(schedule)
     tracer = _make_tracer(args.trace)
+    events = _make_event_log(args.events)
     _check_certify(args)
     service = AdmissionService(store, config=ServiceConfig(
         backend=args.backend,
         max_batch=args.max_batch,
         emit_deployments=args.emit_deployments,
         certify=args.certify,
-    ), tracer=tracer)
+    ), tracer=tracer, events=events)
 
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
@@ -414,6 +530,7 @@ def _run_serve(args) -> int:
         with open(args.save_state, "w") as handle:
             json.dump(schedule_to_dict(store.schedule), handle)
     _dump_trace(args.trace, tracer)
+    _dump_events(args.events, events)
     if args.fail_on_reject and any(not d.accepted for d in decisions):
         return 1
     return 0
@@ -485,12 +602,13 @@ def _run_metrics(args) -> int:
 
 
 def _registry_from_dict(data):
-    """Rehydrate a saved metrics JSON enough to re-export it.
+    """Rehydrate a saved metrics JSON for lossless re-export.
 
-    Counters and gauges restore exactly; histograms restore their
-    summary moments by replaying min/max and padding to the count with
-    the mean (quantiles beyond min/max/mean are not recoverable from a
-    summary, and the export marks none as exact).
+    Counters and gauges restore exactly.  Histogram summaries carry
+    their full bucket table, so :meth:`MetricsRegistry.restore_histogram`
+    rebuilds the distribution bit-for-bit; legacy summaries without a
+    ``buckets`` key fall back to replaying min/max padded with the mean
+    (extrema exact, quantiles approximate).
     """
     from repro.service.metrics import MetricsRegistry
 
@@ -500,6 +618,9 @@ def _registry_from_dict(data):
     for name, value in data.get("gauges", {}).items():
         registry.gauge(name).set(value)
     for name, summary in data.get("histograms", {}).items():
+        if "buckets" in summary:
+            registry.restore_histogram(name, summary)
+            continue
         histogram = registry.histogram(name)
         count = int(summary.get("count", 0))
         if count <= 0:
@@ -507,8 +628,6 @@ def _registry_from_dict(data):
         values = [summary.get("min", 0.0), summary.get("max", 0.0)][:count]
         mean = summary.get("mean", 0.0)
         values += [mean] * (count - len(values))
-        # replaying min/max first keeps the exact extrema; the padded
-        # mean keeps count and sum consistent with the original
         total = summary.get("sum", mean * count)
         drift = total - sum(values)
         if values and abs(drift) > 1e-9:
@@ -518,7 +637,7 @@ def _registry_from_dict(data):
     return registry
 
 
-def _load_cluster(args):
+def _load_cluster(args, tracer=None, events=None):
     """A ClusterCoordinator over the topology/shard arguments."""
     from repro.cluster import ClusterCoordinator, partition_topology
     from repro.serialization import topology_from_dict
@@ -533,6 +652,8 @@ def _load_cluster(args):
     return ClusterCoordinator(
         partition=partition,
         config=config,
+        tracer=tracer,
+        events=events,
         max_workers=getattr(args, "workers", None),
     )
 
@@ -560,7 +681,9 @@ def _run_cluster_serve(args) -> int:
     from repro.serialization import decision_to_dict
     from repro.service import request_from_dict
 
-    coordinator = _load_cluster(args)
+    tracer = _make_tracer(args.trace)
+    events = _make_event_log(args.events)
+    coordinator = _load_cluster(args, tracer=tracer, events=events)
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
     else:
@@ -589,6 +712,11 @@ def _run_cluster_serve(args) -> int:
     if args.audit:
         coordinator.audit()  # raises GclAuditError on inconsistency
         print(json.dumps({"audit": "ok"}))
+    if args.prometheus_out:
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(coordinator.prometheus())
+    _dump_trace(args.trace, tracer)
+    _dump_events(args.events, events)
     coordinator.shutdown()
     if args.fail_on_reject and any(not d.accepted for d in decisions):
         return 1
@@ -596,10 +724,19 @@ def _run_cluster_serve(args) -> int:
 
 
 def _run_trace(args) -> int:
-    from repro.obs import format_span_summary, summarize_spans
+    if args.trace_command == "cluster":
+        return _run_trace_cluster(args)
+    from repro.obs import (
+        format_span_summary,
+        render_trace_tree,
+        summarize_spans,
+    )
     from repro.serialization import load_trace
 
     spans = load_trace(args.file)
+    if args.trace_command == "tree":
+        print(render_trace_tree(spans, durations=args.durations))
+        return 0
     summary = summarize_spans(spans)
     if args.format == "json":
         print(json.dumps(summary, indent=2))
@@ -607,6 +744,144 @@ def _run_trace(args) -> int:
         print(f"{len(spans)} spans from {args.file}")
         print(format_span_summary(summary))
     return 0
+
+
+def _run_trace_cluster(args) -> int:
+    """One deterministic 2-shard admission batch, rendered as a tree.
+
+    Three requests — one local to each shard, one crossing the border —
+    under a fixed tick clock and a single-worker pool, so the rendered
+    forest is byte-stable (the CI golden check diffs it).  The
+    cross-shard request demonstrates the acceptance property: one
+    ``trace_id`` spanning coordinator, shard batches, rungs, solves,
+    and the two-phase prepare/commit.
+    """
+    import itertools
+
+    from repro.cluster import ClusterCoordinator, partition_topology
+    from repro.experiments import simulation_topology
+    from repro.model.stream import Priorities, TctRequirement
+    from repro.model.units import milliseconds
+    from repro.obs import Tracer, render_trace_tree
+    from repro.service import AdmitTct
+
+    ticks = itertools.count()
+    tracer = Tracer(clock=lambda: next(ticks) * 1_000_000)  # 1 ms per read
+    partition = partition_topology(
+        simulation_topology(), 2, seeds=["SW1", "SW4"]
+    )
+    coordinator = ClusterCoordinator(
+        partition=partition,
+        tracer=tracer,
+        max_workers=1,          # serial shard batches: stable span order
+        clock=lambda: 0.0,      # latency histograms stay deterministic
+    )
+
+    def tct(name, src, dst):
+        return AdmitTct(TctRequirement(
+            name=name, source=src, destination=dst,
+            period_ns=milliseconds(8), length_bytes=1000,
+            priority=Priorities.NSH_PH,
+        ))
+
+    coordinator.submit_many([
+        tct("local-a", "D1", "D4"),       # stays inside shard0
+        tct("local-b", "D10", "D12"),     # stays inside shard1
+        tct("cross-x", "D1", "D12"),      # spans both shards
+    ])
+    coordinator.shutdown()
+    spans = tracer.spans()
+    if args.out:
+        from repro.serialization import save_trace
+
+        save_trace(args.out, spans)
+    print(render_trace_tree(spans, durations=args.durations))
+    return 0
+
+
+def _run_slo(args) -> int:
+    from repro.obs import (
+        DEFAULT_TARGETS,
+        SloTarget,
+        evaluate_slos,
+        format_slo_report,
+    )
+    from repro.serialization import metrics_to_dict
+
+    if args.metrics:
+        with open(args.metrics) as handle:
+            data = json.load(handle)
+        data.pop("version", None)
+    else:
+        data = metrics_to_dict(_demo_metrics(deterministic=True))
+        data.pop("version", None)
+    try:
+        targets = (
+            tuple(SloTarget.parse(spec) for spec in args.target)
+            if args.target else DEFAULT_TARGETS
+        )
+    except ValueError as exc:
+        raise SystemExit(f"slo: {exc}")
+    results = evaluate_slos(data, targets, require_all=args.require_all)
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        print(format_slo_report(results))
+    return 0 if all(r.met for r in results) else 1
+
+
+def _run_events(args) -> int:
+    from repro.obs import filter_events, load_events
+
+    events = load_events(args.file)
+    if args.events_command == "tail":
+        selected = events[-args.count:] if args.count > 0 else []
+    else:
+        attrs = {}
+        for pair in args.attr or []:
+            if "=" not in pair:
+                raise SystemExit(
+                    f"events: --attr wants KEY=VALUE, got {pair!r}"
+                )
+            key, raw = pair.split("=", 1)
+            try:
+                attrs[key] = json.loads(raw)
+            except json.JSONDecodeError:
+                attrs[key] = raw
+        selected = filter_events(
+            events,
+            kind=args.kind,
+            trace_id=args.trace_id,
+            since_seq=args.since_seq or 0,
+            **attrs,
+        )
+    for event in selected:
+        print(json.dumps(event.to_dict(), sort_keys=True))
+    return 0
+
+
+def _run_bench(args) -> int:
+    from repro.obs import (
+        diff_benchmarks,
+        format_bench_diff,
+        load_bench,
+        split_failures,
+    )
+
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+        deltas = diff_benchmarks(
+            baseline, current, max_regression=args.max_regression
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench diff: {exc}")
+    if args.format == "json":
+        print(json.dumps([d.to_dict() for d in deltas], indent=2))
+    else:
+        print(format_bench_diff(deltas, max_regression=args.max_regression))
+    failed, _ = split_failures(deltas)
+    return 1 if failed else 0
 
 
 def _load_schedule(path: str):
@@ -634,6 +909,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     elif args.command == "trace":
         return _run_trace(args)
+    elif args.command == "slo":
+        return _run_slo(args)
+    elif args.command == "events":
+        return _run_events(args)
+    elif args.command == "bench":
+        return _run_bench(args)
     elif args.command == "check":
         from repro.check.cli import run_check
 

@@ -58,15 +58,19 @@ unique across shards.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.gcl import NetworkGcl, build_gcl
 from repro.core.gcl_audit import audit_gcl
 from repro.core.schedule import NetworkSchedule
 from repro.model.stream import Stream, TctRequirement
 from repro.model.topology import TopologyError
+from repro.obs.context import TraceContext
+from repro.obs.events import NULL_EVENT_LOG, EventLog
+from repro.obs.export import cluster_to_prometheus
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.service.admission import AdmissionService, ServiceConfig, empty_schedule
 from repro.service.metrics import MetricsRegistry
@@ -133,8 +137,10 @@ class ClusterCoordinator:
         config: Optional[ServiceConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
         max_workers: Optional[int] = None,
         max_commit_attempts: int = 4,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if partition is None:
             if topology is None:
@@ -143,7 +149,12 @@ class ClusterCoordinator:
         self._partition = partition
         self._config = config or ServiceConfig()
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        # One tracer and one event journal are shared by the coordinator
+        # and every shard service, so a cross-shard admission is a single
+        # trace and the journal interleaves all shards chronologically.
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._events = events if events is not None else NULL_EVENT_LOG
+        self._clock = clock
         self._max_commit_attempts = max_commit_attempts
         self._runtimes: Dict[str, _ShardRuntime] = {}
         for shard in partition.shards:
@@ -152,7 +163,8 @@ class ClusterCoordinator:
                 shard_name=shard.name,
                 store=store,
                 service=AdmissionService(
-                    store, config=self._config, tracer=self._tracer
+                    store, config=self._config, tracer=self._tracer,
+                    events=self._events,
                 ),
                 lock=threading.Lock(),
             )
@@ -178,6 +190,30 @@ class ClusterCoordinator:
         """Cluster-level metrics (``cluster.*``); per-shard service and
         store metrics live on each shard's own registry."""
         return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @property
+    def events(self) -> EventLog:
+        return self._events
+
+    def prometheus(self, namespace: str = "repro") -> str:
+        """One Prometheus exposition for the whole cluster.
+
+        Every shard registry's samples carry a ``shard`` label (per-rung
+        admission latency per shard, ready to scrape); the coordinator's
+        own ``cluster.*`` series ride along unlabelled.
+        """
+        return cluster_to_prometheus(
+            {
+                name: runtime.store.metrics.to_dict()
+                for name, runtime in self._runtimes.items()
+            },
+            cluster_snapshot=self._metrics.to_dict(),
+            namespace=namespace,
+        )
 
     def shard_service(self, name: str) -> AdmissionService:
         return self._runtime(name).service
@@ -205,6 +241,7 @@ class ClusterCoordinator:
         splits the batch into sequential waves, so a remove (or
         re-admit) sees the effect of the earlier request it follows.
         """
+        started = self._clock()
         with self._tracer.span(
             "cluster.batch", size=len(requests)
         ) as batch_span:
@@ -216,6 +253,15 @@ class ClusterCoordinator:
                 local_total += local
                 cross_total += cross
             batch_span.set(local=local_total, cross=cross_total)
+        self._metrics.histogram("cluster.latency.batch_ms").observe(
+            (self._clock() - started) * 1e3
+        )
+        if self._tracer.enabled:
+            self._metrics.gauge("tracer.spans_dropped").set(
+                self._tracer.dropped
+            )
+        if self._events.enabled:
+            self._metrics.gauge("events.dropped").set(self._events.dropped)
         return [d for d in decisions if d is not None]
 
     @staticmethod
@@ -273,6 +319,12 @@ class ClusterCoordinator:
                 else:
                     cross.append(index)
 
+            # The pool workers' thread-local span stacks are empty, so
+            # without an explicit hand-over every shard batch would
+            # start a disconnected trace; capturing the batch span's
+            # context here and re-entering it in the worker keeps the
+            # whole fan-out under one trace_id.
+            context = TraceContext.of(batch_span)
             futures = {}
             for shard_name, indices in by_shard.items():
                 self._metrics.counter(
@@ -282,6 +334,7 @@ class ClusterCoordinator:
                     self._run_shard_batch,
                     shard_name,
                     [requests[i] for i in indices],
+                    context,
                 )
             for shard_name, indices in by_shard.items():
                 for i, decision in zip(indices, futures[shard_name].result()):
@@ -459,20 +512,37 @@ class ClusterCoordinator:
 
     # -- local path ----------------------------------------------------
     def _run_shard_batch(
-        self, shard_name: str, requests: List[AdmissionRequest]
+        self,
+        shard_name: str,
+        requests: List[AdmissionRequest],
+        context: Optional[TraceContext] = None,
     ) -> List[Decision]:
+        """Run one shard's sub-batch on a pool worker.
+
+        ``context`` is the coordinator batch span's trace context; the
+        worker re-enters it so the shard batch (and every admission
+        span the shard service opens beneath it) joins the caller's
+        trace instead of rooting a new one.
+        """
         runtime = self._runtime(shard_name)
-        with self._tracer.span(
-            "cluster.shard_batch", shard=shard_name, size=len(requests)
-        ):
-            with runtime.lock:
-                return runtime.service.submit_many(requests)
+        started = self._clock()
+        with self._tracer.use_context(context):
+            with self._tracer.span(
+                "cluster.shard_batch", shard=shard_name, size=len(requests)
+            ):
+                with runtime.lock:
+                    decisions = runtime.service.submit_many(requests)
+        self._metrics.histogram("cluster.latency.shard_batch_ms").observe(
+            (self._clock() - started) * 1e3
+        )
+        return decisions
 
     # -- cross-shard path ----------------------------------------------
     def _submit_cross(
         self, request: AdmissionRequest, parent_span
     ) -> Decision:
         """Admit or remove one cross-shard stream via two-phase publish."""
+        started = self._clock()
         attempts: Dict[str, str] = {}
         try:
             participants = self._participants_for(request, attempts)
@@ -483,8 +553,12 @@ class ClusterCoordinator:
             metrics=self._metrics,
             tracer=self._tracer,
             parent_span=parent_span,
+            events=self._events,
         )
         outcome = publish.execute(max_attempts=self._max_commit_attempts)
+        self._metrics.histogram("cluster.latency.cross_ms").observe(
+            (self._clock() - started) * 1e3
+        )
         if not outcome.committed:
             return self._reject(request, outcome.reason, attempts=attempts)
         return self._decide_cross(request, outcome.versions, attempts)
@@ -573,9 +647,15 @@ class ClusterCoordinator:
         attempts: Dict[str, str],
     ):
         def solve(pinned: NetworkSchedule) -> NetworkSchedule:
-            outcome, rung_attempts = runtime.service.solve_against(
-                pinned, sub_requests
-            )
+            # a child of cluster.prepare via the thread stack; the rung
+            # and solve spans of the sub-solve nest beneath it, so the
+            # trace shows which shard each prepare-phase solve ran for
+            with self._tracer.span(
+                "cluster.segment", shard=runtime.shard_name,
+            ):
+                outcome, rung_attempts = runtime.service.solve_against(
+                    pinned, sub_requests
+                )
             for rung, why in rung_attempts.items():
                 attempts[f"{runtime.shard_name}.{rung}"] = why
             if outcome is None:
@@ -604,6 +684,7 @@ class ClusterCoordinator:
         attempts: Optional[Dict[str, str]] = None,
     ) -> Decision:
         self._metrics.counter("cluster.rejected").inc()
+        self._emit_decision(request, accepted=False, reason=reason)
         return Decision(
             request_id=self._next_request_id(),
             op=request.op,
@@ -623,6 +704,10 @@ class ClusterCoordinator:
             self._metrics.counter("cluster.removed_cross").inc()
         else:
             self._metrics.counter("cluster.admitted_cross").inc()
+        self._emit_decision(
+            request, accepted=True, rung=RUNG_TWOPHASE,
+            shards=sorted(versions),
+        )
         return Decision(
             request_id=self._next_request_id(),
             op=request.op,
@@ -632,6 +717,31 @@ class ClusterCoordinator:
             store_version=max(versions.values()) if versions else None,
             batch_size=len(versions),
             attempts=dict(attempts),
+        )
+
+    def _emit_decision(self, request, accepted, reason=None, rung=None,
+                       shards=None) -> None:
+        """Journal a coordinator-level verdict (cross commits, cluster
+        rejects); shard-local verdicts are journalled by their shard's
+        AdmissionService."""
+        if not self._events.enabled:
+            return
+        context = self._tracer.current_context()
+        attributes = {
+            "request": request.stream_name, "op": request.op,
+            "accepted": accepted, "scope": "cluster",
+        }
+        if reason is not None:
+            attributes["reason"] = reason
+        if rung is not None:
+            attributes["rung"] = rung
+        if shards is not None:
+            attributes["shards"] = shards
+        self._events.emit(
+            "admission.decision",
+            trace_id=getattr(context, "trace_id", None),
+            span_id=getattr(context, "span_id", None),
+            **attributes,
         )
 
     # -- internals -----------------------------------------------------

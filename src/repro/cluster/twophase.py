@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schedule import NetworkSchedule
+from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.store import ScheduleStore, StaleVersionError
@@ -122,6 +123,7 @@ class CrossShardPublish:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         parent_span=None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if not participants:
             raise ValueError("a cross-shard publish needs participants")
@@ -134,6 +136,7 @@ class CrossShardPublish:
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._parent_span = parent_span
+        self._events = events if events is not None else NULL_EVENT_LOG
         self._state = STATE_IDLE
         self._plans: List[_Plan] = []
 
@@ -170,6 +173,11 @@ class CrossShardPublish:
                 )
             self._metrics.counter("cluster.twophase.retries").inc()
         self._metrics.counter("cluster.twophase.cas_exhausted").inc()
+        if self._events.enabled:
+            self._events.emit(
+                "twophase.abort", reason=REASON_CAS_EXHAUSTED,
+                attempt=max_attempts, shards=self.shards,
+            )
         return PublishOutcome(
             committed=False,
             reason=REASON_CAS_EXHAUSTED,
@@ -206,6 +214,12 @@ class CrossShardPublish:
                     span.set(outcome="infeasible", shard=participant.name)
                     self._state = STATE_ABORTED
                     self._metrics.counter("cluster.twophase.aborts").inc()
+                    if self._events.enabled:
+                        self._events.emit(
+                            "twophase.abort", reason=str(exc),
+                            phase="prepare", shard=participant.name,
+                            shards=self.shards,
+                        )
                     raise PrepareFailure(
                         f"{participant.name}: {exc}"
                     ) from exc
@@ -213,6 +227,13 @@ class CrossShardPublish:
                     span.set(outcome="infeasible", shard=participant.name)
                     self._state = STATE_ABORTED
                     self._metrics.counter("cluster.twophase.aborts").inc()
+                    if self._events.enabled:
+                        self._events.emit(
+                            "twophase.abort",
+                            reason="sub-solve returned nothing",
+                            phase="prepare", shard=participant.name,
+                            shards=self.shards,
+                        )
                     raise PrepareFailure(
                         f"{participant.name}: sub-solve returned nothing"
                     )
@@ -252,6 +273,13 @@ class CrossShardPublish:
                         self._rollback(published)
                         self._state = STATE_ABORTED
                         self._metrics.counter("cluster.twophase.aborts").inc()
+                        if self._events.enabled:
+                            self._events.emit(
+                                "twophase.abort", reason="stale_version",
+                                phase="commit",
+                                shard=plan.participant.name,
+                                shards=self.shards,
+                            )
                         return False
                     plan.published_version = snapshot.version
                     published.append(plan)
@@ -282,6 +310,13 @@ class CrossShardPublish:
                     plan.pinned_schedule,
                     expected_version=plan.published_version,
                 )
+                if self._events.enabled:
+                    self._events.emit(
+                        "twophase.rollback",
+                        shard=plan.participant.name,
+                        rolled_back_version=plan.published_version,
+                        restored_version=plan.pinned_version,
+                    )
                 plan.published_version = None
                 self._metrics.counter("cluster.twophase.rollbacks").inc()
 

@@ -1,4 +1,4 @@
-"""Cross-cutting observability: spans, solver stats, telemetry export.
+"""Cross-cutting observability: spans, metrics, events, telemetry export.
 
 The paper's claims are latency *distributions* — per-hop ECT delay
 (Fig. 14), admission latency, TCT worst-case impact — so the repro
@@ -8,36 +8,104 @@ numbers:
 * :mod:`repro.obs.trace` — nested spans / point events with injectable
   clocks and a ring-buffered in-process exporter; the disabled
   :data:`NULL_TRACER` is a no-op cheap enough for solver hot paths.
-* :mod:`repro.obs.export` — Prometheus text exposition for the service
-  metrics registry, trace summaries (per-rung p50/p99), and per-hop
-  frame-journey reconstruction for the simulator's traces.
+* :mod:`repro.obs.context` — :class:`TraceContext`, the (trace_id,
+  span_id) pair that carries a trace across thread pools and the
+  cluster's two-phase publish (``tracer.use_context``).
+* :mod:`repro.obs.histogram` — the log-bucketed mergeable
+  :class:`Histogram` behind every latency metric, and
+  :func:`nearest_rank`, the repo's single percentile implementation.
+* :mod:`repro.obs.events` — the bounded structured event journal
+  (:class:`EventLog`) recording admission decisions, CAS retries,
+  rollbacks, and solver abandonments as queryable JSONL.
+* :mod:`repro.obs.slo` — latency objectives with error budgets
+  evaluated from histogram buckets (:func:`evaluate_slos`).
+* :mod:`repro.obs.bench` — benchmark regression tracking over the
+  committed ``BENCH_*.json`` baselines (:func:`diff_benchmarks`).
+* :mod:`repro.obs.export` — Prometheus text exposition (native
+  histogram format, per-shard cluster merge), trace summaries and
+  tree rendering, and per-hop frame-journey reconstruction.
 
 Instrumentation lives with the instrumented code: the SAT/SMT cores
 expose :class:`~repro.smt.sat.SolverStats`, the admission service opens
-a span per request with child spans per fallback rung, and the
-simulator's egress ports emit per-frame enqueue/transmit/deliver events.
+a span per request with child spans per fallback rung, the cluster
+coordinator propagates one trace across its shard fan-out, and the
+simulator's egress ports emit per-frame enqueue/transmit/deliver
+events.
 """
 
+from repro.obs.bench import (
+    BenchDelta,
+    collect_throughput_metrics,
+    diff_benchmarks,
+    format_bench_diff,
+    load_bench,
+    split_failures,
+)
+from repro.obs.context import TraceContext
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    NullEventLog,
+    filter_events,
+    load_events,
+    save_events,
+)
 from repro.obs.export import (
+    cluster_to_prometheus,
     format_span_summary,
     frame_journeys,
     per_hop_delays,
+    prometheus_label_value,
     prometheus_name,
+    render_trace_tree,
     summarize_spans,
     to_prometheus,
+)
+from repro.obs.histogram import Histogram, nearest_rank
+from repro.obs.slo import (
+    DEFAULT_TARGETS,
+    SloResult,
+    SloTarget,
+    evaluate_slos,
+    format_slo_report,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, children_of
 
 __all__ = [
+    "BenchDelta",
+    "DEFAULT_TARGETS",
+    "Event",
+    "EventLog",
+    "Histogram",
+    "NULL_EVENT_LOG",
     "NULL_TRACER",
+    "NullEventLog",
     "NullTracer",
+    "SloResult",
+    "SloTarget",
     "Span",
+    "TraceContext",
     "Tracer",
     "children_of",
+    "cluster_to_prometheus",
+    "collect_throughput_metrics",
+    "diff_benchmarks",
+    "evaluate_slos",
+    "filter_events",
+    "format_bench_diff",
+    "format_slo_report",
     "format_span_summary",
     "frame_journeys",
+    "load_bench",
+    "load_events",
+    "nearest_rank",
     "per_hop_delays",
+    "prometheus_label_value",
     "prometheus_name",
+    "render_trace_tree",
+    "save_events",
+    "split_failures",
     "summarize_spans",
     "to_prometheus",
 ]

@@ -5,31 +5,46 @@ formats:
 
 * :func:`to_prometheus` — the text exposition format (version 0.0.4) of
   a :class:`~repro.service.metrics.MetricsRegistry`: counters become
-  ``*_total`` counters, gauges stay gauges, histograms export as
-  summaries (p50/p90/p99 quantiles plus ``_sum``/``_count``) with
-  ``_min``/``_max`` companion gauges.
+  ``*_total`` counters, gauges stay gauges, histograms export natively
+  (cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``) with
+  ``_p50``/``_p99``/``_p999``/``_min``/``_max`` companion gauges so the
+  percentiles are scrapeable without PromQL quantile estimation.
+* :func:`cluster_to_prometheus` — the same exposition over a whole
+  cluster: every shard's registry is labelled ``shard="..."`` and the
+  families are merged so each (HELP, TYPE) appears exactly once —
+  per-rung, per-shard admission latency in a single scrape.
 * :func:`summarize_spans` / :func:`format_span_summary` — per-span-name
   latency distributions (count, mean, p50, p99) from a span list, with
   a dedicated per-rung breakdown for admission traces — the table
   ``repro trace summarize`` prints.
+* :func:`render_trace_tree` — a trace forest as an indented tree
+  (parent links reconstructed from ``parent_id``), the ``repro trace
+  tree`` / ``repro trace cluster`` view of a distributed admission.
 * :func:`frame_journeys` — reconstruct each simulated frame's per-hop
   timeline (enqueue → transmit → deliver per link) from the simulator's
   frame events, the raw material of the paper's Fig. 14 per-hop delay
   analysis.
+
+All percentiles delegate to :func:`repro.obs.histogram.nearest_rank`,
+the repo's single percentile implementation.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.histogram import nearest_rank
 from repro.obs.trace import Span
 
 __all__ = [
+    "cluster_to_prometheus",
     "format_span_summary",
     "frame_journeys",
     "per_hop_delays",
+    "prometheus_label_value",
     "prometheus_name",
+    "render_trace_tree",
     "summarize_spans",
     "to_prometheus",
 ]
@@ -54,6 +69,21 @@ def prometheus_name(name: str, namespace: str = "repro") -> str:
     return f"{namespace}_{flat}" if namespace else flat
 
 
+def prometheus_label_value(value: object) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format requires escaping inside ``label="value"``; everything else
+    passes through (label values are full UTF-8).
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _fmt(value: float) -> str:
     """Sample value formatting: integers stay integral, floats use repr."""
     if isinstance(value, bool):
@@ -63,45 +93,139 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def to_prometheus(registry, namespace: str = "repro") -> str:
-    """Render a metrics registry in the Prometheus text format.
+def _fmt_le(bound: object) -> str:
+    """Bucket upper-bound formatting: short, stable, "+Inf" passthrough."""
+    if bound == "+Inf":
+        return "+Inf"
+    return f"{float(bound):.6g}"
 
-    The snapshot comes from ``registry.to_dict()`` so one consistent
-    view is exported even while writers keep observing.
+
+def _labels(pairs: Mapping[str, object]) -> str:
+    """Render a label set (sorted by key; empty set renders nothing)."""
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{prometheus_label_value(value)}"'
+        for key, value in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+#: The percentile companion gauges exported next to every histogram.
+_PCTL_COMPANIONS = ("p50", "p99", "p999")
+
+
+def _render_exposition(
+    snapshots: Sequence[Tuple[Dict[str, object], Dict]],
+    namespace: str,
+) -> str:
+    """Exposition text over one or more labelled registry snapshots.
+
+    ``snapshots`` is ``[(labels, registry.to_dict()), ...]``.  Families
+    are the union across snapshots; each family's HELP/TYPE appears
+    once, followed by one sample (set) per snapshot that carries it —
+    the invariant a real scrape enforces.
     """
-    data = registry.to_dict()
     lines: List[str] = []
 
-    for name, value in data["counters"].items():
+    def family(kind: str) -> List[Tuple[str, List[Tuple[Dict, object]]]]:
+        names: Dict[str, List[Tuple[Dict, object]]] = {}
+        for labels, data in snapshots:
+            for name, value in data.get(kind, {}).items():
+                names.setdefault(name, []).append((labels, value))
+        return sorted(names.items())
+
+    for name, series in family("counters"):
         metric = prometheus_name(name, namespace) + "_total"
         lines.append(f"# HELP {metric} repro counter {name}")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_fmt(value)}")
+        for labels, value in series:
+            lines.append(f"{metric}{_labels(labels)} {_fmt(value)}")
 
-    for name, value in data["gauges"].items():
+    for name, series in family("gauges"):
         metric = prometheus_name(name, namespace)
         lines.append(f"# HELP {metric} repro gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt(value)}")
+        for labels, value in series:
+            lines.append(f"{metric}{_labels(labels)} {_fmt(value)}")
 
-    for name, summary in data["histograms"].items():
+    for name, series in family("histograms"):
         metric = prometheus_name(name, namespace)
         lines.append(f"# HELP {metric} repro histogram {name}")
-        lines.append(f"# TYPE {metric} summary")
-        for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
-                              ("0.99", "p99")):
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, summary in series:
+            cumulative = 0
+            for le, bucket_count in summary.get("buckets", []):
+                if le == "+Inf":
+                    continue  # folded into the final +Inf sample below
+                cumulative += int(bucket_count)
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _fmt_le(le)
+                lines.append(
+                    f"{metric}_bucket{_labels(bucket_labels)} {cumulative}"
+                )
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
             lines.append(
-                f'{metric}{{quantile="{quantile}"}} {_fmt(summary[key])}'
+                f"{metric}_bucket{_labels(inf_labels)} "
+                f"{_fmt(summary['count'])}"
             )
-        lines.append(f"{metric}_sum {_fmt(summary['sum'])}")
-        lines.append(f"{metric}_count {_fmt(summary['count'])}")
-        for bound in ("min", "max"):
-            companion = f"{metric}_{bound}"
-            lines.append(f"# HELP {companion} repro histogram {name} {bound}")
+            lines.append(
+                f"{metric}_sum{_labels(labels)} {_fmt(summary['sum'])}"
+            )
+            lines.append(
+                f"{metric}_count{_labels(labels)} {_fmt(summary['count'])}"
+            )
+        for key in _PCTL_COMPANIONS + ("min", "max"):
+            companion = f"{metric}_{key}"
+            lines.append(
+                f"# HELP {companion} repro histogram {name} {key}"
+            )
             lines.append(f"# TYPE {companion} gauge")
-            lines.append(f"{companion} {_fmt(summary[bound])}")
+            for labels, summary in series:
+                lines.append(
+                    f"{companion}{_labels(labels)} "
+                    f"{_fmt(summary.get(key, 0.0))}"
+                )
 
     return "\n".join(lines) + "\n"
+
+
+def to_prometheus(
+    registry,
+    namespace: str = "repro",
+    labels: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render a metrics registry in the Prometheus text format.
+
+    The snapshot comes from ``registry.to_dict()`` so one consistent
+    view is exported even while writers keep observing.  ``labels``
+    (e.g. ``{"shard": "s0"}``) are attached to every sample.
+    """
+    return _render_exposition([(dict(labels or {}), registry.to_dict())],
+                              namespace)
+
+
+def cluster_to_prometheus(
+    shard_snapshots: Mapping[str, Dict],
+    cluster_snapshot: Optional[Dict] = None,
+    namespace: str = "repro",
+) -> str:
+    """One exposition over a whole cluster's registries.
+
+    ``shard_snapshots`` maps shard name → that shard's registry
+    ``to_dict()`` payload; every sample gets a ``shard`` label.  The
+    coordinator's own (unlabelled) registry snapshot rides along when
+    given, so cluster.* counters and per-shard rung latencies share one
+    scrape with each metric family declared exactly once.
+    """
+    snapshots: List[Tuple[Dict[str, object], Dict]] = [
+        ({"shard": name}, data)
+        for name, data in sorted(shard_snapshots.items())
+    ]
+    if cluster_snapshot is not None:
+        snapshots.append(({}, cluster_snapshot))
+    return _render_exposition(snapshots, namespace)
 
 
 # ----------------------------------------------------------------------
@@ -111,8 +235,9 @@ def _percentile(ordered: List[float], q: float) -> float:
     """Nearest-rank percentile over pre-sorted values, ``q`` in [0, 100]."""
     if not ordered:
         return 0.0
-    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
-    return ordered[rank]
+    if q <= 0:
+        return ordered[0]
+    return nearest_rank(ordered, min(q, 100) / 100)
 
 
 def _distribution(durations_ns: List[int]) -> Dict[str, float]:
@@ -126,13 +251,17 @@ def _distribution(durations_ns: List[int]) -> Dict[str, float]:
     }
 
 
-def summarize_spans(spans: Iterable[Span]) -> Dict:
+def summarize_spans(spans: Iterable[Span], dropped: int = 0) -> Dict:
     """Aggregate a span list into per-name and per-rung distributions.
 
-    Returns ``{"spans": {name: dist}, "rungs": {rung: dist}}`` where
-    each distribution carries count/mean/p50/p99/max in milliseconds.
-    Point events (zero duration) are counted under ``spans`` but do not
-    pollute the latency numbers of interval spans sharing their name.
+    Returns ``{"spans": {name: dist}, "rungs": {rung: dist},
+    "dropped_spans": n}`` where each distribution carries
+    count/mean/p50/p99/max in milliseconds.  Point events (zero
+    duration) are counted under ``spans`` but do not pollute the
+    latency numbers of interval spans sharing their name.  Pass the
+    tracer's ``dropped`` count so readers see when the ring buffer
+    evicted spans — a nonzero value means every distribution here is
+    missing its oldest observations.
     """
     by_name: Dict[str, List[int]] = {}
     by_rung: Dict[str, List[int]] = {}
@@ -152,6 +281,7 @@ def summarize_spans(spans: Iterable[Span]) -> Dict:
             rung: _distribution(durations)
             for rung, durations in sorted(by_rung.items())
         },
+        "dropped_spans": dropped,
     }
 
 
@@ -175,6 +305,75 @@ def format_span_summary(summary: Dict) -> str:
                 f"{dist['p50_ms']:>10.3f} {dist['p99_ms']:>10.3f} "
                 f"{dist['max_ms']:>10.3f}"
             )
+    if summary.get("dropped_spans"):
+        lines.append("")
+        lines.append(
+            f"WARNING: {summary['dropped_spans']} span(s) dropped — the "
+            f"tracer ring overflowed; oldest spans are missing from "
+            f"every distribution above"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trace tree rendering
+# ----------------------------------------------------------------------
+#: Attributes rendered by default in trace trees: the stable,
+#: identity-carrying ones (no latencies, no ids — golden-file safe).
+TREE_ATTRS = ("op", "stream", "shard", "rung", "outcome", "accepted",
+              "reason", "committed")
+
+
+def render_trace_tree(
+    spans: Iterable[Span],
+    attr_keys: Sequence[str] = TREE_ATTRS,
+    durations: bool = False,
+) -> str:
+    """Render a span list as one indented tree per trace.
+
+    Parent links are reconstructed from ``parent_id``; children sort by
+    ``(start_ns, span_id)`` so the rendering is deterministic under a
+    fixed clock.  Only ``attr_keys`` attributes are shown (in that
+    order) — the default set excludes everything timing-dependent, so
+    the output is stable enough to pin as a golden file.  Spans whose
+    parent is missing (evicted from the ring) render as roots marked
+    ``(orphaned)``.
+    """
+    spans = list(spans)
+    ids = {span.span_id for span in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s.start_ns, s.span_id))
+
+    lines: List[str] = []
+
+    def describe(span: Span) -> str:
+        parts = [span.name]
+        for key in attr_keys:
+            if key in span.attributes:
+                parts.append(f"{key}={span.attributes[key]}")
+        if durations and span.end_ns is not None:
+            parts.append(f"dur={span.duration_ns / 1e6:.3f}ms")
+        if span.parent_id is not None and span.parent_id not in ids:
+            parts.append("(orphaned)")
+        return " ".join(parts)
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append("  " * depth + describe(span))
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    roots = children.get(None, [])
+    for index, root in enumerate(
+        sorted(roots, key=lambda s: (s.trace_id, s.start_ns, s.span_id))
+    ):
+        if index:
+            lines.append("")
+        lines.append(f"trace {root.trace_id}:")
+        walk(root, 1)
     return "\n".join(lines)
 
 

@@ -27,8 +27,11 @@ import itertools
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+from repro.obs.context import TraceContext
 
 __all__ = [
     "NULL_TRACER",
@@ -197,6 +200,38 @@ class Tracer:
         self._export(span)
         return span
 
+    # -- context propagation -------------------------------------------
+    def current_context(self) -> Optional[TraceContext]:
+        """The propagation context of this thread's innermost open span.
+
+        Falls back to the ambient context installed by
+        :meth:`use_context`; ``None`` when the thread has no trace
+        identity at all (spans opened now would become roots).
+        """
+        frames = self._frames()
+        if frames:
+            return TraceContext.of(frames[-1])
+        return getattr(self._stack, "ambient", None)
+
+    @contextmanager
+    def use_context(self, context: Optional[TraceContext]):
+        """Install ``context`` as this thread's fallback span parent.
+
+        While active, spans opened with no explicit ``parent`` and an
+        empty thread stack attach to ``context`` instead of starting a
+        new trace — the cross-thread half of distributed propagation:
+        capture ``current_context()`` before handing work to a pool,
+        re-enter it inside the worker.  ``None`` is accepted and means
+        "no fallback" (so callers need not branch on a missing
+        context); the prior ambient context is restored on exit.
+        """
+        previous = getattr(self._stack, "ambient", None)
+        self._stack.ambient = context
+        try:
+            yield context
+        finally:
+            self._stack.ambient = previous
+
     # -- reading back --------------------------------------------------
     def spans(self) -> List[Span]:
         """Finished spans, oldest first (bounded by ``max_spans``)."""
@@ -228,7 +263,10 @@ class Tracer:
     ) -> Span:
         if parent is None:
             frames = self._frames()
-            parent = frames[-1] if frames else None
+            if frames:
+                parent = frames[-1]
+            else:  # cross-thread fallback installed by use_context()
+                parent = getattr(self._stack, "ambient", None)
         return Span(
             name=name,
             trace_id=(
@@ -257,6 +295,7 @@ class NullTracer(Tracer):
     """
 
     enabled = False
+    dropped = 0
 
     def __init__(self) -> None:  # no ring, no clock, no locks
         pass
@@ -266,6 +305,13 @@ class NullTracer(Tracer):
 
     def start_span(self, name, parent=None, ts_ns=None, **attributes):
         return _NULL_CONTEXT
+
+    def current_context(self) -> None:
+        return None
+
+    @contextmanager
+    def use_context(self, context=None):
+        yield None
 
     def finish(self, span, ts_ns=None) -> None:
         pass

@@ -49,6 +49,7 @@ from repro.core.schedule import (
     validate,
 )
 from repro.model.stream import EctStream, Stream, StreamError, StreamType
+from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.service.metrics import MetricsRegistry
 from repro.service.requests import (
@@ -144,6 +145,7 @@ class AdmissionService:
         sleep: Callable[[float], None] = time.sleep,
         on_deploy: Optional[Callable[[Deployment], None]] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self._store = store
         self._config = config or ServiceConfig()
@@ -159,6 +161,8 @@ class AdmissionService:
         # Disabled tracing is the no-op singleton, not None: the spans
         # below cost one call each either way, no branching on hot paths.
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        # Same contract for the structured event journal.
+        self._events = events if events is not None else NULL_EVENT_LOG
         self._queue: Deque[AdmissionRequest] = deque()
         self._request_spans: Dict[int, object] = {}
         self._write_lock = threading.Lock()
@@ -178,6 +182,10 @@ class AdmissionService:
     @property
     def tracer(self) -> Tracer:
         return self._tracer
+
+    @property
+    def events(self) -> EventLog:
+        return self._events
 
     @property
     def last_deployment(self) -> Optional[Deployment]:
@@ -205,6 +213,14 @@ class AdmissionService:
         with self._write_lock:
             for batch in self._coalesce(requests):
                 decisions.extend(self._process_batch(batch))
+        if self._tracer.enabled:
+            # silent span loss was invisible before: surface the ring's
+            # eviction count so `repro metrics` shows the blind spot
+            self._metrics.gauge("tracer.spans_dropped").set(
+                self._tracer.dropped
+            )
+        if self._events.enabled:
+            self._metrics.gauge("events.dropped").set(self._events.dropped)
         return decisions
 
     def solve_against(
@@ -308,12 +324,24 @@ class AdmissionService:
         without limit — the batch is rejected with
         :data:`REASON_CAS_EXHAUSTED` instead.
         """
-        for _ in range(MAX_REBASE_ATTEMPTS):
+        for attempt in range(MAX_REBASE_ATTEMPTS):
             decisions = self._attempt_batch(batch)
             if decisions is not None:
                 return decisions
             self._metrics.counter("batches.rebased").inc()
+            if self._events.enabled:
+                self._events.emit(
+                    "admission.cas_retry", attempt=attempt + 1,
+                    batch_id=batch.batch_id,
+                    requests=[r.stream_name for r in batch.requests],
+                )
         self._metrics.counter("batches.rebase_exhausted").inc()
+        if self._events.enabled:
+            self._events.emit(
+                "admission.cas_exhausted", attempts=MAX_REBASE_ATTEMPTS,
+                batch_id=batch.batch_id,
+                requests=[r.stream_name for r in batch.requests],
+            )
         return [
             self._decide(
                 request, batch, accepted=False,
@@ -427,6 +455,16 @@ class AdmissionService:
                 rung=rung, reason=reason,
             )
             self._tracer.finish(span)
+        if self._events.enabled:
+            self._events.emit(
+                "admission.decision",
+                trace_id=getattr(span, "trace_id", None),
+                span_id=getattr(span, "span_id", None),
+                request=request.stream_name, op=request.op,
+                accepted=accepted, rung=rung, reason=reason,
+                latency_ms=round(latency_ms, 3),
+                store_version=store_version,
+            )
         return Decision(
             request_id=self._request_counter,
             op=request.op,
@@ -526,7 +564,8 @@ class AdmissionService:
                 traced = self._traced_solver(solver, rung, rung_span)
                 try:
                     result = _call_with_timeout(
-                        traced, rung.timeout_s, self._metrics
+                        traced, rung.timeout_s, self._metrics,
+                        events=self._events, rung_name=rung.name,
                     )
                 except RungTimeout as exc:
                     self._metrics.counter(f"rungs.{rung.name}.timeouts").inc()
@@ -711,6 +750,8 @@ def _call_with_timeout(
     fn: Callable[[], NetworkSchedule],
     timeout_s: Optional[float],
     metrics: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
+    rung_name: Optional[str] = None,
 ) -> NetworkSchedule:
     """Run ``fn`` under a wall-clock budget.
 
@@ -756,6 +797,11 @@ def _call_with_timeout(
                 if metrics is not None:
                     metrics.counter("solver.threads_abandoned").inc()
                     metrics.gauge("solver.orphans_running").add(1)
+                if events is not None and events.enabled:
+                    events.emit(
+                        "solver.abandoned", timeout_s=timeout_s,
+                        rung=rung_name,
+                    )
                 raise RungTimeout(
                     f"solve exceeded {timeout_s:.3f}s budget"
                 )

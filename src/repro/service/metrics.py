@@ -9,23 +9,24 @@ plain JSON:
 
 * :class:`Counter` — monotone event count.
 * :class:`Gauge` — last-written value (queue depth, store version).
-* :class:`Histogram` — bounded-reservoir latency distribution with
-  percentile queries (p50/p90/p99) plus exact count/sum/min/max.
+* :class:`Histogram` — the log-bucketed mergeable distribution from
+  :mod:`repro.obs.histogram` (re-exported here so service code keeps
+  one import site): exact count/sum/min/max, p50/p90/p99/p999 at
+  bucket resolution, O(1) memory at any observation count, and
+  lossless summary round-trips for offline SLO evaluation.
 * :class:`MetricsRegistry` — create-on-first-use namespace over all of
-  the above; :meth:`MetricsRegistry.to_dict` / :meth:`to_json` export.
-
-The histogram keeps at most ``max_samples`` observations; once full it
-falls back to coarse reservoir replacement (deterministic, seeded per
-histogram) so long benchmark runs stay O(1) memory while the exact
-``count``/``sum`` stay exact.
+  the above; :meth:`MetricsRegistry.to_dict` / :meth:`to_json` export,
+  :meth:`MetricsRegistry.restore_histogram` for rehydrating saved
+  snapshots.
 """
 
 from __future__ import annotations
 
 import json
-import random
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Optional
+
+from repro.obs.histogram import Histogram
 
 
 class Counter:
@@ -77,91 +78,6 @@ class Gauge:
             return self._value
 
 
-class Histogram:
-    """Latency distribution with percentile queries.
-
-    Exact ``count``/``sum``/``min``/``max``; percentiles come from a
-    bounded sample reservoir (all observations until ``max_samples``,
-    then seeded random replacement).
-    """
-
-    def __init__(self, max_samples: int = 8192, seed: int = 1) -> None:
-        if max_samples < 1:
-            raise ValueError("histogram needs room for at least one sample")
-        self._max_samples = max_samples
-        self._rng = random.Random(seed)
-        self._samples: List[float] = []
-        self._count = 0
-        self._sum = 0.0
-        self._min: Optional[float] = None
-        self._max: Optional[float] = None
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            self._min = value if self._min is None else min(self._min, value)
-            self._max = value if self._max is None else max(self._max, value)
-            if len(self._samples) < self._max_samples:
-                self._samples.append(value)
-            else:
-                slot = self._rng.randrange(self._count)
-                if slot < self._max_samples:
-                    self._samples[slot] = value
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def sum(self) -> float:
-        return self._sum
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the reservoir, ``q`` in [0, 100]."""
-        if not 0 <= q <= 100:
-            raise ValueError(f"percentile out of range: {q}")
-        with self._lock:
-            if not self._samples:
-                return 0.0
-            ordered = sorted(self._samples)
-        return self._rank(ordered, q)
-
-    @staticmethod
-    def _rank(ordered: List[float], q: float) -> float:
-        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
-        return ordered[rank]
-
-    def summary(self) -> Dict[str, float]:
-        """One consistent snapshot of every aggregate.
-
-        A single lock acquisition covers count/sum/min/max *and* the
-        percentile source, so a concurrent ``observe`` can never yield a
-        summary whose count disagrees with its percentiles.
-        """
-        with self._lock:
-            count = self._count
-            total = self._sum
-            minimum = self._min if self._min is not None else 0.0
-            maximum = self._max if self._max is not None else 0.0
-            ordered = sorted(self._samples)
-        return {
-            "count": count,
-            "sum": total,
-            "mean": total / count if count else 0.0,
-            "min": minimum,
-            "max": maximum,
-            "p50": self._rank(ordered, 50) if ordered else 0.0,
-            "p90": self._rank(ordered, 90) if ordered else 0.0,
-            "p99": self._rank(ordered, 99) if ordered else 0.0,
-        }
-
-
 class MetricsRegistry:
     """Namespace of counters, gauges, and histograms.
 
@@ -191,9 +107,24 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         with self._lock:
             if name not in self._histograms:
-                # one fixed seed per series keeps runs reproducible
-                self._histograms[name] = Histogram(seed=len(self._histograms) + 1)
+                self._histograms[name] = Histogram()
             return self._histograms[name]
+
+    def restore_histogram(self, name: str, summary: Dict) -> Histogram:
+        """Rehydrate ``name`` from a saved :meth:`Histogram.summary`.
+
+        Merges into the existing series when one already exists —
+        restoring a snapshot over a live registry is additive, exactly
+        like merging a shard's histogram.
+        """
+        restored = Histogram.from_summary(summary)
+        with self._lock:
+            existing = self._histograms.get(name)
+            if existing is None:
+                self._histograms[name] = restored
+                return restored
+        existing.merge(restored)
+        return existing
 
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
         """All counter values whose name starts with ``prefix.``."""

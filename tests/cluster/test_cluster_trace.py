@@ -1,0 +1,143 @@
+"""Distributed trace propagation across the cluster coordinator.
+
+The acceptance property of the observability layer: ONE cluster
+admission batch — including its thread-pool shard fan-out and the
+two-phase cross-shard publish — yields ONE trace tree under a single
+``trace_id``, and ``repro trace cluster`` renders it byte-stably
+(pinned by a golden file).  Regenerate the golden with::
+
+    PYTHONPATH=src python -m repro trace cluster \
+        > tests/cluster/golden_cluster_trace.txt
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import ClusterCoordinator, partition_topology
+from repro.experiments import simulation_topology
+from repro.model.stream import Priorities, TctRequirement
+from repro.model.units import milliseconds
+from repro.obs import Tracer, render_trace_tree
+from repro.service import AdmitTct
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_cluster_trace.txt"
+
+
+def _tct(name, src, dst):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=milliseconds(8), length_bytes=1000,
+        priority=Priorities.NSH_PH,
+    ))
+
+
+@pytest.fixture
+def traced_coordinator():
+    tracer = Tracer()
+    partition = partition_topology(
+        simulation_topology(), 2, seeds=["SW1", "SW4"]
+    )
+    coordinator = ClusterCoordinator(partition=partition, tracer=tracer)
+    yield coordinator, tracer
+    coordinator.shutdown()
+
+
+class TestSingleTraceTree:
+    def test_batch_fanout_shares_one_trace_id(self, traced_coordinator):
+        """Shard batches run on pool threads, yet every span — batch,
+        shard batch, rung, solve — carries the coordinator's trace."""
+        coordinator, tracer = traced_coordinator
+        decisions = coordinator.submit_many([
+            _tct("a", "D1", "D4"),        # shard0-local
+            _tct("b", "D10", "D12"),      # shard1-local
+        ])
+        assert all(d.accepted for d in decisions)
+        spans = tracer.spans()
+        assert {s.trace_id for s in spans} == {spans[0].trace_id}
+        names = {s.name for s in spans}
+        assert "cluster.batch" in names
+        assert "cluster.shard_batch" in names
+        assert "admission.rung" in names
+
+    def test_cross_shard_two_phase_joins_the_same_trace(
+        self, traced_coordinator
+    ):
+        """The two-phase publish (prepare, per-shard segment solves,
+        commit) continues the batch's trace rather than starting new
+        ones — the tentpole acceptance criterion."""
+        coordinator, tracer = traced_coordinator
+        decision = coordinator.submit(_tct("x", "D1", "D12"))
+        assert decision.accepted
+        spans = tracer.spans()
+        assert len({s.trace_id for s in spans}) == 1
+        names = {s.name for s in spans}
+        for required in ("cluster.batch", "cluster.prepare",
+                        "cluster.segment", "cluster.commit",
+                        "admission.rung", "solve"):
+            assert required in names, f"missing span {required!r}"
+
+    def test_every_span_parents_inside_the_trace(self, traced_coordinator):
+        """No orphans: each span's parent_id is another recorded span
+        (except the single root)."""
+        coordinator, tracer = traced_coordinator
+        assert coordinator.submit(_tct("x", "D1", "D12")).accepted
+        spans = tracer.spans()
+        ids = {s.span_id for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1
+        assert roots[0].name == "cluster.batch"
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in ids
+
+    def test_segment_spans_attribute_their_shard(self, traced_coordinator):
+        coordinator, tracer = traced_coordinator
+        assert coordinator.submit(_tct("x", "D1", "D12")).accepted
+        segments = [s for s in tracer.spans()
+                    if s.name == "cluster.segment"]
+        assert sorted(s.attributes["shard"] for s in segments) == \
+            ["shard0", "shard1"]
+
+
+class TestDeterministicRendering:
+    def _render(self, capsys):
+        assert main(["trace", "cluster"]) == 0
+        return capsys.readouterr().out
+
+    def test_matches_golden(self, capsys):
+        assert self._render(capsys) == GOLDEN.read_text(), (
+            "cluster trace tree drifted from the golden file; if the "
+            "change is intentional, regenerate it (see module docstring)"
+        )
+
+    def test_rendering_is_reproducible(self, capsys):
+        assert self._render(capsys) == self._render(capsys)
+
+    def test_golden_is_one_trace(self):
+        text = GOLDEN.read_text()
+        assert text.count("trace ") == 1
+        assert "(orphaned)" not in text
+
+    def test_out_flag_writes_replayable_spans(self, tmp_path, capsys):
+        out = tmp_path / "spans.jsonl"
+        assert main(["trace", "cluster", "--out", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        from repro.serialization import load_trace
+
+        spans = load_trace(str(out))
+        assert render_trace_tree(spans) + "\n" == rendered
+
+
+class TestDisabledTracerStaysFree:
+    def test_null_tracer_cluster_records_nothing(self):
+        partition = partition_topology(
+            simulation_topology(), 2, seeds=["SW1", "SW4"]
+        )
+        coordinator = ClusterCoordinator(partition=partition)
+        try:
+            assert coordinator.submit(_tct("x", "D1", "D12")).accepted
+            assert coordinator.tracer.spans() == []
+        finally:
+            coordinator.shutdown()

@@ -1,0 +1,105 @@
+"""Benchmark regression tracking: metric discovery, diff verdicts."""
+
+import pytest
+
+from repro.obs import (
+    collect_throughput_metrics,
+    diff_benchmarks,
+    format_bench_diff,
+    split_failures,
+)
+
+
+class TestCollect:
+    def test_discovers_per_sec_leaves_recursively(self):
+        payload = {
+            "rungs": {
+                "incremental": {"admissions_per_sec": 250.0, "mean_ms": 4},
+                "full": {"admissions_per_sec": 60.0},
+            },
+            "speedup": 1.8,
+            "label": "cluster",
+        }
+        assert collect_throughput_metrics(payload) == {
+            "rungs.full.admissions_per_sec": 60.0,
+            "rungs.incremental.admissions_per_sec": 250.0,
+            "speedup": 1.8,
+        }
+
+    def test_lists_get_indexed_paths(self):
+        payload = {"runs": [{"ops_per_sec": 10}, {"ops_per_sec": 20}]}
+        assert collect_throughput_metrics(payload) == {
+            "runs[0].ops_per_sec": 10.0,
+            "runs[1].ops_per_sec": 20.0,
+        }
+
+    def test_bools_and_non_throughput_ignored(self):
+        assert collect_throughput_metrics(
+            {"ok_per_sec": True, "mean_ms": 7.0}
+        ) == {}
+
+
+class TestDiff:
+    def test_within_margin_is_ok(self):
+        [delta] = diff_benchmarks({"x_per_sec": 100}, {"x_per_sec": 85})
+        assert delta.status == "ok"
+        assert not delta.failed
+
+    def test_regression_beyond_margin_fails(self):
+        [delta] = diff_benchmarks({"x_per_sec": 100}, {"x_per_sec": 79})
+        assert delta.status == "regressed"
+        assert delta.failed
+        assert delta.ratio == pytest.approx(0.79)
+
+    def test_margin_is_configurable(self):
+        [delta] = diff_benchmarks(
+            {"x_per_sec": 100}, {"x_per_sec": 79}, max_regression=0.25
+        )
+        assert delta.status == "ok"
+
+    def test_missing_metric_fails(self):
+        [delta] = diff_benchmarks({"x_per_sec": 100}, {})
+        assert delta.status == "missing"
+        assert delta.failed
+
+    def test_new_metric_never_fails(self):
+        [delta] = diff_benchmarks({}, {"x_per_sec": 100})
+        assert delta.status == "new"
+        assert not delta.failed
+
+    def test_improvement_beyond_margin_labelled(self):
+        [delta] = diff_benchmarks({"x_per_sec": 100}, {"x_per_sec": 130})
+        assert delta.status == "improved"
+        assert not delta.failed
+
+    def test_deltas_sorted_by_metric(self):
+        deltas = diff_benchmarks(
+            {"b_per_sec": 1, "a_per_sec": 1},
+            {"b_per_sec": 1, "a_per_sec": 1},
+        )
+        assert [d.metric for d in deltas] == ["a_per_sec", "b_per_sec"]
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            diff_benchmarks({}, {}, max_regression=1.0)
+
+
+class TestFormatAndSplit:
+    def test_fail_line_on_regression(self):
+        deltas = diff_benchmarks({"x_per_sec": 100}, {"x_per_sec": 10})
+        text = format_bench_diff(deltas)
+        assert "REGRESSED" in text
+        assert "FAIL" in text
+
+    def test_ok_line_when_clean(self):
+        deltas = diff_benchmarks({"x_per_sec": 100}, {"x_per_sec": 100})
+        assert "ok: no metric regressed" in format_bench_diff(deltas)
+
+    def test_split_failures(self):
+        deltas = diff_benchmarks(
+            {"good_per_sec": 100, "bad_per_sec": 100},
+            {"good_per_sec": 100, "bad_per_sec": 1},
+        )
+        failed, passed = split_failures(deltas)
+        assert [d.metric for d in failed] == ["bad_per_sec"]
+        assert [d.metric for d in passed] == ["good_per_sec"]

@@ -1,0 +1,111 @@
+"""Structured event journal: ring semantics, filtering, JSONL."""
+
+import itertools
+
+import pytest
+
+from repro.obs import (
+    NULL_EVENT_LOG,
+    EventLog,
+    filter_events,
+    load_events,
+    save_events,
+)
+
+
+@pytest.fixture
+def log() -> EventLog:
+    ticks = itertools.count()
+    return EventLog(clock=lambda: next(ticks) * 1_000)
+
+
+class TestEmit:
+    def test_sequence_is_monotone(self, log):
+        first = log.emit("admission.decision", request="a")
+        second = log.emit("admission.cas_retry", attempt=1)
+        assert (first.seq, second.seq) == (1, 2)
+
+    def test_clock_stamps_when_no_explicit_ts(self, log):
+        assert log.emit("x").ts_ns == 0
+        assert log.emit("x").ts_ns == 1_000
+        assert log.emit("x", ts_ns=42).ts_ns == 42
+
+    def test_trace_correlation_is_optional(self, log):
+        tagged = log.emit("x", trace_id=7, span_id=3)
+        bare = log.emit("x")
+        assert (tagged.trace_id, tagged.span_id) == (7, 3)
+        assert (bare.trace_id, bare.span_id) == (None, None)
+
+    def test_ring_drops_oldest_and_counts(self):
+        log = EventLog(clock=lambda: 0, max_events=3)
+        for i in range(5):
+            log.emit("x", index=i)
+        assert log.dropped == 2
+        assert [e.attributes["index"] for e in log.events()] == [2, 3, 4]
+        # seq numbers expose the gap
+        assert log.events()[0].seq == 3
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+
+
+class TestNullLog:
+    def test_noop_and_disabled(self):
+        assert NULL_EVENT_LOG.enabled is False
+        assert NULL_EVENT_LOG.emit("x", a=1) is None
+        assert NULL_EVENT_LOG.events() == []
+        assert len(NULL_EVENT_LOG) == 0
+
+
+class TestFilter:
+    def _populated(self, log):
+        log.emit("admission.decision", request="a", accepted=True,
+                 trace_id=1)
+        log.emit("admission.cas_retry", attempt=1, trace_id=1)
+        log.emit("twophase.abort", reason="stale_version", trace_id=2)
+        log.emit("twophase.rollback", shard="s0", trace_id=2)
+        return log.events()
+
+    def test_exact_kind(self, log):
+        events = self._populated(log)
+        assert [e.kind for e in filter_events(events, kind="twophase.abort")
+                ] == ["twophase.abort"]
+
+    def test_family_prefix(self, log):
+        events = self._populated(log)
+        kinds = [e.kind for e in filter_events(events, kind="twophase.")]
+        assert kinds == ["twophase.abort", "twophase.rollback"]
+
+    def test_trace_id(self, log):
+        events = self._populated(log)
+        assert len(filter_events(events, trace_id=2)) == 2
+
+    def test_attribute_equality(self, log):
+        events = self._populated(log)
+        matched = filter_events(events, reason="stale_version")
+        assert [e.kind for e in matched] == ["twophase.abort"]
+
+    def test_since_seq(self, log):
+        events = self._populated(log)
+        assert [e.seq for e in filter_events(events, since_seq=2)] == [3, 4]
+
+
+class TestJsonl:
+    def test_round_trip(self, log, tmp_path):
+        log.emit("admission.decision", request="a", accepted=True,
+                 trace_id=9, span_id=4)
+        log.emit("solver.abandoned", timeout_s=1.5)
+        path = tmp_path / "events.jsonl"
+        assert save_events(str(path), log.events()) == 2
+        restored = load_events(str(path))
+        assert [e.to_dict() for e in restored] == \
+            [e.to_dict() for e in log.events()]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"seq": 1, "kind": "x", "ts_ns": 0}\n\n'
+            '{"seq": 2, "kind": "y", "ts_ns": 5}\n'
+        )
+        assert [e.kind for e in load_events(str(path))] == ["x", "y"]

@@ -51,15 +51,15 @@ class TestToPrometheus:
         assert "# TYPE repro_store_version gauge" in text
         assert "\nrepro_store_version 7\n" in text
 
-    def test_histogram_rendered_as_summary(self, registry):
+    def test_histogram_rendered_natively(self, registry):
         text = to_prometheus(registry)
-        assert "# TYPE repro_latency_ms summary" in text
-        assert 'repro_latency_ms{quantile="0.5"}' in text
-        assert 'repro_latency_ms{quantile="0.99"}' in text
+        assert "# TYPE repro_latency_ms histogram" in text
+        assert 'repro_latency_ms_bucket{le="+Inf"} 4' in text
         assert "repro_latency_ms_sum 10.5" in text
         assert "repro_latency_ms_count 4" in text
         assert "repro_latency_ms_min 1\n" in text
         assert "repro_latency_ms_max 4.5" in text
+        assert "# TYPE repro_latency_ms_p99 gauge" in text
 
     def test_ends_with_newline(self, registry):
         assert to_prometheus(registry).endswith("\n")
@@ -111,8 +111,19 @@ class TestSummarizeSpans:
 
     def test_empty_input(self):
         summary = summarize_spans([])
-        assert summary == {"spans": {}, "rungs": {}}
+        assert summary == {"spans": {}, "rungs": {}, "dropped_spans": 0}
         assert "span" in format_span_summary(summary)
+
+    def test_dropped_spans_surface_a_warning(self):
+        summary = summarize_spans(_span_fixture(), dropped=5)
+        assert summary["dropped_spans"] == 5
+        rendered = format_span_summary(summary)
+        assert "WARNING" in rendered
+        assert "5" in rendered
+
+    def test_no_warning_when_nothing_dropped(self):
+        rendered = format_span_summary(summarize_spans(_span_fixture()))
+        assert "WARNING" not in rendered
 
 
 def _journey_spans():

@@ -1,0 +1,110 @@
+"""SLO evaluation: targets, error budgets, report rendering."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TARGETS,
+    Histogram,
+    SloTarget,
+    evaluate_slos,
+    format_slo_report,
+)
+
+
+def _metrics(name="latency.decision_ms", values=()):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return {"histograms": {name: histogram.summary()}}
+
+
+class TestTarget:
+    def test_parse_spec(self):
+        target = SloTarget.parse("latency.decision_ms:0.99:250")
+        assert target.metric == "latency.decision_ms"
+        assert target.quantile == 0.99
+        assert target.objective_ms == 250.0
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            SloTarget.parse("latency.decision_ms:0.99")
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            SloTarget(metric="m", quantile=1.0, objective_ms=10)
+        with pytest.raises(ValueError):
+            SloTarget(metric="m", quantile=0.5, objective_ms=0)
+
+
+class TestEvaluate:
+    def test_met_when_violations_within_budget(self):
+        # 100 observations, 1 over a p99 objective: budget is exactly 1
+        values = [1.0] * 99 + [500.0]
+        target = SloTarget(metric="m", quantile=0.99, objective_ms=250)
+        [result] = evaluate_slos(_metrics("m", values), [target])
+        assert result.count == 100
+        assert result.violations == 1
+        assert result.budget == 1
+        assert result.met
+        assert result.budget_remaining == 0
+
+    def test_violated_when_budget_exhausted(self):
+        values = [1.0] * 98 + [500.0, 600.0]  # 2 over, budget 1
+        target = SloTarget(metric="m", quantile=0.99, objective_ms=250)
+        [result] = evaluate_slos(_metrics("m", values), [target])
+        assert result.violations == 2
+        assert not result.met
+
+    def test_attained_quantile_reported(self):
+        values = [float(v) for v in range(1, 101)]
+        target = SloTarget(metric="m", quantile=0.50, objective_ms=1000)
+        [result] = evaluate_slos(_metrics("m", values), [target])
+        assert result.attained_ms == pytest.approx(50, rel=0.19)
+
+    def test_missing_histogram_met_by_default(self):
+        target = SloTarget(metric="absent", quantile=0.99, objective_ms=10)
+        [result] = evaluate_slos({"histograms": {}}, [target])
+        assert result.missing
+        assert result.met
+
+    def test_require_all_flags_missing(self):
+        target = SloTarget(metric="absent", quantile=0.99, objective_ms=10)
+        [result] = evaluate_slos(
+            {"histograms": {}}, [target], require_all=True
+        )
+        assert result.missing
+        assert not result.met
+
+    def test_default_targets_cover_decision_latency(self):
+        metrics = {name: t for t in DEFAULT_TARGETS
+                   for name in [t.metric]}
+        assert "latency.decision_ms" in metrics
+
+    def test_evaluates_saved_summary_identically_to_live(self):
+        """from_summary is lossless, so the report from a saved metrics
+        JSON equals the report from the live registry."""
+        import json
+
+        values = [1.0, 2.0, 300.0]
+        target = SloTarget(metric="m", quantile=0.5, objective_ms=100)
+        live = evaluate_slos(_metrics("m", values), [target])
+        saved = json.loads(json.dumps(_metrics("m", values)))
+        restored = evaluate_slos(saved, [target])
+        assert [r.to_dict() for r in live] == [r.to_dict() for r in restored]
+
+
+class TestReport:
+    def test_table_marks_violations(self):
+        values = [500.0] * 10
+        target = SloTarget(metric="m", quantile=0.9, objective_ms=100)
+        report = format_slo_report(
+            evaluate_slos(_metrics("m", values), [target])
+        )
+        assert "VIOLATED" in report
+        assert "p90<=100ms" in report
+
+    def test_table_marks_missing(self):
+        target = SloTarget(metric="absent", quantile=0.99, objective_ms=10)
+        report = format_slo_report(evaluate_slos({"histograms": {}},
+                                                 [target]))
+        assert "no-data" in report

@@ -182,6 +182,74 @@ class TestNullTracer:
                 raise KeyError("boom")
 
 
+class TestAmbientContext:
+    """TraceContext + use_context: trace propagation across threads."""
+
+    def test_current_context_names_the_open_span(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                context = tracer.current_context()
+        spans = {s.name: s for s in tracer.spans()}
+        assert context.trace_id == spans["inner"].trace_id
+        assert context.span_id == spans["inner"].span_id
+
+    def test_use_context_adopts_foreign_parent(self, tracer):
+        import threading
+
+        from repro.obs import TraceContext
+
+        with tracer.span("root"):
+            context = tracer.current_context()
+
+        def worker():
+            with tracer.use_context(context):
+                with tracer.span("remote"):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["remote"].trace_id == spans["root"].trace_id
+        assert spans["remote"].parent_id == spans["root"].span_id
+        assert isinstance(context, TraceContext)
+
+    def test_explicit_parent_beats_ambient(self, tracer):
+        with tracer.span("a"):
+            context_a = tracer.current_context()
+        with tracer.span("b") as span_b:
+            with tracer.use_context(context_a):
+                with tracer.span("child", parent=span_b):
+                    pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["child"].parent_id == spans["b"].span_id
+
+    def test_ambient_restored_after_use(self, tracer):
+        with tracer.span("a"):
+            context = tracer.current_context()
+        with tracer.use_context(context):
+            pass
+        with tracer.span("fresh"):
+            pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["fresh"].parent_id is None
+
+    def test_context_of_null_span_is_none(self):
+        from repro.obs import TraceContext
+
+        with NULL_TRACER.span("x") as ctx:
+            assert TraceContext.of(ctx) is None
+        assert NULL_TRACER.current_context() is None
+        with NULL_TRACER.use_context(None) as ambient:
+            assert ambient is None
+
+    def test_context_round_trips_through_dict(self):
+        from repro.obs import TraceContext
+
+        context = TraceContext(trace_id=3, span_id=9)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+
 class TestSpanDataclass:
     def test_unfinished_duration_is_zero(self):
         span = Span(name="s", trace_id=1, span_id=1, parent_id=None,

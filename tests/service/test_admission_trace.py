@@ -138,6 +138,69 @@ class TestRequestSpans:
         assert plain.tracer.spans() == []
 
 
+class TestDropVisibility:
+    def test_spans_dropped_gauge_tracks_ring_eviction(self, star_topology):
+        """A traced batch that overflows the span ring must surface the
+        loss through the tracer.spans_dropped gauge — silent truncation
+        is the bug this gauge exists to catch."""
+        tracer = Tracer(max_spans=2)
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)), tracer=tracer
+        )
+        assert service.submit(_tct("a")).accepted
+        assert tracer.dropped > 0
+        gauge = service.metrics.gauge("tracer.spans_dropped")
+        assert gauge.value == tracer.dropped
+
+    def test_no_drop_gauge_without_a_tracer(self, star_topology):
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology))
+        )
+        assert service.submit(_tct("a")).accepted
+        assert "tracer.spans_dropped" not in \
+            service.metrics.to_dict()["gauges"]
+
+
+class TestEventJournal:
+    def test_decisions_are_journalled_with_trace_correlation(
+        self, star_topology, tracer
+    ):
+        from repro.obs import EventLog, filter_events
+
+        events = EventLog(clock=lambda: 0)
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)),
+            tracer=tracer, events=events,
+        )
+        accepted = service.submit(_tct("a"))
+        rejected = service.submit(_tct("hog", period_ms=4,
+                                       length=40 * 1500))
+        assert accepted.accepted and not rejected.accepted
+        decisions = filter_events(events.events(),
+                                  kind="admission.decision")
+        assert [e.attributes["request"] for e in decisions] == ["a", "hog"]
+        assert decisions[0].attributes["accepted"] is True
+        assert decisions[1].attributes["accepted"] is False
+        assert decisions[1].attributes["reason"]
+        trace_ids = {s.trace_id for s in tracer.spans()}
+        assert all(e.trace_id in trace_ids for e in decisions)
+
+    def test_events_dropped_gauge_tracks_journal_eviction(
+        self, star_topology
+    ):
+        from repro.obs import EventLog
+
+        events = EventLog(clock=lambda: 0, max_events=1)
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)), events=events,
+        )
+        assert service.submit(_tct("a")).accepted
+        assert service.submit(_tct("b", src="D2")).accepted
+        assert events.dropped > 0
+        assert service.metrics.gauge("events.dropped").value == \
+            events.dropped
+
+
 class TestSolverStatsHarvest:
     def test_smt_backend_folds_stats_into_metrics(self, star_topology):
         service = AdmissionService(

@@ -4,8 +4,8 @@ output, pinned against a golden file.
 The parser enforces the text exposition format (version 0.0.4) rules a
 real scrape would: legal metric names, HELP/TYPE before samples, valid
 TYPE keywords, float-parsable values, quantile labels in [0, 1], and
-``_sum``/``_count`` companions for every summary.  Regenerate the golden
-with::
+``_sum``/``_count`` companions and cumulative buckets for every
+histogram.  Regenerate the golden with::
 
     PYTHONPATH=src python -m repro metrics --format prometheus \
         --deterministic > tests/service/golden_metrics.prom
@@ -117,18 +117,35 @@ class TestStrictParse:
         assert counters
         assert all(name.endswith("_total") for name in counters)
 
-    def test_summaries_carry_quantiles_sum_count(self, exposition):
+    def test_histograms_carry_cumulative_buckets_sum_count(
+        self, exposition
+    ):
         families = parse_exposition(exposition)
-        summaries = {name: samples for name, (kind, samples)
-                     in families.items() if kind == "summary"}
-        assert summaries
-        for name, samples in summaries.items():
-            quantiles = {labels for (sample, labels) in samples
-                         if sample == name}
-            assert (("quantile", "0.5"),) in quantiles
-            assert (("quantile", "0.99"),) in quantiles
+        histograms = {name: samples for name, (kind, samples)
+                      in families.items() if kind == "histogram"}
+        assert histograms
+        for name, samples in histograms.items():
+            buckets = [
+                (labels, value) for (sample, labels), value
+                in samples.items() if sample == f"{name}_bucket"
+            ]
+            assert buckets, f"{name} has no _bucket samples"
+            les = [dict(labels)["le"] for labels, _ in buckets]
+            assert les[-1] == "+Inf"
+            counts = [value for _, value in buckets]
+            assert counts == sorted(counts), "buckets must be cumulative"
             assert (f"{name}_sum", ()) in samples
             assert (f"{name}_count", ()) in samples
+            # the +Inf bucket is the count, by definition
+            assert counts[-1] == samples[(f"{name}_count", ())]
+
+    def test_histograms_export_quantile_companions(self, exposition):
+        families = parse_exposition(exposition)
+        assert "repro_latency_decision_ms" in families
+        for suffix in ("_p50", "_p99", "_p999"):
+            name = f"repro_latency_decision_ms{suffix}"
+            assert name in families, f"missing companion gauge {name}"
+            assert families[name][0] == "gauge"
 
     def test_admission_families_present(self, exposition):
         families = parse_exposition(exposition)
