@@ -1,6 +1,6 @@
 """repro.check — static analysis and independent result verification.
 
-Two pillars, both deliberately outside the code they judge:
+Three pillars, all deliberately outside the code they judge:
 
 * **Proof certificates** (:mod:`repro.check.proof`,
   :mod:`repro.check.model`): replay the DPLL(T) solver's UNSAT proofs
@@ -12,11 +12,25 @@ Two pillars, both deliberately outside the code they judge:
   (no wall-clock reads in deterministic code, integer-nanosecond
   arithmetic, lock-guarded instrument mutation, no bare ``except``,
   well-formed annotations).
+* **Whole-program concurrency & unit analysis**
+  (:mod:`repro.check.flow`, :mod:`repro.check.units_analysis`, on the
+  :mod:`repro.check.callgraph` substrate): interprocedural lock-order
+  analysis that reports cycles in the may-hold-before relation with
+  witness call chains, and time-unit dimensional analysis over
+  ``_ns``/``_us``/... suffixes.  The runtime half,
+  :mod:`repro.check.sanitizer`, enforces the same lock order
+  dynamically when ``REPRO_SANITIZE_LOCKS`` is set.
 
-``python -m repro check {proof,model,lint}`` is the CLI face
-(:mod:`repro.check.cli`).
+``python -m repro check {proof,model,lint,flow,units}`` is the CLI
+face (:mod:`repro.check.cli`).
 """
 
+from repro.check.flow import (
+    FLOW_RULES,
+    FlowFinding,
+    FlowReport,
+    analyze_flow,
+)
 from repro.check.lint import (
     ALL_RULES,
     LintFinding,
@@ -29,14 +43,38 @@ from repro.check.proof import (
     check_unsat_proof,
     verify_certificate,
 )
+from repro.check.sanitizer import (
+    LockOrderViolation,
+    OrderedLock,
+    make_lock,
+    reset_observed_edges,
+)
+from repro.check.units_analysis import (
+    UNITS_RULES,
+    UnitFinding,
+    UnitsReport,
+    analyze_units,
+)
 
 __all__ = [
     "ALL_RULES",
     "CertificateError",
+    "FLOW_RULES",
+    "FlowFinding",
+    "FlowReport",
     "LintFinding",
+    "LockOrderViolation",
+    "OrderedLock",
+    "UNITS_RULES",
+    "UnitFinding",
+    "UnitsReport",
+    "analyze_flow",
+    "analyze_units",
     "check_model",
     "check_unsat_proof",
     "lint_paths",
     "lint_source",
+    "make_lock",
+    "reset_observed_edges",
     "verify_certificate",
 ]

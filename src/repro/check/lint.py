@@ -17,10 +17,14 @@ to a deterministic TSN scheduler that generic tools cannot know:
     misfire on real hardware.  Use ``//`` and integer constants.
 
 ``lock-discipline``
-    In any class that owns a ``self._lock``, private state
-    (``self._x``) may only be mutated inside ``with self._lock:``
-    (``__init__`` excepted).  Covers the metrics/instrument tables and
-    every other shared-state holder.
+    In any class that owns a lock — ``self._lock`` by name, or any
+    attribute assigned from ``threading.Lock``/``threading.RLock``/
+    ``repro.check.sanitizer.make_lock`` (``self._write_lock``, ...) —
+    private state (``self._x``) may only be mutated while one of the
+    class's locks is held: inside ``with self.<lock>:`` or between a
+    statement-level ``self.<lock>.acquire()`` and the matching
+    ``release()`` (``__init__`` excepted).  Covers the
+    metrics/instrument tables and every other shared-state holder.
 
 ``bare-except``
     ``except:`` swallows ``KeyboardInterrupt``/``SystemExit``; name the
@@ -303,50 +307,139 @@ def _all_args(args: ast.arguments) -> List[ast.arg]:
 
 
 # ------------------------------------------------------- lock discipline
+#: Callables whose result is a lock: assigning one to ``self.<attr>``
+#: makes that attribute a recognized guard (``threading.RLock`` and the
+#: sanitizer factory included, so renamed locks still count).
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "Lock", "RLock",
+    "make_lock", "sanitizer.make_lock", "repro.check.sanitizer.make_lock",
+})
+
+
 def _check_lock_discipline(tree: ast.Module, path: str) -> List[LintFinding]:
     findings: List[LintFinding] = []
     for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and _owns_lock(node):
-            for item in node.body:
-                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                if item.name == "__init__":
-                    continue
-                for stmt in item.body:
-                    _walk_locked(stmt, False, path, findings)
+        if not isinstance(node, ast.ClassDef):
+            continue
+        lock_attrs = _owned_locks(node)
+        if not lock_attrs:
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue
+            _walk_locked_body(item.body, False, lock_attrs, path, findings)
     return findings
 
 
-def _owns_lock(cls: ast.ClassDef) -> bool:
-    """Does any method of ``cls`` assign ``self._lock``?"""
+def _owned_locks(cls: ast.ClassDef) -> frozenset:
+    """Lock-guard attribute names of ``cls``.
+
+    ``self._lock = <anything>`` counts by name (the historical
+    contract); any other ``self.<attr>`` counts when assigned from a
+    known lock factory (``threading.Lock()``, ``threading.RLock()``,
+    ``make_lock(...)``), with or without an annotation.
+    """
+    attrs = set()
     for node in ast.walk(cls):
         if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if (
-                    isinstance(target, ast.Attribute)
-                    and target.attr == "_lock"
-                    and isinstance(target.value, ast.Name)
-                    and target.value.id == "self"
-                ):
-                    return True
-    return False
+            targets: List[ast.AST] = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        value = getattr(node, "value", None)
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if target.attr == "_lock" or _is_lock_value(value):
+                attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _is_lock_value(value: Optional[ast.AST]) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = _dotted(value.func)
+    return dotted is not None and dotted in _LOCK_FACTORIES
+
+
+def _guard_names(lock_attrs: frozenset) -> frozenset:
+    return frozenset(f"self.{attr}" for attr in lock_attrs)
+
+
+def _lock_call(stmt: ast.stmt, lock_attrs: frozenset) -> Optional[str]:
+    """``"acquire"``/``"release"`` for ``self.<lock>.acquire()`` statements."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return None
+    func = stmt.value.func
+    if not (
+        isinstance(func, ast.Attribute) and func.attr in ("acquire", "release")
+    ):
+        return None
+    if _dotted(func.value) in _guard_names(lock_attrs):
+        return func.attr
+    return None
+
+
+def _walk_locked_body(
+    stmts: Sequence[ast.stmt],
+    locked: bool,
+    lock_attrs: frozenset,
+    path: str,
+    findings: List[LintFinding],
+) -> None:
+    """Walk one statement list, tracking acquire()/release() regions."""
+    held = locked
+    for stmt in stmts:
+        call = _lock_call(stmt, lock_attrs)
+        if call is not None:
+            held = call == "acquire" or locked
+            continue
+        _walk_locked(stmt, held, lock_attrs, path, findings)
 
 
 def _walk_locked(
-    node: ast.AST, locked: bool, path: str, findings: List[LintFinding]
+    node: ast.AST,
+    locked: bool,
+    lock_attrs: frozenset,
+    path: str,
+    findings: List[LintFinding],
 ) -> None:
     if isinstance(node, (ast.With, ast.AsyncWith)):
+        guards = _guard_names(lock_attrs)
         grabs = locked or any(
-            _dotted(item.context_expr) == "self._lock" for item in node.items
+            _dotted(item.context_expr) in guards for item in node.items
         )
         for item in node.items:
             _flag_mutation(item.context_expr, locked, path, findings)
-        for child in node.body:
-            _walk_locked(child, grabs, path, findings)
+        _walk_locked_body(node.body, grabs, lock_attrs, path, findings)
+        return
+    if isinstance(node, (ast.If, ast.While)):
+        _flag_mutation(node, locked, path, findings)
+        _walk_locked_body(node.body, locked, lock_attrs, path, findings)
+        _walk_locked_body(node.orelse, locked, lock_attrs, path, findings)
+        return
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        _flag_mutation(node, locked, path, findings)
+        _walk_locked_body(node.body, locked, lock_attrs, path, findings)
+        _walk_locked_body(node.orelse, locked, lock_attrs, path, findings)
+        return
+    if isinstance(node, ast.Try):
+        _walk_locked_body(node.body, locked, lock_attrs, path, findings)
+        for handler in node.handlers:
+            _walk_locked_body(handler.body, locked, lock_attrs, path, findings)
+        _walk_locked_body(node.orelse, locked, lock_attrs, path, findings)
+        _walk_locked_body(node.finalbody, locked, lock_attrs, path, findings)
         return
     _flag_mutation(node, locked, path, findings)
     for child in ast.iter_child_nodes(node):
-        _walk_locked(child, locked, path, findings)
+        _walk_locked(child, locked, lock_attrs, path, findings)
 
 
 def _private_self_target(node: ast.AST) -> Optional[str]:

@@ -1,0 +1,596 @@
+"""Time-unit dimensional analysis over identifier suffixes.
+
+The repo's convention (enforced informally since PR 1, formally here)
+is that every duration-carrying identifier names its unit as the last
+underscore-separated token: ``deadline_ns``, ``horizon_us``,
+``objective_ms``, ``timeout_s``, ``drift_ppb``, ``rate_hz``,
+``bandwidth_bps``.  This pass treats those suffixes as dimension
+annotations and propagates them through assignments, arithmetic, and
+call boundaries:
+
+``unit-mismatch``
+    Two different known units meet in ``+``/``-``/``%``, a comparison,
+    ``min``/``max``, or an assignment whose target names a different
+    unit than its value (``deadline_ns = horizon_us + 5``).
+
+``unit-call``
+    A value with a known unit flows into a parameter (keyword name,
+    resolved positional parameter, or a ``repro.model.units``
+    converter) that names a *different* unit —
+    ``microseconds(budget_ns)`` or ``submit(period_ns=gap_us)``.
+
+``unit-return``
+    A function whose name carries a unit suffix returns an expression
+    with a different known unit.
+
+``unit-literal`` (pedantic, off by default)
+    A bare numeric literal passed to a unit-suffixed parameter.
+    Literals are otherwise polymorphic — ``period_ns + 100`` is fine —
+    so this rule exists for audits, not for CI.
+
+The conversion constants ``NS_PER_US``/``NS_PER_MS``/``NS_PER_S`` are
+understood structurally: multiplying a ``us`` value by ``NS_PER_US``
+yields ``ns``, floor-dividing an ``ns`` value by ``NS_PER_MS`` yields
+``ms``, and in additive/comparison position the constant itself is an
+``ns`` quantity (``if value_ns >= NS_PER_S``).  Unknown units are
+compatible with everything — the analysis only speaks when both sides
+are known, so it can run ``--strict`` without guessing.
+
+Suppress with ``# repro: flow-ok[rule]`` on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.callgraph import (
+    ModuleInfo,
+    Program,
+    build_program,
+    resolve_call,
+    signature_of,
+    _param_env,
+)
+from repro.check.flow import _SUPPRESS
+
+RULE_UNIT_MISMATCH = "unit-mismatch"
+RULE_UNIT_CALL = "unit-call"
+RULE_UNIT_RETURN = "unit-return"
+RULE_UNIT_LITERAL = "unit-literal"
+
+UNITS_RULES: Tuple[str, ...] = (
+    RULE_UNIT_MISMATCH, RULE_UNIT_CALL, RULE_UNIT_RETURN, RULE_UNIT_LITERAL,
+)
+#: ``unit-literal`` is pedantic (benign config literals are idiomatic),
+#: so the default — and the CI gate — runs without it.
+DEFAULT_RULES: Tuple[str, ...] = (
+    RULE_UNIT_MISMATCH, RULE_UNIT_CALL, RULE_UNIT_RETURN,
+)
+
+#: Recognized unit suffixes.  A name carries a unit only when the
+#: suffix is a distinct trailing token (``deadline_ns`` yes, ``ns`` or
+#: ``attempts`` no).
+UNIT_SUFFIXES = frozenset({"ns", "us", "ms", "s", "ppb", "hz", "bps"})
+
+#: literal sentinel — polymorphic, adopts any unit it meets.
+LITERAL = "<literal>"
+
+#: ``NS_PER_X`` conversion constants: name -> the unit X they scale.
+_NS_FACTORS = {
+    "NS_PER_US": "us",
+    "NS_PER_MS": "ms",
+    "NS_PER_S": "s",
+}
+
+#: Link-speed constants from ``repro.model.units``.
+_BPS_CONSTANTS = frozenset({"MBPS_10", "MBPS_100", "GBPS_1"})
+
+#: ``repro.model.units`` converters: qualname suffix ->
+#: (argument unit, return unit).
+_CONVERTERS = {
+    "repro.model.units.nanoseconds": ("ns", "ns"),
+    "repro.model.units.microseconds": ("us", "ns"),
+    "repro.model.units.milliseconds": ("ms", "ns"),
+    "repro.model.units.seconds": ("s", "ns"),
+    "repro.model.units.ns_to_us": ("ns", "us"),
+    "repro.model.units.ns_to_ms": ("ns", "ms"),
+    "repro.model.units.format_ns": ("ns", None),
+}
+
+#: Builtins that pass their argument's unit through unchanged.
+_PASSTHROUGH_BUILTINS = frozenset({"int", "float", "round", "abs"})
+#: Builtins whose arguments must agree (and whose result adopts them).
+_AGREEING_BUILTINS = frozenset({"min", "max", "sum"})
+
+
+class _Factor(str):
+    """An ``NS_PER_X`` constant: ``ns`` additively, a scaler in ``*``/``/``."""
+
+    __slots__ = ()
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    if "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[1]
+    return suffix if suffix in UNIT_SUFFIXES else None
+
+
+@dataclass(frozen=True)
+class UnitFinding:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class UnitsReport:
+    findings: List[UnitFinding] = field(default_factory=list)
+    functions_analyzed: int = 0
+    rules: Tuple[str, ...] = DEFAULT_RULES
+
+    def to_dict(self) -> Dict:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "functions_analyzed": self.functions_analyzed,
+            "rules": list(self.rules),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def analyze_units(
+    paths: Iterable[str], rules: Sequence[str] = DEFAULT_RULES
+) -> UnitsReport:
+    """Run the unit analysis over every function in ``paths``."""
+    program = build_program(paths)
+    return analyze_units_program(program, rules)
+
+
+def analyze_units_program(
+    program: Program, rules: Sequence[str] = DEFAULT_RULES
+) -> UnitsReport:
+    unknown = set(rules) - set(UNITS_RULES)
+    if unknown:
+        raise ValueError(f"unknown units rules: {sorted(unknown)}")
+    report = UnitsReport(rules=tuple(rules))
+    for module, info, node in program.functions.values():
+        checker = _FunctionChecker(program, module, info, node, set(rules))
+        checker.run()
+        report.findings.extend(checker.findings)
+        report.functions_analyzed += 1
+    report.findings = [
+        f for f in report.findings
+        if not _suppressed(f, program)
+    ]
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def _suppressed(finding: UnitFinding, program: Program) -> bool:
+    line = program.source_line(finding.path, finding.line)
+    match = _SUPPRESS.search(line)
+    if match is None:
+        return False
+    listed = match.group(1)
+    if listed is None:
+        return True
+    return finding.rule in {name.strip() for name in listed.split(",")}
+
+
+def _compatible(a: Optional[str], b: Optional[str]) -> bool:
+    if a is None or b is None or a == LITERAL or b == LITERAL:
+        return True
+    return str(a) == str(b)
+
+
+def _merge(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Unit of a combination of compatible operands."""
+    for candidate in (a, b):
+        if candidate is not None and candidate != LITERAL:
+            return str(candidate)
+    if a == LITERAL or b == LITERAL:
+        return LITERAL
+    return None
+
+
+def _as_quantity(unit: Optional[str]) -> Optional[str]:
+    """In additive/compare position an ``NS_PER_X`` constant *is* ns."""
+    return "ns" if isinstance(unit, _Factor) else unit
+
+
+def _describe(unit: Optional[str]) -> str:
+    return "a literal" if unit == LITERAL else str(unit)
+
+
+class _FunctionChecker:
+    """Infers and checks units through one function body."""
+
+    def __init__(
+        self,
+        program: Program,
+        module: ModuleInfo,
+        info,  # Optional[ClassInfo]
+        node: ast.FunctionDef,
+        rules: set,
+    ) -> None:
+        self.program = program
+        self.module = module
+        self.info = info
+        self.node = node
+        self.rules = rules
+        self.findings: List[UnitFinding] = []
+        self.type_env = _param_env(node, info, module, program)
+        self.env: Dict[str, Optional[str]] = {}
+        for arg in list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        ):
+            unit = unit_of_name(arg.arg)
+            if unit:
+                self.env[arg.arg] = unit
+        self.return_unit = unit_of_name(node.name)
+
+    # -- plumbing -------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule not in self.rules:
+            return
+        self.findings.append(UnitFinding(
+            rule=rule,
+            path=self.module.path,
+            line=getattr(node, "lineno", self.node.lineno),
+            message=message,
+        ))
+
+    # -- statements -----------------------------------------------------
+    def run(self) -> None:
+        self._walk(self.node.body)
+
+    def _walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, unit, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            unit = self.infer(stmt.value) if stmt.value is not None else None
+            self._bind_target(stmt.target, unit, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value_unit = self.infer(stmt.value)
+            target_unit = self.infer(stmt.target)
+            if isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mod)):
+                self._check_additive(stmt, target_unit, value_unit)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self.infer(stmt.value)
+                if self.return_unit and not _compatible(
+                    unit, self.return_unit
+                ):
+                    self._report(
+                        RULE_UNIT_RETURN, stmt,
+                        f"{self.node.name}() is named as returning "
+                        f"{self.return_unit} but returns "
+                        f"{_describe(unit)}",
+                    )
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.infer(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self.infer(stmt.iter)
+            self._bind_target(stmt.target, None, stmt, check=False)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+        # nested defs/classes have their own checker pass; skip here
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        unit: Optional[str],
+        stmt: ast.stmt,
+        check: bool = True,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of_name(target.id)
+            if declared:
+                if check and not _compatible(unit, declared):
+                    self._report(
+                        RULE_UNIT_MISMATCH, stmt,
+                        f"{target.id} ({declared}) assigned "
+                        f"{_describe(unit)}",
+                    )
+                self.env[target.id] = declared
+            else:
+                self.env[target.id] = (
+                    unit if unit != LITERAL else None
+                )
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of_name(target.attr)
+            if declared and check and not _compatible(unit, declared):
+                self._report(
+                    RULE_UNIT_MISMATCH, stmt,
+                    f"{ast.unparse(target)} ({declared}) assigned "
+                    f"{_describe(unit)}",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None, stmt, check=False)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None, stmt, check=False)
+
+    # -- expressions ----------------------------------------------------
+    def infer(self, node: Optional[ast.expr]) -> Optional[str]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return LITERAL
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in _NS_FACTORS:
+                return _Factor(_NS_FACTORS[node.id])
+            if node.id in _BPS_CONSTANTS:
+                return "bps"
+            if node.id in self.env:
+                return self.env[node.id]
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            if node.attr in _NS_FACTORS:
+                return _Factor(_NS_FACTORS[node.attr])
+            if node.attr in _BPS_CONSTANTS:
+                return "bps"
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Compare):
+            left_unit = self.infer(node.left)
+            for comparator in node.comparators:
+                right_unit = self.infer(comparator)
+                self._check_additive(node, left_unit, right_unit,
+                                     context="compared with")
+                left_unit = right_unit
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            then_unit = self.infer(node.body)
+            else_unit = self.infer(node.orelse)
+            return _merge(then_unit, else_unit) if _compatible(
+                then_unit, else_unit
+            ) else None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.elts:
+                self.infer(element)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self.infer(key)
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value)
+            return None
+        if isinstance(node, ast.Subscript):
+            self.infer(node.value)
+            if isinstance(node.slice, ast.expr):
+                self.infer(node.slice)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                self.infer(generator.iter)
+            # comprehension targets shadow; element unit not tracked
+            return None
+        if isinstance(node, ast.DictComp):
+            for generator in node.generators:
+                self.infer(generator.iter)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        if isinstance(node, ast.Await):
+            return self.infer(node.value)
+        if isinstance(node, ast.Lambda):
+            return None
+        return None
+
+    def _check_additive(
+        self,
+        node: ast.AST,
+        left: Optional[str],
+        right: Optional[str],
+        context: str = "combined with",
+    ) -> None:
+        left, right = _as_quantity(left), _as_quantity(right)
+        if not _compatible(left, right):
+            self._report(
+                RULE_UNIT_MISMATCH, node,
+                f"{_describe(left)} {context} {_describe(right)}",
+            )
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[str]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            self._check_additive(node, left, right)
+            return _merge(_as_quantity(left), _as_quantity(right))
+        if isinstance(node.op, ast.Mult):
+            for factor, other, operand in (
+                (left, right, node.right), (right, left, node.left),
+            ):
+                if isinstance(factor, _Factor):
+                    scaled = str(factor)
+                    if other is not None and other != LITERAL and (
+                        not isinstance(other, _Factor)
+                    ) and other != scaled:
+                        self._report(
+                            RULE_UNIT_MISMATCH, node,
+                            f"NS_PER_{scaled.upper()} scales a {scaled} "
+                            f"value but got {_describe(other)}",
+                        )
+                    return "ns"
+            if left == LITERAL or left is None:
+                return right if right != LITERAL else (
+                    LITERAL if left == LITERAL else None
+                )
+            if right == LITERAL or right is None:
+                return left
+            return None  # unit * unit: dimension not tracked
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if isinstance(right, _Factor):
+                scaled = str(right)
+                if left is not None and left != LITERAL and (
+                    not isinstance(left, _Factor)
+                ) and left != "ns":
+                    self._report(
+                        RULE_UNIT_MISMATCH, node,
+                        f"dividing {_describe(left)} by NS_PER_"
+                        f"{scaled.upper()} expects ns",
+                    )
+                return scaled
+            if left is not None and left != LITERAL and left == right:
+                return None  # ratio of like units is dimensionless
+            if right == LITERAL or right is None:
+                return left if left != LITERAL else LITERAL
+            return None
+        return None
+
+    def _infer_call(self, node: ast.Call) -> Optional[str]:
+        arg_units = [self.infer(arg) for arg in node.args]
+        kw_units = {
+            kw.arg: self.infer(kw.value)
+            for kw in node.keywords if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.infer(kw.value)
+
+        # keyword names are signatures in miniature: check them even
+        # when the callee cannot be resolved (dataclass constructors).
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            declared = unit_of_name(kw.arg)
+            if not declared:
+                continue
+            unit = kw_units[kw.arg]
+            if not _compatible(unit, declared):
+                self._report(
+                    RULE_UNIT_CALL, kw.value,
+                    f"argument {kw.arg}= expects {declared} but got "
+                    f"{_describe(unit)}",
+                )
+            elif unit == LITERAL:
+                self._report(
+                    RULE_UNIT_LITERAL, kw.value,
+                    f"bare literal passed to {declared}-carrying "
+                    f"argument {kw.arg}=",
+                )
+
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _PASSTHROUGH_BUILTINS:
+            return arg_units[0] if arg_units else None
+        if isinstance(func, ast.Name) and func.id in _AGREEING_BUILTINS:
+            result: Optional[str] = None
+            for unit in arg_units:
+                self._check_additive(node, result, unit)
+                result = _merge(result, unit)
+            return result
+
+        callee = resolve_call(
+            node, self.type_env, self.info, self.module, self.program
+        )
+        if callee is not None:
+            converter = _CONVERTERS.get(callee)
+            if converter is not None:
+                expected, returned = converter
+                if arg_units and not _compatible(arg_units[0], expected):
+                    self._report(
+                        RULE_UNIT_CALL, node.args[0],
+                        f"{callee.rsplit('.', 1)[1]}() expects {expected} "
+                        f"but got {_describe(arg_units[0])}",
+                    )
+                return returned
+            entry = self.program.functions.get(callee)
+            if entry is None and callee in self.program.classes:
+                entry = self.program.functions.get(f"{callee}.__init__")
+            if entry is not None:
+                params = signature_of(entry[2])
+                offset = 1 if params[:1] == ("self",) else 0
+                for index, unit in enumerate(arg_units):
+                    slot = index + offset
+                    if slot >= len(params):
+                        break
+                    declared = unit_of_name(params[slot])
+                    if not declared:
+                        continue
+                    if not _compatible(unit, declared):
+                        self._report(
+                            RULE_UNIT_CALL, node.args[index],
+                            f"parameter {params[slot]} of "
+                            f"{callee.rsplit('.', 1)[1]}() expects "
+                            f"{declared} but got {_describe(unit)}",
+                        )
+                    elif unit == LITERAL:
+                        self._report(
+                            RULE_UNIT_LITERAL, node.args[index],
+                            f"bare literal passed to {declared}-carrying "
+                            f"parameter {params[slot]} of "
+                            f"{callee.rsplit('.', 1)[1]}()",
+                        )
+            return unit_of_name(callee.rsplit(".", 1)[1])
+
+        # unresolved: the method's own name is still a unit signature
+        # (time.monotonic_ns(), store.version_ns(), ...)
+        if isinstance(func, ast.Attribute):
+            self.infer(func.value)
+            return unit_of_name(func.attr)
+        if isinstance(func, ast.Name):
+            return unit_of_name(func.id)
+        self.infer(func)
+        return None

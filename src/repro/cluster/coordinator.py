@@ -68,6 +68,7 @@ from repro.core.gcl_audit import audit_gcl
 from repro.core.schedule import NetworkSchedule
 from repro.model.stream import Stream, TctRequirement
 from repro.model.topology import TopologyError
+from repro.check.sanitizer import make_lock
 from repro.obs.context import TraceContext
 from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.export import cluster_to_prometheus
@@ -166,14 +167,17 @@ class ClusterCoordinator:
                     store, config=self._config, tracer=self._tracer,
                     events=self._events,
                 ),
-                lock=threading.Lock(),
+                lock=make_lock(
+                    "_ShardRuntime.lock",
+                    group="cluster.shards", key=shard.name,
+                ),
             )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers or len(partition.shards),
             thread_name_prefix="repro-cluster",
         )
         self._metrics.gauge("cluster.shards").set(len(partition.shards))
-        self._lock = threading.Lock()
+        self._lock = make_lock("ClusterCoordinator._lock")
         self._request_counter = 0
         #: names claimed by admits between placement and decision,
         #: guarded by ``_lock`` — closes the window in which two

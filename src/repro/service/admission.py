@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.proof import CertificateError
+from repro.check.sanitizer import make_lock
 from repro.cnc.qcc import Deployment, deployment_from_schedule
 from repro.core.baselines import schedule_etsn
 from repro.core.heuristic import schedule_heuristic
@@ -165,7 +166,10 @@ class AdmissionService:
         self._events = events if events is not None else NULL_EVENT_LOG
         self._queue: Deque[AdmissionRequest] = deque()
         self._request_spans: Dict[int, object] = {}
-        self._write_lock = threading.Lock()
+        self._write_lock = make_lock("AdmissionService._write_lock")
+        # Guards only the enqueue/drain staging queue; never held while
+        # solving, and always released before _write_lock is taken.
+        self._queue_lock = make_lock("AdmissionService._queue_lock")
         self._request_counter = 0
         self._batch_counter = 0
         self._last_deployment: Optional[Deployment] = None
@@ -255,15 +259,18 @@ class AdmissionService:
 
     def enqueue(self, request: AdmissionRequest) -> None:
         """Queue a request for the next :meth:`drain`."""
-        self._queue.append(request)
-        self._metrics.gauge("queue.depth").set(len(self._queue))
+        with self._queue_lock:
+            self._queue.append(request)
+            # the gauge update stays under the lock so concurrent
+            # enqueues cannot publish depths out of order
+            self._metrics.gauge("queue.depth").set(len(self._queue))
 
     def drain(self) -> List[Decision]:
         """Decide everything queued so far, in arrival order."""
-        pending: List[AdmissionRequest] = []
-        while self._queue:
-            pending.append(self._queue.popleft())
-            self._metrics.gauge("queue.depth").set(len(self._queue))
+        with self._queue_lock:
+            pending = list(self._queue)
+            self._queue.clear()
+        self._metrics.gauge("queue.depth").set(0)
         return self.submit_many(pending) if pending else []
 
     # -- batching ------------------------------------------------------
@@ -285,7 +292,8 @@ class AdmissionService:
         return batches
 
     def _new_batch(self, requests: List[AdmissionRequest]) -> _Batch:
-        self._batch_counter += 1
+        # reached only from submit_many, under _write_lock
+        self._batch_counter += 1  # repro: lint-ok[lock-discipline]
         return _Batch(requests=list(requests), batch_id=self._batch_counter)
 
     # -- batch processing ----------------------------------------------
@@ -303,11 +311,12 @@ class AdmissionService:
                         op=request.op, stream=request.stream_name,
                     )
             outer = self._request_spans
-            self._request_spans = spans
+            # reached only from submit_many, under _write_lock
+            self._request_spans = spans  # repro: lint-ok[lock-discipline]
             try:
                 return self._process_batch_traced(batch)
             finally:
-                self._request_spans = outer
+                self._request_spans = outer  # repro: lint-ok[lock-discipline]
                 # Requests decided by a splintered or rebased sub-batch
                 # got their outcome on the sub-batch's span; close the
                 # superseded batch-level span without one.
@@ -439,7 +448,8 @@ class AdmissionService:
         batch_size: int = 1,
         attempts: Optional[Dict[str, str]] = None,
     ) -> Decision:
-        self._request_counter += 1
+        # _decide runs inside batch processing, under _write_lock
+        self._request_counter += 1  # repro: lint-ok[lock-discipline]
         self._metrics.counter("requests.total").inc()
         self._metrics.counter(
             "requests.admitted" if accepted else "requests.rejected"
@@ -740,7 +750,8 @@ class AdmissionService:
         deployment = deployment_from_schedule(
             schedule, mode=self._config.gcl_mode
         )
-        self._last_deployment = deployment
+        # deployments are emitted from the publish path, under _write_lock
+        self._last_deployment = deployment  # repro: lint-ok[lock-discipline]
         self._metrics.counter("deployments.emitted").inc()
         if self._on_deploy is not None:
             self._on_deploy(deployment)

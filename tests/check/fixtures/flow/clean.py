@@ -1,0 +1,42 @@
+"""Fixture: locks and units used correctly — zero findings expected
+from both ``repro check flow`` and ``repro check units``."""
+
+import threading
+from typing import List, Optional
+
+from repro.model.units import NS_PER_US, ns_to_us
+
+
+class Leaf:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+
+class Root:
+    def __init__(self, leaf: "Leaf") -> None:
+        self._lock = threading.Lock()
+        self.leaf = leaf
+        self._tallies: List[int] = []
+
+    def tick(self) -> None:
+        with self._lock:
+            self._tallies.append(1)
+            self.leaf.bump()
+
+
+def budget_ns(period_ns: int, slack_ns: int) -> int:
+    total_ns = period_ns + slack_ns
+    return total_ns
+
+
+def widen_ns(window_ns: int, margin_us: int) -> int:
+    return window_ns + margin_us * NS_PER_US
+
+
+def report_us(window_ns: int) -> float:
+    return ns_to_us(window_ns)

@@ -1,0 +1,48 @@
+"""Fixture: same-identity loop acquisitions, sorted vs unsorted.
+
+``SortedCommit`` mirrors the two-phase commit discipline: the member
+list is assigned from ``sorted(...)``, so acquiring one lock per
+iteration is deterministic and deadlock-free — a checked ordered site,
+not a finding.  ``UnsortedCommit`` drops the ``sorted`` and must be
+flagged as lock-reentrant.  Never imported at runtime.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class Member:
+    name: str
+    lock: threading.Lock
+
+
+class SortedCommit:
+    def __init__(self, members: List[Member]) -> None:
+        self._members = sorted(members, key=lambda m: m.name)
+
+    def commit(self) -> None:
+        held: List[Member] = []
+        try:
+            for member in self._members:
+                member.lock.acquire()
+                held.append(member)
+        finally:
+            for member in reversed(held):
+                member.lock.release()
+
+
+class UnsortedCommit:
+    def __init__(self, members: List[Member]) -> None:
+        self._members = list(members)
+
+    def commit(self) -> None:
+        held: List[Member] = []
+        try:
+            for member in self._members:
+                member.lock.acquire()
+                held.append(member)
+        finally:
+            for member in reversed(held):
+                member.lock.release()

@@ -1,0 +1,32 @@
+"""Fixture: first half of a three-lock cycle spanning two modules.
+
+Alpha holds its lock while calling into Beta; Beta holds its lock
+while calling into :mod:`cycle_b`'s Gamma.  ``cycle_b.Gamma.backward``
+closes the loop back to Alpha, so the three locks form a cycle in the
+may-hold-before relation.  Never imported at runtime — parsed only.
+"""
+
+import threading
+from typing import Optional
+
+from cycle_b import Gamma
+
+
+class Alpha:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.beta: Optional["Beta"] = None
+
+    def forward(self) -> None:
+        with self._lock:
+            self.beta.middle()
+
+
+class Beta:
+    def __init__(self, gamma: "Gamma") -> None:
+        self._lock = threading.Lock()
+        self.gamma = gamma
+
+    def middle(self) -> None:
+        with self._lock:
+            self.gamma.finish()

@@ -1,0 +1,19 @@
+"""Fixture: second half of the three-lock cycle (see cycle_a)."""
+
+import threading
+
+from cycle_a import Alpha
+
+
+class Gamma:
+    def __init__(self, alpha: "Alpha") -> None:
+        self._lock = threading.Lock()
+        self.alpha = alpha
+
+    def finish(self) -> None:
+        with self._lock:
+            pass
+
+    def backward(self) -> None:
+        with self._lock:
+            self.alpha.forward()

@@ -1,0 +1,31 @@
+"""Fixture: A -> B -> A re-entrant acquisition.
+
+``Outer.enter`` holds ``Outer._lock`` and calls ``Inner.work``, which
+calls back into ``Outer.reenter`` — re-acquiring the same
+non-reentrant lock through the call chain.  Never imported at runtime.
+"""
+
+import threading
+from typing import Optional
+
+
+class Outer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.inner: Optional["Inner"] = None
+
+    def enter(self) -> None:
+        with self._lock:
+            self.inner.work()
+
+    def reenter(self) -> None:
+        with self._lock:
+            pass
+
+
+class Inner:
+    def __init__(self, outer: "Outer") -> None:
+        self.outer = outer
+
+    def work(self) -> None:
+        self.outer.reenter()

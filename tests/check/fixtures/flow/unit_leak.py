@@ -1,0 +1,17 @@
+"""Fixture: a ``_us`` value leaking into ``_ns`` call boundaries."""
+
+
+def gate_open_ns(window_ns: int) -> int:
+    return window_ns
+
+
+def schedule_gate(slack_us: int) -> int:
+    return gate_open_ns(slack_us)
+
+
+def schedule_gate_keyword(slack_us: int) -> int:
+    return gate_open_ns(window_ns=slack_us)
+
+
+def widen_window_ns(window_ns: int, margin_us: int) -> int:
+    return window_ns + margin_us

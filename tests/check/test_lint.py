@@ -109,6 +109,81 @@ class TestLockDiscipline:
         )
         assert _lint(source, path="src/repro/service/metrics.py") == []
 
+    def test_acquire_release_region_counts_as_locked(self):
+        source = (
+            "import threading\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = {}\n"
+            "    def add(self, k, v):\n"
+            "        self._lock.acquire()\n"
+            "        try:\n"
+            "            self._items[k] = v\n"
+            "        finally:\n"
+            "            self._lock.release()\n"
+        )
+        assert _lint(source, path="src/repro/service/metrics.py") == []
+
+    def test_mutation_after_release_flagged(self):
+        source = (
+            "import threading\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = {}\n"
+            "    def add(self, k, v):\n"
+            "        self._lock.acquire()\n"
+            "        self._lock.release()\n"
+            "        self._items[k] = v\n"
+        )
+        findings = _lint(source, path="src/repro/service/metrics.py")
+        assert _rules(findings) == ["lock-discipline"]
+
+    def test_rlock_alias_attr_is_recognized(self):
+        source = (
+            "import threading\n"
+            "class Registry:\n"
+            "    def __init__(self):\n"
+            "        self._write_lock = threading.RLock()\n"
+            "        self._items = {}\n"
+            "    def good(self, k, v):\n"
+            "        with self._write_lock:\n"
+            "            self._items[k] = v\n"
+            "    def bad(self, k, v):\n"
+            "        self._items[k] = v\n"
+        )
+        findings = _lint(source, path="src/repro/service/metrics.py")
+        assert _rules(findings) == ["lock-discipline"]
+        assert findings[0].line == 10
+
+    def test_make_lock_alias_attr_is_recognized(self):
+        source = (
+            "from repro.check.sanitizer import make_lock\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._store_lock = make_lock('Store._store_lock')\n"
+            "        self._items = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self._store_lock:\n"
+            "            self._items[k] = v\n"
+        )
+        assert _lint(source, path="src/repro/service/metrics.py") == []
+
+    def test_plain_attr_assignment_is_not_a_lock(self):
+        source = (
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._guard = object()\n"
+            "        self._items = {}\n"
+            "    def add(self, k, v):\n"
+            "        with self._guard:\n"
+            "            self._items[k] = v\n"
+        )
+        # _guard is not a lock factory: the class owns no lock at all,
+        # so the rule does not engage
+        assert _lint(source, path="src/repro/service/metrics.py") == []
+
 
 class TestBareExcept:
     def test_bare_except_flagged(self):

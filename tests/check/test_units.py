@@ -1,0 +1,195 @@
+"""Time-unit analysis: per-rule expectations on the leak fixture,
+conversion-constant handling, rule selection, suppressions, and the
+acceptance gate that the shipped tree is clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.units_analysis import (
+    DEFAULT_RULES,
+    UNITS_RULES,
+    analyze_units,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+
+def _rules(report):
+    return [f.rule for f in report.findings]
+
+
+def _analyze_source(tmp_path, source, rules=DEFAULT_RULES):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return analyze_units([str(path)], rules=rules)
+
+
+class TestLeakFixture:
+    def test_us_to_ns_positional_leak(self):
+        report = analyze_units([str(FIXTURES / "unit_leak.py")])
+        calls = [f for f in report.findings if f.rule == "unit-call"]
+        assert len(calls) == 2  # positional and keyword form
+        assert any("window_ns" in f.message and "us" in f.message
+                   for f in calls)
+
+    def test_mixed_unit_arithmetic(self):
+        report = analyze_units([str(FIXTURES / "unit_leak.py")])
+        mixed = [f for f in report.findings if f.rule == "unit-mismatch"]
+        assert len(mixed) == 1
+        assert "ns" in mixed[0].message and "us" in mixed[0].message
+
+    def test_clean_fixture_is_clean(self):
+        report = analyze_units([str(FIXTURES / "clean.py")])
+        assert report.findings == []
+
+
+class TestRules:
+    def test_unit_return(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def window_ns(gap_us: int) -> int:\n    return gap_us\n",
+        )
+        assert _rules(report) == ["unit-return"]
+
+    def test_assignment_mismatch(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(gap_us: int):\n    deadline_ns = gap_us\n",
+        )
+        assert _rules(report) == ["unit-mismatch"]
+
+    def test_comparison_mismatch(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(a_ns: int, b_ms: int):\n    return a_ns < b_ms\n",
+        )
+        assert _rules(report) == ["unit-mismatch"]
+
+    def test_min_max_mismatch(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(a_ns: int, b_us: int):\n    return max(a_ns, b_us)\n",
+        )
+        assert _rules(report) == ["unit-mismatch"]
+
+    def test_literals_are_polymorphic(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(a_ns: int):\n    return a_ns + 100\n",
+        )
+        assert report.findings == []
+
+    def test_unknown_units_are_compatible(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(a_ns: int, other):\n    return a_ns + other\n",
+        )
+        assert report.findings == []
+
+    def test_unit_literal_is_off_by_default(self, tmp_path):
+        source = (
+            "def takes(period_ns: int):\n    return period_ns\n"
+            "def f():\n    return takes(period_ns=4_000_000)\n"
+        )
+        assert _analyze_source(tmp_path, source).findings == []
+        pedantic = _analyze_source(
+            tmp_path, source, rules=("unit-literal",)
+        )
+        assert _rules(pedantic) == ["unit-literal"]
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            _analyze_source(tmp_path, "x = 1\n", rules=("bogus",))
+
+
+class TestConversions:
+    def test_ns_per_us_scales_us_to_ns(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "NS_PER_US = 1_000\n"
+            "def f(gap_us: int):\n"
+            "    window_ns = gap_us * NS_PER_US\n"
+            "    return window_ns\n",
+        )
+        assert report.findings == []
+
+    def test_ns_per_us_rejects_ms_operand(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "NS_PER_US = 1_000\n"
+            "def f(gap_ms: int):\n"
+            "    window_ns = gap_ms * NS_PER_US\n"
+            "    return window_ns\n",
+        )
+        assert _rules(report) == ["unit-mismatch"]
+
+    def test_floor_div_converts_down(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "NS_PER_MS = 1_000_000\n"
+            "def f(span_ns: int):\n"
+            "    span_ms = span_ns // NS_PER_MS\n"
+            "    return span_ms\n",
+        )
+        assert report.findings == []
+
+    def test_constant_is_an_ns_quantity_additively(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "NS_PER_S = 1_000_000_000\n"
+            "def f(value_ns: int):\n"
+            "    return value_ns >= NS_PER_S\n",
+        )
+        assert report.findings == []
+
+    def test_model_units_converters_check_their_argument(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "from repro.model.units import microseconds\n"
+            "def f(budget_ns: int):\n"
+            "    return microseconds(budget_ns)\n",
+        )
+        assert _rules(report) == ["unit-call"]
+        assert "microseconds" in report.findings[0].message
+
+    def test_converter_return_unit_propagates(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "from repro.model.units import milliseconds\n"
+            "def f(slack_us: int):\n"
+            "    gap_ns = milliseconds(5)\n"
+            "    return gap_ns + slack_us\n",
+        )
+        assert _rules(report) == ["unit-mismatch"]
+
+
+class TestSuppressions:
+    def test_flow_ok_suppresses(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(gap_us: int):\n"
+            "    deadline_ns = gap_us  # repro: flow-ok[unit-mismatch]\n",
+        )
+        assert report.findings == []
+
+    def test_other_rule_does_not_apply(self, tmp_path):
+        report = _analyze_source(
+            tmp_path,
+            "def f(gap_us: int):\n"
+            "    deadline_ns = gap_us  # repro: flow-ok[unit-call]\n",
+        )
+        assert _rules(report) == ["unit-mismatch"]
+
+
+def test_json_round_trip():
+    report = analyze_units([str(FIXTURES / "unit_leak.py")])
+    data = json.loads(report.to_json())
+    assert data["rules"] == list(DEFAULT_RULES)
+    assert all(f["rule"] in UNITS_RULES for f in data["findings"])
+
+
+def test_shipped_tree_is_clean():
+    report = analyze_units(["src/repro"])
+    assert report.findings == []
