@@ -66,13 +66,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.gcl import NetworkGcl, build_gcl
 from repro.core.gcl_audit import audit_gcl
 from repro.core.schedule import NetworkSchedule
-from repro.model.stream import Stream, TctRequirement
+from repro.model.stream import Stream, StreamError, TctRequirement
 from repro.model.topology import TopologyError
 from repro.check.sanitizer import make_lock
 from repro.obs.context import TraceContext
 from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.export import cluster_to_prometheus
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.service import fastpath as fastpath_module
 from repro.service.admission import AdmissionService, ServiceConfig, empty_schedule
 from repro.service.metrics import MetricsRegistry
 from repro.service.requests import (
@@ -548,6 +549,25 @@ class ClusterCoordinator:
         """Admit or remove one cross-shard stream via two-phase publish."""
         started = self._clock()
         attempts: Dict[str, str] = {}
+        if isinstance(request, AdmitTct) and self._config.fastpath:
+            # Screen the *global* route before the two-phase machinery
+            # spins up: the wire-time floor over the whole path is a
+            # necessary condition regardless of how the e2e budget is
+            # split across shard segments (store-and-forward can only
+            # add latency), so a conclusive reject here saves a
+            # prepare/abort round across every participant shard.
+            reason = None
+            try:
+                stream = request.requirement.resolve(
+                    self._partition.topology
+                )
+                reason = fastpath_module.screen_route(stream)
+            except (StreamError, ValueError, KeyError):
+                pass  # routing problems get their structured reason below
+            if reason is not None:
+                self._metrics.counter("cluster.fastpath_rejects").inc()
+                attempts["fastpath"] = reason
+                return self._reject(request, reason, attempts=attempts)
         try:
             participants = self._participants_for(request, attempts)
         except PrepareFailure as exc:

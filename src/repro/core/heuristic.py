@@ -53,6 +53,9 @@ class _Occupancy:
     def __init__(self, streams_by_name: Dict[str, Stream]) -> None:
         self._streams = streams_by_name
         self._by_link: Dict[Tuple[str, str], List[FrameSlot]] = {}
+        # may_overlap() is pure in the stream pair; the fit loop asks the
+        # same pairs thousands of times, so memoize by name pair
+        self._exempt: Dict[Tuple[str, str], bool] = {}
 
     def add(self, slot: FrameSlot) -> None:
         self._by_link.setdefault(slot.link, []).append(slot)
@@ -78,11 +81,16 @@ class _Occupancy:
         # bound is generous because clearing one pattern can re-enter
         # another's forbidden residue a few times before escaping.
         guard = max(1024, 32 * (len(others) + 2))
+        exempt = self._exempt
         for _ in range(guard):
             shifted = False
             for slot in others:
-                other_stream = self._streams[slot.stream]
-                if may_overlap(stream, other_stream):
+                pair = (stream.name, slot.stream)
+                exempted = exempt.get(pair)
+                if exempted is None:
+                    exempted = may_overlap(stream, self._streams[slot.stream])
+                    exempt[pair] = exempted
+                if exempted:
                     continue
                 try:
                     shift = earliest_gap_shift(

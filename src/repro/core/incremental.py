@@ -61,6 +61,24 @@ def _register(occupancy: _Occupancy, new_streams: Sequence[Stream]) -> None:
         occupancy._streams[stream.name] = stream  # noqa: SLF001 - same package
 
 
+def affected_sharing_streams(
+    schedule: NetworkSchedule, ect: EctStream
+) -> List[Stream]:
+    """The sharing TCT streams whose reservations a new ECT reshapes.
+
+    Exactly the deterministic ``share=True`` streams crossing any link
+    of the ECT's route: prudent reservation (Alg. 1) adds extras per
+    (sharing TCT x ECT) pair per shared link, so these — and only
+    these — need re-placement when ``ect`` is admitted.
+    """
+    ect_links = {link.key for link in ect.route(schedule.topology)}
+    return [
+        s for s in schedule.streams
+        if s.type == StreamType.DET and s.share
+        and any(link.key in ect_links for link in s.path)
+    ]
+
+
 def add_tct_stream(
     schedule: NetworkSchedule,
     stream: Stream,
@@ -70,8 +88,8 @@ def add_tct_stream(
     """Admit one TCT stream into a frozen schedule.
 
     The new stream must not share slots with ECT (``share=False``); use
-    :func:`add_ect_stream`-style re-admission for shared streams, whose
-    reservations interact with existing ECT.
+    :func:`add_shared_tct_stream` for sharing streams, whose own
+    reservations depend on the existing ECT set.
     """
     if stream.type != StreamType.DET:
         raise ValueError("add_tct_stream takes a deterministic stream")
@@ -86,6 +104,65 @@ def add_tct_stream(
         raise ValueError(f"stream {stream.name!r} already scheduled")
 
     plan = prudent_reservation([stream])
+    frames = build_frames([stream], plan, guard_margin_ns)
+    occupancy = _occupancy_of(schedule)
+    _register(occupancy, [stream])
+    try:
+        placed = _place_stream(stream, frames, occupancy)
+    except _PlacementFailure as exc:
+        raise InfeasibleError(f"cannot admit {stream.name}: {exc}") from exc
+
+    result = _clone(schedule)
+    result.streams.append(stream)
+    for slot in placed:
+        result.slots.setdefault((slot.stream, slot.link), []).append(slot)
+    for key in [(stream.name, link.key) for link in stream.path]:
+        result.slots[key].sort(key=lambda s: s.index)
+    result.meta["incremental_additions"] = (
+        schedule.meta.get("incremental_additions", 0) + 1
+    )
+    if validate_result:
+        validate(result)
+    return result
+
+
+def add_shared_tct_stream(
+    schedule: NetworkSchedule,
+    stream: Stream,
+    guard_margin_ns: int = 0,
+    reservation_mode: str = "paper",
+    validate_result: bool = True,
+) -> NetworkSchedule:
+    """Admit one *sharing* TCT stream into a frozen schedule.
+
+    Prudent reservation (Alg. 1) computes a stream's extras from that
+    stream's own ``share`` flag and the ECT possibilities on its links —
+    never from the other TCT streams.  A new sharing stream therefore
+    adds only *its own* extra slots; every existing stream's slot list
+    (extras included) is unchanged.  That makes online admission sound:
+    freeze everything, compute the candidate's reservation against the
+    full population, and place its base+extra frames earliest-fit.
+
+    The blanket refusal in :func:`add_tct_stream` predates this
+    analysis and is kept there so the ladder's full re-solve rung still
+    exercises the offline path when the fast path is disabled.
+    """
+    if stream.type != StreamType.DET:
+        raise ValueError("add_shared_tct_stream takes a deterministic stream")
+    if not stream.share:
+        return add_tct_stream(
+            schedule, stream, guard_margin_ns, validate_result
+        )
+    Priorities.check(stream)
+    if any(s.name == stream.name for s in schedule.streams):
+        raise ValueError(f"stream {stream.name!r} already scheduled")
+
+    # the candidate's extras depend on the ECT possibilities sharing its
+    # links, so the plan must see the whole population — but only the
+    # candidate's rows of the plan are used
+    plan = prudent_reservation(
+        list(schedule.streams) + [stream], mode=reservation_mode
+    )
     frames = build_frames([stream], plan, guard_margin_ns)
     occupancy = _occupancy_of(schedule)
     _register(occupancy, [stream])
@@ -125,17 +202,12 @@ def add_ect_stream(
     if any(e.name == ect.name for e in schedule.ect_streams):
         raise ValueError(f"ECT stream {ect.name!r} already scheduled")
     possibilities = expand_ect(ect, schedule.topology)
-    ect_links = {link.key for link in ect.route(schedule.topology)}
 
     old_streams = list(schedule.streams)
     new_streams = old_streams + possibilities
     plan_after = prudent_reservation(new_streams, mode=reservation_mode)
 
-    affected = [
-        s for s in old_streams
-        if s.type == StreamType.DET and s.share
-        and any(link.key in ect_links for link in s.path)
-    ]
+    affected = affected_sharing_streams(schedule, ect)
     affected_names = {s.name for s in affected}
 
     result = _clone(schedule)

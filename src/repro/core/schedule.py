@@ -237,8 +237,68 @@ def validate(schedule: NetworkSchedule) -> None:
     _validate_alignment(schedule)
 
 
-def _validate_completeness(schedule: NetworkSchedule) -> None:
-    for stream in schedule.streams:
+def validate_delta(schedule: NetworkSchedule, changed_names) -> None:
+    """Validate only the constraints that involve the changed streams.
+
+    Sound shortcut for incremental edits: when ``schedule`` was derived
+    from a fully validated schedule by adding/re-placing exactly the
+    streams in ``changed_names`` (all other slots untouched), every
+    constraint class is either per-stream (windows, sequencing, e2e,
+    adjacency, alignment, completeness — unaffected streams still hold
+    by assumption) or pairwise on a link (overlap — pairs of unchanged
+    streams still hold by assumption).  Checking the changed streams
+    per-stream plus changed-vs-all overlap therefore decides exactly
+    what :func:`validate` would, at a cost proportional to the edit
+    instead of the whole schedule.
+    """
+    changed = set(changed_names)
+    streams = [s for s in schedule.streams if s.name in changed]
+    missing = changed - {s.name for s in streams}
+    if missing:
+        raise ScheduleError(
+            f"validate_delta: changed streams {sorted(missing)} are not "
+            f"in the schedule"
+        )
+    _validate_completeness(schedule, streams)
+    _validate_time_constraints(schedule, streams)
+    _validate_sequencing(schedule, streams)
+    _validate_e2e(schedule, streams)
+    _validate_overlap_delta(schedule, changed)
+    _validate_adjacent_links(schedule, streams)
+    _validate_alignment(schedule, streams)
+
+
+def _validate_overlap_delta(schedule: NetworkSchedule, changed) -> None:
+    """Eq. 5 restricted to pairs with at least one changed stream."""
+    streams = {s.name: s for s in schedule.streams}
+    links_of_changed = set()
+    for name in changed:
+        for link in streams[name].path:
+            links_of_changed.add(link.key)
+    for key in links_of_changed:
+        frames = schedule.link_slots(key)
+        for i in range(len(frames)):
+            for j in range(i + 1, len(frames)):
+                a, b = frames[i], frames[j]
+                if a.stream not in changed and b.stream not in changed:
+                    continue
+                sa, sb = streams[a.stream], streams[b.stream]
+                if sa.name == sb.name:
+                    continue  # covered by sequencing + window checks
+                if may_overlap(sa, sb):
+                    continue
+                if periodic_overlap(
+                    a.offset_ns, a.duration_ns, a.period_ns,
+                    b.offset_ns, b.duration_ns, b.period_ns,
+                ):
+                    raise ScheduleError(
+                        f"link <{key[0]},{key[1]}>: {a.stream}[{a.index}] and "
+                        f"{b.stream}[{b.index}] overlap but are not allowed to"
+                    )
+
+
+def _validate_completeness(schedule: NetworkSchedule, streams=None) -> None:
+    for stream in schedule.streams if streams is None else streams:
         for link in stream.path:
             key = (stream.name, link.key)
             if key not in schedule.slots or not schedule.slots[key]:
@@ -251,9 +311,9 @@ def _validate_completeness(schedule: NetworkSchedule) -> None:
                 )
 
 
-def _validate_time_constraints(schedule: NetworkSchedule) -> None:
+def _validate_time_constraints(schedule: NetworkSchedule, streams=None) -> None:
     """Paper Eq. 1 (window) and Eq. 2 (occurrence time)."""
-    for stream in schedule.streams:
+    for stream in schedule.streams if streams is None else streams:
         # A probabilistic possibility with a late occurrence time may
         # spill into the next cycle (paper Fig. 6); its window widens to
         # ot + T.  The slot still repeats every T, modulo the cycle.
@@ -277,9 +337,9 @@ def _validate_time_constraints(schedule: NetworkSchedule) -> None:
                 )
 
 
-def _validate_sequencing(schedule: NetworkSchedule) -> None:
+def _validate_sequencing(schedule: NetworkSchedule, streams=None) -> None:
     """Paper Eq. 3: frames of one stream leave a link in order."""
-    for stream in schedule.streams:
+    for stream in schedule.streams if streams is None else streams:
         for link in stream.path:
             frames = schedule.slots[(stream.name, link.key)]
             for a, b in zip(frames, frames[1:]):
@@ -290,10 +350,10 @@ def _validate_sequencing(schedule: NetworkSchedule) -> None:
                     )
 
 
-def _validate_e2e(schedule: NetworkSchedule) -> None:
+def _validate_e2e(schedule: NetworkSchedule, streams=None) -> None:
     """Paper Eq. 4, tightened to count the last frame's wire time and
     propagation (reception-based latency, matching Sec. VI-A3)."""
-    for stream in schedule.streams:
+    for stream in schedule.streams if streams is None else streams:
         latency = schedule.scheduled_latency_ns(stream.name)
         if latency > stream.e2e_ns:
             raise ScheduleError(
@@ -327,9 +387,9 @@ def _validate_overlap(schedule: NetworkSchedule) -> None:
                     )
 
 
-def _validate_adjacent_links(schedule: NetworkSchedule) -> None:
+def _validate_adjacent_links(schedule: NetworkSchedule, streams=None) -> None:
     """Paper Eq. 7 with the prudent-reservation offset ``o``."""
-    for stream in schedule.streams:
+    for stream in schedule.streams if streams is None else streams:
         for up, down in zip(stream.path, stream.path[1:]):
             up_frames = schedule.slots[(stream.name, up.key)]
             down_frames = schedule.slots[(stream.name, down.key)]
@@ -348,9 +408,9 @@ def _validate_adjacent_links(schedule: NetworkSchedule) -> None:
                     )
 
 
-def _validate_alignment(schedule: NetworkSchedule) -> None:
+def _validate_alignment(schedule: NetworkSchedule, streams=None) -> None:
     """Every slot boundary must be drivable by its link's gate."""
-    for stream in schedule.streams:
+    for stream in schedule.streams if streams is None else streams:
         for link in stream.path:
             for slot in schedule.slots[(stream.name, link.key)]:
                 if slot.offset_ns % link.time_unit_ns != 0:

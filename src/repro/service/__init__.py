@@ -9,6 +9,7 @@ embedded :class:`MetricsRegistry` exportable as JSON.
 """
 
 from repro.service.admission import (
+    RUNG_FASTPATH,
     RUNG_FULL,
     RUNG_HEURISTIC,
     RUNG_INCREMENTAL,
@@ -40,6 +41,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RUNG_FASTPATH",
     "RUNG_FULL",
     "RUNG_HEURISTIC",
     "RUNG_INCREMENTAL",

@@ -30,6 +30,7 @@
 
 from __future__ import annotations
 
+import queue as queue_module
 import threading
 import time
 from collections import deque
@@ -52,6 +53,8 @@ from repro.core.schedule import (
 from repro.model.stream import EctStream, Stream, StreamError, StreamType
 from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.service import fastpath as fastpath_module
+from repro.service.fastpath import RUNG_FASTPATH, FastPathResult
 from repro.service.metrics import MetricsRegistry
 from repro.service.requests import (
     AdmissionRequest,
@@ -61,8 +64,10 @@ from repro.service.requests import (
     Remove,
 )
 from repro.service.store import ScheduleStore, StaleVersionError
+from repro.smt.warmstart import WarmStartCache
 
-#: Ladder rung names, in climb order.
+#: Ladder rung names, in climb order (``RUNG_FASTPATH`` sits below the
+#: ladder and is re-exported from :mod:`repro.service.fastpath`).
 RUNG_INCREMENTAL = "incremental"
 RUNG_FULL = "full"
 RUNG_HEURISTIC = "heuristic"
@@ -119,6 +124,23 @@ class ServiceConfig:
     #: evaluated against the original constraints before a schedule
     #: publishes.  Requires ``backend='smt'``.
     certify: bool = False
+    #: decide the common case analytically before any solver rung runs
+    #: (:mod:`repro.service.fastpath`): conclusive accepts and rejects
+    #: in microseconds, anything else falls through to the ladder.
+    #: Forced off under ``certify`` — certified verdicts must come from
+    #: the proof-logging solver.
+    fastpath: bool = True
+    #: race the ladder rungs concurrently instead of climbing in series;
+    #: first conclusive result wins, losers are abandoned through the
+    #: orphaned-solver plumbing.  Per-rung ``retries`` are not honoured
+    #: while racing (a raced rung gets exactly one attempt).  Forced off
+    #: under ``certify``.
+    portfolio: bool = False
+    #: reuse formula-independent DPLL(T) state (theory lemmas, branching
+    #: heuristics, potentials) across consecutive full-rung SMT solves
+    #: on one snapshot; invalidated on every publish.  No-op for the
+    #: heuristic backend and under ``certify``.
+    warm_start: bool = True
     rungs: Tuple[RungConfig, ...] = (
         RungConfig(RUNG_INCREMENTAL),
         RungConfig(RUNG_FULL),
@@ -173,6 +195,16 @@ class AdmissionService:
         self._request_counter = 0
         self._batch_counter = 0
         self._last_deployment: Optional[Deployment] = None
+        self._fastpath_on = (
+            self._config.fastpath and not self._config.certify
+        )
+        self._warm_cache: Optional[WarmStartCache] = (
+            WarmStartCache()
+            if (self._config.backend == "smt"
+                and self._config.warm_start
+                and not self._config.certify)
+            else None
+        )
 
     # -- public surface ------------------------------------------------
     @property
@@ -415,6 +447,14 @@ class AdmissionService:
                 # signal the bounded rebase loop to retry on a fresh
                 # snapshot.
                 return None
+            if self._warm_cache is not None:
+                # the published snapshot obsoletes every cached solver
+                # state — the next full solve starts from the new base
+                dropped = self._warm_cache.invalidate()
+                if dropped:
+                    self._metrics.counter(
+                        "warmstart.invalidations"
+                    ).inc(dropped)
             self._emit_deployment(schedule)
 
         ordered = []
@@ -458,6 +498,13 @@ class AdmissionService:
             f"decisions.{rung if accepted else 'rejected'}"
         ).inc()
         self._metrics.histogram("latency.decision_ms").observe(latency_ms)
+        if not accepted:
+            # rejections get their own latency distribution: a reject
+            # that climbs (or races) the whole ladder is the worst case
+            # the fast path's conclusive verdicts are meant to cut
+            self._metrics.histogram("latency.rejected_ms").observe(
+                latency_ms
+            )
         span = self._request_spans.pop(id(request), None)
         if span is not None:
             span.set(
@@ -538,7 +585,15 @@ class AdmissionService:
     def _climb_ladder(
         self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
     ) -> Tuple[Optional[Tuple[str, NetworkSchedule]], Dict[str, str]]:
-        """Try each rung in order; first success wins.
+        """Decide analytically if possible, otherwise run the rungs.
+
+        The fast path goes first: a conclusive accept returns without
+        any solver call, a conclusive reject skips the whole ladder
+        (the analytic checks are necessary conditions — no rung could
+        succeed), and a constructive fall-through skips the incremental
+        rung (the fast path already ran that computation and watched it
+        fail).  The remaining rungs then either climb in series or, with
+        ``portfolio=True``, race concurrently — first success wins.
 
         Returns ``((rung name, new schedule), attempts)`` on success or
         ``(None, attempts)`` with per-rung failure reasons.
@@ -549,15 +604,224 @@ class AdmissionService:
             RUNG_HEURISTIC: lambda: self._solve_heuristic(schedule, batch),
         }
         attempts: Dict[str, str] = {}
-        for rung in self._config.rungs:
-            solver = solvers.get(rung.name)
-            if solver is None:
+        rungs = list(self._config.rungs)
+        if self._fastpath_on:
+            verdict = self._run_fastpath(schedule, batch, attempts)
+            if verdict.verdict == fastpath_module.ACCEPT:
+                return (RUNG_FASTPATH, verdict.schedule), attempts
+            if verdict.verdict == fastpath_module.REJECT:
+                return None, attempts
+            if verdict.subsumes_incremental:
+                for rung in rungs:
+                    if rung.name == RUNG_INCREMENTAL:
+                        attempts[RUNG_INCREMENTAL] = (
+                            "subsumed by the fast path's failed "
+                            "constructive attempt"
+                        )
+                rungs = [r for r in rungs if r.name != RUNG_INCREMENTAL]
+
+        known = []
+        for rung in rungs:
+            if rung.name in solvers:
+                known.append(rung)
+            else:
                 attempts[rung.name] = "unknown rung"
-                continue
-            result = self._run_rung(rung, solver, attempts)
+        if (self._config.portfolio and not self._config.certify
+                and len(known) > 1):
+            outcome = self._race_rungs(known, solvers, attempts)
+            return outcome, attempts
+        for rung in known:
+            result = self._run_rung(rung, solvers[rung.name], attempts)
             if result is not None:
                 return (rung.name, result), attempts
         return None, attempts
+
+    def _run_fastpath(
+        self,
+        schedule: NetworkSchedule,
+        batch: Sequence[AdmissionRequest],
+        attempts: Dict[str, str],
+    ) -> FastPathResult:
+        """Run the analytic rung with full telemetry."""
+        self._metrics.counter("rungs.fastpath.attempts").inc()
+        started = self._clock()
+        with self._tracer.span(
+            "admission.rung", rung=RUNG_FASTPATH, attempt=0
+        ) as rung_span:
+            try:
+                result = fastpath_module.evaluate(
+                    schedule, batch,
+                    guard_margin_ns=self._config.guard_margin_ns,
+                    reservation_mode=self._config.reservation_mode,
+                )
+            except Exception as exc:  # noqa: BLE001 - keep the service up
+                self._metrics.counter("rungs.fastpath.errors").inc()
+                result = FastPathResult(
+                    fastpath_module.INCONCLUSIVE,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            latency_ms = (self._clock() - started) * 1e3
+            self._metrics.histogram(
+                "latency.rung.fastpath_ms"
+            ).observe(latency_ms)
+            if result.verdict == fastpath_module.ACCEPT:
+                self._metrics.counter("fastpath.accepts").inc()
+                self._metrics.counter("rungs.fastpath.successes").inc()
+                rung_span.set(outcome="success")
+            elif result.verdict == fastpath_module.REJECT:
+                self._metrics.counter("fastpath.rejects").inc()
+                self._metrics.counter("rungs.fastpath.failures").inc()
+                attempts[RUNG_FASTPATH] = result.reason
+                rung_span.set(outcome="infeasible")
+            else:
+                self._metrics.counter("fastpath.fallthroughs").inc()
+                attempts[RUNG_FASTPATH] = result.reason
+                rung_span.set(outcome="fallthrough")
+            if self._events.enabled:
+                self._events.emit(
+                    "admission.fastpath",
+                    verdict=result.verdict, reason=result.reason,
+                    requests=[r.stream_name for r in batch],
+                    latency_ms=round(latency_ms, 3),
+                )
+        return result
+
+    def _race_rungs(
+        self,
+        rungs: Sequence[RungConfig],
+        solvers: Dict[str, Callable[[], NetworkSchedule]],
+        attempts: Dict[str, str],
+    ) -> Optional[Tuple[str, NetworkSchedule]]:
+        """Race the rungs concurrently; first success wins.
+
+        Each rung runs on its own daemon thread under its own wall-clock
+        budget.  Losers — overdue rungs and the also-rans after a win —
+        are abandoned through the same plumbing as
+        :func:`_call_with_timeout`: ``solver.threads_abandoned`` counts
+        them, ``solver.orphans_running`` tracks the ones still burning
+        CPU (each orphan decrements it on exit), and their results are
+        discarded.
+        """
+        self._metrics.counter("portfolio.races").inc()
+        results: "queue_module.Queue[Tuple[RungConfig, str, object]]" = (
+            queue_module.Queue()
+        )
+        trace_ctx = self._tracer.current_context()
+        started = self._clock()
+
+        class _Entry:
+            __slots__ = ("rung", "state", "lock", "deadline")
+
+        entries: Dict[str, _Entry] = {}
+        for rung in rungs:
+            entry = _Entry()
+            entry.rung = rung
+            entry.state = {"abandoned": False, "finished": False}
+            entry.lock = threading.Lock()
+            entry.deadline = (
+                started + rung.timeout_s
+                if rung.timeout_s and rung.timeout_s > 0 else None
+            )
+            entries[rung.name] = entry
+            self._metrics.counter(f"rungs.{rung.name}.attempts").inc()
+
+            def worker(rung=rung, entry=entry) -> None:
+                with self._tracer.use_context(trace_ctx):
+                    with self._tracer.span(
+                        "admission.rung", rung=rung.name, attempt=0,
+                        raced=True,
+                    ) as rung_span:
+                        try:
+                            value = solvers[rung.name]()
+                        except (InfeasibleError, ScheduleError, StreamError,
+                                ValueError) as exc:
+                            rung_span.set(outcome="infeasible")
+                            payload = (rung, "infeasible", exc)
+                        except Exception as exc:  # noqa: BLE001
+                            rung_span.set(outcome="error")
+                            payload = (rung, "error", exc)
+                        else:
+                            rung_span.set(outcome="success")
+                            payload = (rung, "success", value)
+                with entry.lock:
+                    entry.state["finished"] = True
+                    if entry.state["abandoned"]:
+                        # loser or overdue: result discarded
+                        self._metrics.gauge("solver.orphans_running").add(-1)
+                        return
+                results.put(payload)
+
+            threading.Thread(
+                target=worker, name=f"repro-portfolio-{rung.name}",
+                daemon=True,
+            ).start()
+
+        def abandon(entry: _Entry, why: str) -> bool:
+            """Mark a still-running rung abandoned; True if it was live."""
+            with entry.lock:
+                if entry.state["finished"] or entry.state["abandoned"]:
+                    return False
+                entry.state["abandoned"] = True
+            self._metrics.counter("solver.threads_abandoned").inc()
+            self._metrics.gauge("solver.orphans_running").add(1)
+            self._metrics.counter("portfolio.losers_cancelled").inc()
+            if self._events.enabled:
+                self._events.emit(
+                    "solver.abandoned", rung=entry.rung.name, cause=why,
+                    timeout_s=entry.rung.timeout_s,
+                )
+            return True
+
+        winner: Optional[Tuple[str, NetworkSchedule]] = None
+        pending = dict(entries)
+        while pending and winner is None:
+            now = self._clock()
+            for name, entry in list(pending.items()):
+                if entry.deadline is not None and now >= entry.deadline:
+                    if abandon(entry, "timeout"):
+                        self._metrics.counter(
+                            f"rungs.{name}.timeouts"
+                        ).inc()
+                        attempts[name] = (
+                            f"solve exceeded {entry.rung.timeout_s:.3f}s "
+                            f"budget (raced)"
+                        )
+                        self._observe_rung_latency(entry.rung, started)
+                        del pending[name]
+            if not pending:
+                break
+            deadlines = [
+                e.deadline for e in pending.values() if e.deadline is not None
+            ]
+            wait_s = (
+                max(min(deadlines) - self._clock(), 0.001)
+                if deadlines else 0.05
+            )
+            try:
+                rung, status, payload = results.get(timeout=wait_s)
+            except queue_module.Empty:
+                continue
+            entry = pending.pop(rung.name, None)
+            if entry is None:
+                continue  # raced with its own timeout handling
+            self._observe_rung_latency(rung, started)
+            if status == "success":
+                self._metrics.counter(f"rungs.{rung.name}.successes").inc()
+                self._harvest_solver_stats(payload)
+                winner = (rung.name, payload)
+            elif status == "infeasible":
+                self._metrics.counter(f"rungs.{rung.name}.failures").inc()
+                attempts[rung.name] = str(payload)
+            else:
+                self._metrics.counter(f"rungs.{rung.name}.errors").inc()
+                attempts[rung.name] = (
+                    f"{type(payload).__name__}: {payload}"
+                )
+        # cancel the also-rans (their threads keep running to completion
+        # but their results are discarded and accounted as orphans)
+        for entry in pending.values():
+            abandon(entry, "lost race")
+        return winner
 
     def _run_rung(
         self,
@@ -711,12 +975,27 @@ class AdmissionService:
         self, schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
     ) -> NetworkSchedule:
         tct, ects = self._target_sets(schedule, batch)
+        warm_state = None
+        warm_sink = None
+        cache = self._warm_cache
+        if cache is not None:
+            # keyed on the snapshot identity: every publish builds a new
+            # schedule object, so a hit always means "same base formula
+            # shape" — and the publish path invalidates explicitly too
+            warm_state = cache.get(schedule)
+            self._metrics.counter(
+                "warmstart.hits" if warm_state is not None
+                else "warmstart.misses"
+            ).inc()
+            warm_sink = lambda state: cache.put(schedule, state)  # noqa: E731
         result = schedule_etsn(
             schedule.topology, tct, ects,
             backend=self._config.backend,
             guard_margin_ns=self._config.guard_margin_ns,
             reservation_mode=self._config.reservation_mode,
             proof=self._config.certify,
+            warm_start=warm_state,
+            warm_state_sink=warm_sink,
         )
         result.meta["resolved_by"] = RUNG_FULL
         return result

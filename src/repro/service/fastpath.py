@@ -1,0 +1,384 @@
+"""Analytic fast-path admission — the microsecond rung below the ladder.
+
+Most admission requests do not need a solver.  This module decides the
+common case with two sound, placement-independent arguments:
+
+* **Conclusive reject** — necessary conditions every rung enforces
+  (they are implied by paper Eqs. 1-7, which the independent validator
+  re-checks on every published schedule), evaluated in closed form:
+
+  - *e2e floor*: the wire-time chain of a route (all frames serialized
+    on the first link, then each subsequent link's last frame plus
+    propagation) lower-bounds any schedule's latency; if the floor
+    already exceeds the budget, no placement exists (Eqs. 3/4/7).
+  - *link capacity*: a family of streams that pairwise must not overlap
+    (DET x DET never overlaps; one ECT possibility per parent plus the
+    non-sharing DET streams form a second such family) cannot exceed a
+    density of 1 on any link over the hyperperiod (Eqs. 1/3/5).  The
+    existing demand is read off the slot table, so prudent-reservation
+    extras are counted; the candidate contributes its raw wire time — a
+    lower bound on its real slots, keeping the test sufficient-only.
+  - *pairwise gcd*: two periodic patterns of lengths ``d1``/``d2`` can
+    avoid each other iff ``d1 + d2 <= gcd(T1, T2)`` (the exact
+    feasibility condition behind
+    :func:`repro.core.schedule.earliest_gap_shift`); a violating pair
+    (candidate, existing slot) on a shared link is unschedulable under
+    every rung (Eq. 5).
+
+* **Constructive accept** — apply the incremental placement primitives
+  and run :func:`repro.core.schedule.validate_delta` over the changed
+  streams.  An accept therefore ships an *actual validated schedule*;
+  soundness is by construction, not by approximation.  Sharing TCT
+  admits use :func:`repro.core.incremental.add_shared_tct_stream`
+  (a new sharing stream only adds its own prudent-reservation extras).
+
+Anything else is **inconclusive** and falls through to the solver
+ladder.  Because the constructive attempt *is* the incremental rung's
+computation (with delta-validation instead of a full pass), a fall
+through also proves the incremental rung would fail — the ladder may
+skip straight to the re-solve rungs.
+
+All arithmetic is exact: integer nanoseconds and
+:class:`fractions.Fraction` densities, never floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.incremental import (
+    add_ect_stream,
+    add_shared_tct_stream,
+    add_tct_stream,
+    affected_sharing_streams,
+    remove_stream,
+)
+from repro.core.probabilistic import expand_ect
+from repro.core.schedule import (
+    InfeasibleError,
+    NetworkSchedule,
+    ScheduleError,
+    validate_delta,
+)
+from repro.model.stream import Stream, StreamError, StreamType, may_overlap
+from repro.service.requests import (
+    AdmissionRequest,
+    AdmitEct,
+    AdmitTct,
+    Remove,
+)
+
+#: Verdicts of one fast-path evaluation.
+ACCEPT = "accept"
+REJECT = "reject"
+INCONCLUSIVE = "inconclusive"
+
+#: Rung name the admission service reports for fast-path decisions.
+RUNG_FASTPATH = "fastpath"
+
+
+@dataclass(frozen=True)
+class FastPathResult:
+    """Outcome of :func:`evaluate` on one request batch.
+
+    ``schedule`` is populated only for :data:`ACCEPT` — the already
+    delta-validated schedule with the batch applied, ready to publish.
+
+    ``subsumes_incremental`` is set on an :data:`INCONCLUSIVE` verdict
+    whose constructive attempt ran and failed: the attempt *is* the
+    incremental rung's computation (same deterministic primitives; the
+    only difference, delta- vs full-validation, can only fail on a
+    subset of the full check), so the ladder may skip the incremental
+    rung — it would fail identically.
+    """
+
+    verdict: str
+    reason: str
+    schedule: Optional[NetworkSchedule] = None
+    subsumes_incremental: bool = False
+
+    @property
+    def conclusive(self) -> bool:
+        return self.verdict != INCONCLUSIVE
+
+
+def evaluate(
+    schedule: NetworkSchedule,
+    batch: Sequence[AdmissionRequest],
+    guard_margin_ns: int = 0,
+    reservation_mode: str = "paper",
+) -> FastPathResult:
+    """Decide a batch analytically, or fall through.
+
+    Ordering is tuned for the common case: the e2e floor (microseconds,
+    placement-free) screens first, then the constructive attempt runs.
+    The heavier capacity/gcd analysis only runs after a constructive
+    *failure* — it checks necessary conditions, so it can never
+    contradict a constructive success, and skipping it on the accept
+    path costs nothing but time.
+    """
+    try:
+        removed = _removed_names(schedule, batch)
+        probes = _probe_streams(schedule, batch)
+    except (StreamError, ValueError, KeyError) as exc:
+        return FastPathResult(INCONCLUSIVE, f"cannot resolve batch: {exc}")
+    for probe in probes:
+        reason = screen_route(probe)
+        if reason is not None:
+            return FastPathResult(REJECT, reason)
+    try:
+        placed, changed = _apply_batch(
+            schedule, batch, guard_margin_ns, reservation_mode
+        )
+        validate_delta(placed, changed)
+    except (InfeasibleError, ScheduleError, StreamError, ValueError,
+            KeyError) as exc:
+        reason = _capacity_reject(schedule, probes, removed) or _gcd_reject(
+            schedule, probes, removed
+        )
+        if reason is not None:
+            return FastPathResult(REJECT, reason)
+        return FastPathResult(
+            INCONCLUSIVE, f"constructive placement failed: {exc}",
+            subsumes_incremental=True,
+        )
+    return FastPathResult(
+        ACCEPT, "constructive placement delta-validated", placed
+    )
+
+
+def screen_route(stream: Stream) -> Optional[str]:
+    """Route-level conclusive-reject check for one resolved stream.
+
+    The e2e-floor argument needs no schedule state at all — only the
+    route — so callers that know the route but not the owning store
+    (the cluster coordinator, before splitting a cross-shard request)
+    can reject analytically before any two-phase machinery spins up.
+    Returns a reason string, or ``None`` when the floor fits.
+    """
+    floor = _latency_floor_ns(stream)
+    if floor > stream.e2e_ns:
+        return (
+            f"e2e-floor: {stream.name} needs at least {floor} ns of wire "
+            f"time over {len(stream.path)} hops but the budget is "
+            f"{stream.e2e_ns} ns"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# conclusive rejection: necessary conditions, exactly evaluated
+# ----------------------------------------------------------------------
+def _removed_names(
+    schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+) -> Set[str]:
+    removed = {r.name for r in batch if isinstance(r, Remove)}
+    if not removed:
+        return removed
+    # removing an ECT retires its possibility streams too
+    removed |= {
+        s.name for s in schedule.streams
+        if s.parent is not None and s.parent in removed
+    }
+    return removed
+
+
+def _probe_streams(
+    schedule: NetworkSchedule, batch: Sequence[AdmissionRequest]
+) -> List[Stream]:
+    """One resolved stream per admit: the DET stream itself, or a
+    single representative ECT possibility (they all share route,
+    length, and period — one stands for the family)."""
+    probes: List[Stream] = []
+    for request in batch:
+        if isinstance(request, AdmitTct):
+            probes.append(request.requirement.resolve(schedule.topology))
+        elif isinstance(request, AdmitEct):
+            probes.append(expand_ect(request.ect, schedule.topology)[0])
+    return probes
+
+
+def _wire_ns(stream: Stream, link) -> List[int]:
+    """Raw per-frame wire times of one message on one link — a lower
+    bound on the real slot durations (guard margin, alignment rounding
+    and the probabilistic blocking pad only inflate them)."""
+    return [link.transmission_ns(b) for b in stream.wire_bytes_per_frame()]
+
+
+def _latency_floor_ns(stream: Stream) -> int:
+    """Lower bound on any schedule's worst-case latency for ``stream``.
+
+    Sequencing (Eq. 3) serializes the whole message on the first link;
+    adjacency (Eq. 7) then forces each later link's last frame to start
+    after the previous link's last frame is received; reception adds the
+    final propagation.  Every term is mandatory under Eqs. 1-7.
+    """
+    path = stream.path
+    wire_first = _wire_ns(stream, path[0])
+    total = sum(wire_first)
+    for prev, link in zip(path, path[1:]):
+        last_wire = _wire_ns(stream, link)[-1]
+        total += prev.propagation_ns + last_wire
+    total += path[-1].propagation_ns
+    return total
+
+
+def _capacity_reject(
+    schedule: NetworkSchedule,
+    probes: Sequence[Stream],
+    removed: Set[str],
+) -> Optional[str]:
+    """Per-link density bound over two pairwise-non-overlapping
+    families (exact :class:`Fraction` arithmetic)."""
+    streams = {s.name: s for s in schedule.streams}
+    candidate_links = {link.key for probe in probes for link in probe.path}
+    det: Dict[Tuple[str, str], Fraction] = {}
+    nonshared: Dict[Tuple[str, str], Fraction] = {}
+    prob: Dict[Tuple[str, str], Dict[str, Fraction]] = {}
+    for (name, link_key), slots in schedule.slots.items():
+        if link_key not in candidate_links or name in removed or not slots:
+            continue
+        stream = streams[name]
+        load = Fraction(
+            sum(slot.duration_ns for slot in slots), stream.period_ns
+        )
+        if stream.type == StreamType.DET:
+            det[link_key] = det.get(link_key, Fraction(0)) + load
+            if not stream.share:
+                nonshared[link_key] = (
+                    nonshared.get(link_key, Fraction(0)) + load
+                )
+        else:
+            per_parent = prob.setdefault(link_key, {})
+            parent = stream.parent or name
+            # possibilities of one parent are interchangeable here;
+            # keep the densest representative
+            if load > per_parent.get(parent, Fraction(0)):
+                per_parent[parent] = load
+
+    for probe in probes:
+        for link in probe.path:
+            load = Fraction(sum(_wire_ns(probe, link)), probe.period_ns)
+            key = link.key
+            if probe.type == StreamType.DET:
+                det[key] = det.get(key, Fraction(0)) + load
+                if not probe.share:
+                    nonshared[key] = (
+                        nonshared.get(key, Fraction(0)) + load
+                    )
+            else:
+                per_parent = prob.setdefault(key, {})
+                parent = probe.parent or probe.name
+                if load > per_parent.get(parent, Fraction(0)):
+                    per_parent[parent] = load
+
+    for key in candidate_links:
+        det_load = det.get(key, Fraction(0))
+        if det_load > 1:
+            return (
+                f"link-capacity: deterministic streams alone need "
+                f"{float(det_load):.3f}x of link <{key[0]},{key[1]}>"
+            )
+        mixed = nonshared.get(key, Fraction(0)) + sum(
+            prob.get(key, {}).values(), Fraction(0)
+        )
+        if mixed > 1:
+            return (
+                f"link-capacity: non-sharing streams plus one possibility "
+                f"per ECT need {float(mixed):.3f}x of link "
+                f"<{key[0]},{key[1]}>"
+            )
+    return None
+
+
+def _gcd_reject(
+    schedule: NetworkSchedule,
+    probes: Sequence[Stream],
+    removed: Set[str],
+) -> Optional[str]:
+    """Exact pairwise infeasibility: lengths that cannot fit under the
+    gcd of their periods can never avoid each other (Eq. 5)."""
+    streams = {s.name: s for s in schedule.streams}
+    for probe in probes:
+        for link in probe.path:
+            min_wire = min(_wire_ns(probe, link))
+            for (name, link_key), slots in schedule.slots.items():
+                if link_key != link.key or name in removed or not slots:
+                    continue
+                other = streams[name]
+                if may_overlap(probe, other):
+                    continue
+                for slot in slots:
+                    g = gcd(probe.period_ns, slot.period_ns)
+                    if min_wire + slot.duration_ns > g:
+                        return (
+                            f"pairwise-gcd: {probe.name} "
+                            f"({min_wire} ns / {probe.period_ns} ns) and "
+                            f"{name}[{slot.index}] "
+                            f"({slot.duration_ns} ns / {slot.period_ns} ns) "
+                            f"can never avoid each other on link "
+                            f"<{link.key[0]},{link.key[1]}> "
+                            f"(gcd {g} ns)"
+                        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# constructive acceptance
+# ----------------------------------------------------------------------
+def _apply_batch(
+    schedule: NetworkSchedule,
+    batch: Sequence[AdmissionRequest],
+    guard_margin_ns: int,
+    reservation_mode: str,
+) -> Tuple[NetworkSchedule, Set[str]]:
+    """Apply the batch with the incremental primitives, deferring all
+    validation; returns the result and the changed stream names."""
+    current = schedule
+    changed: Set[str] = set()
+    for request in batch:
+        if isinstance(request, AdmitTct):
+            stream = request.requirement.resolve(current.topology)
+            if stream.share and current.ect_streams:
+                current = add_shared_tct_stream(
+                    current, stream,
+                    guard_margin_ns=guard_margin_ns,
+                    reservation_mode=reservation_mode,
+                    validate_result=False,
+                )
+            else:
+                current = add_tct_stream(
+                    current, stream,
+                    guard_margin_ns=guard_margin_ns,
+                    validate_result=False,
+                )
+            changed.add(stream.name)
+        elif isinstance(request, AdmitEct):
+            affected = affected_sharing_streams(current, request.ect)
+            current = add_ect_stream(
+                current, request.ect,
+                guard_margin_ns=guard_margin_ns,
+                reservation_mode=reservation_mode,
+                validate_result=False,
+            )
+            changed.update(s.name for s in affected)
+            changed.update(
+                s.name for s in current.streams
+                if s.parent == request.ect.name
+            )
+        elif isinstance(request, Remove):
+            current = remove_stream(
+                current, request.name, validate_result=False
+            )
+            # removal only deletes slots: remaining constraints are a
+            # subset of the already-valid base schedule's
+            survivors = {s.name for s in current.streams}
+            changed &= survivors
+        else:
+            raise ValueError(
+                f"unsupported request type {type(request).__name__}"
+            )
+    return current, changed

@@ -39,7 +39,14 @@ def traced_coordinator():
     partition = partition_topology(
         simulation_topology(), 2, seeds=["SW1", "SW4"]
     )
-    coordinator = ClusterCoordinator(partition=partition, tracer=tracer)
+    # fast path off: these tests pin the *solver* span chains (rung ->
+    # solve); the analytic fast path would decide them without a solve
+    from repro.service import ServiceConfig
+
+    coordinator = ClusterCoordinator(
+        partition=partition, tracer=tracer,
+        config=ServiceConfig(fastpath=False),
+    )
     yield coordinator, tracer
     coordinator.shutdown()
 

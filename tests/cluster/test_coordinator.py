@@ -18,7 +18,7 @@ from repro.model.stream import EctStream, Priorities, TctRequirement
 from repro.model.topology import Topology
 from repro.model.units import milliseconds
 from repro.service import (
-    RUNG_INCREMENTAL,
+    RUNG_FASTPATH,
     AdmitEct,
     AdmitTct,
     Remove,
@@ -54,7 +54,7 @@ class TestLocalPath:
     def test_local_admit_touches_only_its_shard(self, coordinator):
         decision = coordinator.submit(_tct("a", "D1", "D4"))
         assert decision.accepted
-        assert decision.rung == RUNG_INCREMENTAL
+        assert decision.rung == RUNG_FASTPATH
         assert coordinator.shard_store("shard0").version == 1
         assert coordinator.shard_store("shard1").version == 0
         assert coordinator.metrics.counter(

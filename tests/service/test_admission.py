@@ -10,6 +10,7 @@ from repro.core.schedule import InfeasibleError, validate
 from repro.model.stream import EctStream, Priorities, TctRequirement
 from repro.model.units import milliseconds
 from repro.service import (
+    RUNG_FASTPATH,
     RUNG_FULL,
     RUNG_HEURISTIC,
     RUNG_INCREMENTAL,
@@ -47,15 +48,33 @@ def service(star_topology):
     return AdmissionService(ScheduleStore(empty_schedule(star_topology)))
 
 
+@pytest.fixture
+def ladder_service(star_topology):
+    """A service with the analytic fast path off, so every request
+    exercises the solver ladder the tests below are about."""
+    return AdmissionService(
+        ScheduleStore(empty_schedule(star_topology)),
+        config=ServiceConfig(fastpath=False),
+    )
+
+
 class TestLadder:
-    def test_plain_tct_lands_on_incremental_rung(self, service):
+    def test_plain_tct_decided_by_fastpath(self, service):
         decision = service.submit(_tct("a"))
         assert decision.accepted
-        assert decision.rung == RUNG_INCREMENTAL
+        assert decision.rung == RUNG_FASTPATH
         assert decision.store_version == 1
         validate(service.store.schedule)
 
-    def test_sharing_tct_climbs_to_full_resolve(self, service):
+    def test_plain_tct_lands_on_incremental_rung(self, ladder_service):
+        decision = ladder_service.submit(_tct("a"))
+        assert decision.accepted
+        assert decision.rung == RUNG_INCREMENTAL
+        assert decision.store_version == 1
+        validate(ladder_service.store.schedule)
+
+    def test_sharing_tct_climbs_to_full_resolve(self, ladder_service):
+        service = ladder_service
         assert service.submit(_tct("base", share=True)).accepted
         assert service.submit(_ect("alarm")).accepted
         # the incremental primitive refuses sharing TCT when ECT exists,
@@ -66,7 +85,8 @@ class TestLadder:
         assert RUNG_INCREMENTAL in decision.attempts
         validate(service.store.schedule)
 
-    def test_overload_is_structured_rejection(self, service):
+    def test_overload_is_structured_rejection(self, ladder_service):
+        service = ladder_service
         period = 6 * MTU_WIRE_NS
         for i in range(5):
             assert service.submit(AdmitTct(TctRequirement(
@@ -91,7 +111,10 @@ class TestLadder:
         assert service.store.snapshot() is before
         validate(service.store.schedule)
 
-    def test_heuristic_rung_catches_full_failure(self, service, monkeypatch):
+    def test_heuristic_rung_catches_full_failure(
+        self, ladder_service, monkeypatch
+    ):
+        service = ladder_service
         monkeypatch.setattr(
             service, "_solve_full",
             lambda *a, **k: (_ for _ in ()).throw(InfeasibleError("stub")),
@@ -222,7 +245,7 @@ class TestBatching:
 
 class TestTimeoutsAndRetries:
     def test_rung_timeout_climbs_ladder(self, star_topology, monkeypatch):
-        config = ServiceConfig(rungs=(
+        config = ServiceConfig(fastpath=False, rungs=(
             RungConfig(RUNG_INCREMENTAL, timeout_s=0.02),
             RungConfig(RUNG_FULL, timeout_s=None),
         ))
@@ -244,7 +267,7 @@ class TestTimeoutsAndRetries:
 
     def test_bounded_retry_with_backoff(self, star_topology, monkeypatch):
         sleeps = []
-        config = ServiceConfig(rungs=(
+        config = ServiceConfig(fastpath=False, rungs=(
             RungConfig(RUNG_FULL, timeout_s=None, retries=2, backoff_s=0.01),
         ))
         service = AdmissionService(
@@ -268,7 +291,7 @@ class TestTimeoutsAndRetries:
         assert service.metrics.counter(f"rungs.{RUNG_FULL}.errors").value == 2
 
     def test_retries_do_not_apply_to_infeasible(self, star_topology, monkeypatch):
-        config = ServiceConfig(rungs=(
+        config = ServiceConfig(fastpath=False, rungs=(
             RungConfig(RUNG_FULL, timeout_s=None, retries=3, backoff_s=0.01),
         ))
         service = AdmissionService(

@@ -45,8 +45,10 @@ def tracer():
 
 @pytest.fixture
 def service(star_topology, tracer):
+    # fast path off: these tests are about the ladder's span chains
     return AdmissionService(
-        ScheduleStore(empty_schedule(star_topology)), tracer=tracer
+        ScheduleStore(empty_schedule(star_topology)), tracer=tracer,
+        config=ServiceConfig(fastpath=False),
     )
 
 
@@ -205,7 +207,7 @@ class TestSolverStatsHarvest:
     def test_smt_backend_folds_stats_into_metrics(self, star_topology):
         service = AdmissionService(
             ScheduleStore(empty_schedule(star_topology)),
-            config=ServiceConfig(backend="smt"),
+            config=ServiceConfig(backend="smt", fastpath=False),
         )
         assert service.submit(_tct("base", share=True)).accepted
         assert service.submit(_ect("alarm")).accepted

@@ -1,0 +1,270 @@
+"""The analytic fast-path rung: verdict semantics and soundness.
+
+The load-bearing property (checked by hypothesis below): the fast path
+never decides something the solver ladder would decide differently —
+
+* a conclusive ``accept`` carries an actual delta-validated schedule
+  (the witness *is* the proof), and the full SMT re-solve of the same
+  target set is satisfiable;
+* a conclusive ``reject`` is backed by a necessary condition (wire-time
+  floor, per-link capacity, pairwise gcd), so the full SMT re-solve of
+  the same target set must raise :class:`InfeasibleError`.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import schedule_etsn
+from repro.core.schedule import InfeasibleError, validate
+from repro.model.stream import EctStream, Priorities, TctRequirement
+from repro.model.units import MBPS_100, milliseconds
+from repro.service import (
+    AdmissionService,
+    AdmitEct,
+    AdmitTct,
+    Remove,
+    RungConfig,
+    ScheduleStore,
+    ServiceConfig,
+    empty_schedule,
+)
+from repro.service import fastpath
+from tests.conftest import MTU_WIRE_NS
+
+
+def _tct(name, src="D1", dst="D3", period_ns=None, length=1500,
+         share=False, e2e_ns=None):
+    period_ns = period_ns if period_ns is not None else milliseconds(8)
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=period_ns, e2e_ns=e2e_ns, length_bytes=length,
+        priority=Priorities.SH_PL if share else Priorities.NSH_PH,
+        share=share,
+    ))
+
+
+def _ect(name, src="D2", dst="D3", period_ms=16, length=512):
+    return AdmitEct(EctStream(
+        name=name, source=src, destination=dst,
+        min_interevent_ns=milliseconds(period_ms),
+        length_bytes=length, possibilities=4,
+    ))
+
+
+@pytest.fixture
+def schedule(star_topology):
+    return empty_schedule(star_topology)
+
+
+class TestVerdicts:
+    def test_constructive_accept_returns_validated_schedule(self, schedule):
+        result = fastpath.evaluate(schedule, [_tct("a")])
+        assert result.verdict == fastpath.ACCEPT
+        assert result.conclusive
+        assert result.schedule is not None
+        validate(result.schedule)
+        assert any(s.name == "a" for s in result.schedule.streams)
+        # the base schedule was not mutated
+        assert not schedule.streams
+
+    def test_batch_accept_applies_every_operation(self, schedule):
+        first = fastpath.evaluate(schedule, [_tct("a"), _tct("b", src="D2")])
+        assert first.verdict == fastpath.ACCEPT
+        second = fastpath.evaluate(
+            first.schedule, [Remove("a"), _tct("c", src="D2", dst="D1")]
+        )
+        assert second.verdict == fastpath.ACCEPT
+        names = {s.name for s in second.schedule.streams}
+        assert names == {"b", "c"}
+
+    def test_e2e_floor_rejects_impossible_deadline(self, schedule):
+        # 1 us end-to-end over ~123 us of wire time on the first hop
+        result = fastpath.evaluate(
+            schedule, [_tct("tight", e2e_ns=1_000)]
+        )
+        assert result.verdict == fastpath.REJECT
+        assert "e2e-floor" in result.reason
+
+    def test_screen_route_is_schedule_free(self, star_topology):
+        request = _tct("tight", e2e_ns=1_000)
+        stream = request.requirement.resolve(star_topology)
+        reason = fastpath.screen_route(stream)
+        assert reason is not None and "e2e-floor" in reason
+        ok = _tct("fine").requirement.resolve(star_topology)
+        assert fastpath.screen_route(ok) is None
+
+    def test_capacity_rejects_saturated_link(self, schedule):
+        # five 1500-byte frames every 6 wire-times fill 5/6 of D->SW1;
+        # a 2-frame newcomer needs 2/6 more: conclusive link overload
+        period = 6 * MTU_WIRE_NS
+        current = schedule
+        for i in range(5):
+            result = fastpath.evaluate(current, [AdmitTct(TctRequirement(
+                name=f"s{i}", source="D2" if i % 2 else "D1",
+                destination="D3", period_ns=period, length_bytes=1500,
+                priority=Priorities.NSH_PL,
+            ))])
+            assert result.verdict == fastpath.ACCEPT
+            current = result.schedule
+        result = fastpath.evaluate(current, [AdmitTct(TctRequirement(
+            name="hog", source="D2", destination="D3",
+            period_ns=period, length_bytes=2 * 1500,
+            priority=Priorities.NSH_PL,
+        ))])
+        assert result.verdict == fastpath.REJECT
+        assert "link-capacity" in result.reason
+
+    def test_inconclusive_falls_through_with_subsumption(self, schedule):
+        # three D1->D3 seeds leave a single free slot on SW1->D3; the
+        # probe's earliest fit there busts a 3-wire-time deadline, yet
+        # no necessary condition trips (the link lands on exactly 4/4
+        # density, capacity needs > 1) — so the verdict must be a
+        # fall-through that lets the ladder skip its incremental rung
+        period = 4 * MTU_WIRE_NS
+        current = schedule
+        for i in range(3):
+            result = fastpath.evaluate(current, [AdmitTct(TctRequirement(
+                name=f"s{i}", source="D1", destination="D3",
+                period_ns=period, length_bytes=1500,
+                priority=Priorities.NSH_PL,
+            ))])
+            assert result.verdict == fastpath.ACCEPT
+            current = result.schedule
+        probe = AdmitTct(TctRequirement(
+            name="probe", source="D2", destination="D3",
+            period_ns=period, e2e_ns=3 * MTU_WIRE_NS,
+            length_bytes=1500, priority=Priorities.NSH_PL,
+        ))
+        result = fastpath.evaluate(current, [probe])
+        assert result.verdict == fastpath.INCONCLUSIVE
+        assert not result.conclusive
+        assert result.subsumes_incremental
+
+    def test_unknown_remove_is_inconclusive(self, schedule):
+        result = fastpath.evaluate(schedule, [Remove("ghost")])
+        assert result.verdict == fastpath.INCONCLUSIVE
+
+
+class TestServiceIntegration:
+    def test_fastpath_decision_publishes_and_counts(self, star_topology):
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology))
+        )
+        assert service.submit(_tct("a")).rung == fastpath.RUNG_FASTPATH
+        rejected = service.submit(_tct("tight", src="D2", e2e_ns=1_000))
+        assert not rejected.accepted
+        assert "e2e-floor" in rejected.reason
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["fastpath.accepts"] == 1
+        assert counters["fastpath.rejects"] == 1
+        assert service.store.version == 1
+        validate(service.store.schedule)
+
+    def test_rejected_latency_histogram_observes(self, star_topology):
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology))
+        )
+        service.submit(_tct("a"))
+        service.submit(_tct("a"))  # duplicate name: rejected
+        histograms = service.metrics.to_dict()["histograms"]
+        assert histograms["latency.rejected_ms"]["count"] == 1
+
+
+# -- hypothesis: the fast path agrees with the SMT solver --------------
+
+DEVICES = ("D1", "D2", "D3")
+PERIODS = (4 * MTU_WIRE_NS, 6 * MTU_WIRE_NS, 8 * MTU_WIRE_NS)
+
+
+@st.composite
+def fastpath_scenario(draw):
+    """A small seeded schedule plus one probe admit on the star."""
+    seeds = []
+    for i in range(draw(st.integers(0, 2))):
+        src = draw(st.sampled_from(DEVICES))
+        dst = draw(st.sampled_from([d for d in DEVICES if d != src]))
+        seeds.append(AdmitTct(TctRequirement(
+            name=f"seed{i}", source=src, destination=dst,
+            period_ns=draw(st.sampled_from(PERIODS)),
+            length_bytes=draw(st.sampled_from([800, 1500, 3000])),
+            priority=Priorities.NSH_PL,
+        )))
+    src = draw(st.sampled_from(DEVICES))
+    dst = draw(st.sampled_from([d for d in DEVICES if d != src]))
+    period = draw(st.sampled_from(PERIODS))
+    probe = AdmitTct(TctRequirement(
+        name="probe", source=src, destination=dst,
+        period_ns=period,
+        e2e_ns=draw(st.sampled_from([
+            period, period // 2, MTU_WIRE_NS, MTU_WIRE_NS // 2,
+        ])),
+        length_bytes=draw(st.sampled_from([1500, 4500, 12 * 1500])),
+        priority=Priorities.NSH_PL,
+    ))
+    return seeds, probe
+
+
+def _star():
+    from repro.model.topology import Topology
+
+    topo = Topology()
+    topo.add_switch("SW1")
+    for device in DEVICES:
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    return topo
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fastpath_scenario())
+def test_fastpath_never_contradicts_the_smt_solver(scenario):
+    seeds, probe = scenario
+    schedule = empty_schedule(_star())
+    for seed in seeds:
+        result = fastpath.evaluate(schedule, [seed])
+        if result.verdict != fastpath.ACCEPT:
+            return  # seeding failed; nothing to probe against
+        schedule = result.schedule
+    result = fastpath.evaluate(schedule, [probe])
+    if not result.conclusive:
+        return
+    tct = [s for s in schedule.streams]
+    target = tct + [probe.requirement.resolve(schedule.topology)]
+
+    def smt_solve():
+        return schedule_etsn(schedule.topology, target, (), backend="smt")
+
+    if result.verdict == fastpath.ACCEPT:
+        validate(result.schedule)  # the witness checks out...
+        smt_solve()                # ...and the solver agrees it is SAT
+    else:
+        with pytest.raises(InfeasibleError):
+            smt_solve()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=4))
+def test_warm_cache_invalidated_on_every_publish(names):
+    """Every CAS publish clears the warm-start cache — no solve can
+    ever reuse state from a superseded snapshot."""
+    service = AdmissionService(
+        ScheduleStore(empty_schedule(_star())),
+        # full-SMT-only ladder so every decision exercises the cache
+        config=ServiceConfig(
+            backend="smt", fastpath=False,
+            rungs=(RungConfig("full", timeout_s=None),),
+        ),
+    )
+    admitted = set()
+    for name in names:
+        decision = service.submit(
+            _tct(name) if name not in admitted else Remove(name)
+        )
+        if decision.accepted:
+            admitted.symmetric_difference_update({name})
+            assert len(service._warm_cache) == 0, (
+                "publish left stale warm-start state behind"
+            )

@@ -1,0 +1,219 @@
+"""Portfolio racing: rungs race, first conclusive wins, losers die.
+
+These tests run the same request mixes through a sequential ladder and
+a racing one and demand identical verdicts — racing is a latency
+optimisation, never a semantic one.  They pass unchanged under
+``REPRO_SANITIZE_LOCKS=1`` (CI runs them that way): the race
+coordinator takes per-entry locks strictly after the service lock.
+
+Deterministic loser-cancellation needs a rung that is still running
+when the winner lands; every real rung is microsecond-fast on these
+small fixtures, so the slow-full tests wrap the full rung's
+``schedule_etsn`` in a sleep via monkeypatch.
+"""
+
+import time
+
+import pytest
+
+from repro.core.schedule import validate
+from repro.model.stream import Priorities, TctRequirement
+from repro.model.units import milliseconds
+from repro.service import (
+    AdmissionService,
+    AdmitTct,
+    Remove,
+    RungConfig,
+    ScheduleStore,
+    ServiceConfig,
+    empty_schedule,
+)
+from repro.service import admission as admission_module
+from tests.conftest import MTU_WIRE_NS
+
+
+def _tct(name, src="D1", dst="D3", period_ms=8, length=1500, share=False,
+         period_ns=None, e2e_ns=None):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=period_ns or milliseconds(period_ms), e2e_ns=e2e_ns,
+        length_bytes=length,
+        priority=Priorities.SH_PL if share else Priorities.NSH_PH,
+        share=share,
+    ))
+
+
+def _mix():
+    return [
+        _tct("a"),
+        _tct("b", src="D2"),
+        _tct("share0", src="D1", dst="D2", period_ms=20, share=True),
+        _tct("share1", src="D3", dst="D2", period_ms=20, share=True),
+        Remove("a"),
+        # a hog the whole ladder rejects
+        _tct("hog", src="D2", period_ms=4, length=40 * 1500),
+        _tct("c", src="D1", dst="D2", period_ms=16, length=800),
+    ]
+
+
+def _service(star_topology, **overrides):
+    config = ServiceConfig(fastpath=False, **overrides)
+    return AdmissionService(
+        ScheduleStore(empty_schedule(star_topology)), config=config
+    )
+
+
+def _slow_full(monkeypatch, delay_s):
+    """Make the full rung's solve take at least ``delay_s``."""
+    real = admission_module.schedule_etsn
+
+    def slowed(*args, **kwargs):
+        time.sleep(delay_s)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(admission_module, "schedule_etsn", slowed)
+
+
+def _await_no_orphans(service, budget_s=5.0):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        gauges = service.metrics.to_dict()["gauges"]
+        if gauges.get("solver.orphans_running", 0) == 0:
+            return
+        time.sleep(0.01)
+    raise AssertionError("abandoned solver never unwound")
+
+
+class TestRacingSemantics:
+    def test_race_matches_sequential_verdicts(self, star_topology):
+        sequential = _service(star_topology)
+        racing = _service(star_topology, portfolio=True)
+        for request in _mix():
+            expected = sequential.submit(request)
+            actual = racing.submit(request)
+            assert actual.accepted == expected.accepted, request
+        assert racing.store.version == sequential.store.version
+        validate(racing.store.schedule)
+        assert ({s.name for s in racing.store.schedule.streams}
+                == {s.name for s in sequential.store.schedule.streams})
+        counters = racing.metrics.to_dict()["counters"]
+        assert counters["portfolio.races"] == len(_mix())
+
+    def test_rejection_records_every_raced_attempt(self, star_topology):
+        service = _service(star_topology, portfolio=True)
+        decision = service.submit(
+            _tct("hog", period_ms=4, length=40 * 1500)
+        )
+        assert not decision.accepted
+        # no winner: every rung's failure lands in the attempt log
+        assert set(decision.attempts) >= {"incremental", "full", "heuristic"}
+
+    def test_certify_disables_racing(self, star_topology):
+        service = _service(
+            star_topology, portfolio=True, backend="smt", certify=True
+        )
+        assert service.submit(_tct("a")).accepted
+        counters = service.metrics.to_dict()["counters"]
+        assert "portfolio.races" not in counters
+
+    def test_single_rung_ladder_never_races(self, star_topology):
+        service = _service(
+            star_topology, portfolio=True,
+            rungs=(RungConfig("incremental"),),
+        )
+        assert service.submit(_tct("a")).accepted
+        assert "portfolio.races" not in service.metrics.to_dict()["counters"]
+
+
+class TestLoserCancellation:
+    def test_lost_race_abandons_the_slow_rung(
+        self, star_topology, monkeypatch
+    ):
+        _slow_full(monkeypatch, 0.3)
+        service = _service(star_topology, portfolio=True)
+        decision = service.submit(_tct("a"))
+        assert decision.accepted
+        assert decision.rung == "incremental"
+        counters = service.metrics.to_dict()["counters"]
+        # full was still asleep when incremental won
+        assert counters["portfolio.losers_cancelled"] >= 1
+        assert (counters["solver.threads_abandoned"]
+                == counters["portfolio.losers_cancelled"])
+        # the orphan decrements the gauge as it unwinds
+        _await_no_orphans(service)
+
+    def test_overdue_rung_times_out_and_is_abandoned(
+        self, star_topology, monkeypatch
+    ):
+        _slow_full(monkeypatch, 0.6)
+        service = _service(
+            star_topology, portfolio=True,
+            rungs=(
+                RungConfig("incremental"),
+                RungConfig("full", timeout_s=0.05),
+                RungConfig("heuristic"),
+            ),
+        )
+        # the whole ladder rejects the hog; full never gets to finish
+        decision = service.submit(
+            _tct("hog", period_ms=4, length=40 * 1500)
+        )
+        assert not decision.accepted
+        assert "budget (raced)" in decision.attempts["full"]
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["rungs.full.timeouts"] == 1
+        assert counters["solver.threads_abandoned"] == 1
+        _await_no_orphans(service)
+
+    def test_abandonment_emits_solver_abandoned_event(
+        self, star_topology, monkeypatch
+    ):
+        from repro.obs import EventLog, filter_events
+
+        _slow_full(monkeypatch, 0.3)
+        events = EventLog(clock=lambda: 0)
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)),
+            config=ServiceConfig(fastpath=False, portfolio=True),
+            events=events,
+        )
+        assert service.submit(_tct("a")).accepted
+        abandoned = filter_events(events.events(), kind="solver.abandoned")
+        assert [e.attributes["rung"] for e in abandoned] == ["full"]
+        assert abandoned[0].attributes["cause"] == "lost race"
+        _await_no_orphans(service)
+
+
+class TestRacingWithFastpath:
+    def test_fastpath_wins_before_any_race_starts(self, star_topology):
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)),
+            config=ServiceConfig(portfolio=True),
+        )
+        assert service.submit(_tct("a")).rung == "fastpath"
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["fastpath.accepts"] == 1
+        assert "portfolio.races" not in counters
+
+    def test_fallthrough_still_races_the_remaining_rungs(
+        self, star_topology
+    ):
+        service = AdmissionService(
+            ScheduleStore(empty_schedule(star_topology)),
+            config=ServiceConfig(portfolio=True),
+        )
+        period = 4 * MTU_WIRE_NS
+        for i in range(3):
+            seeded = service.submit(_tct(
+                f"s{i}", src="D1", dst="D3", period_ns=period,
+            ))
+            assert seeded.accepted and seeded.rung == "fastpath"
+        # constructive placement fails on the tight deadline, no
+        # necessary condition trips: inconclusive, so the rungs race
+        service.submit(_tct(
+            "probe", src="D2", dst="D3", period_ns=period,
+            e2e_ns=3 * MTU_WIRE_NS,
+        ))
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["fastpath.fallthroughs"] == 1
+        assert counters["portfolio.races"] == 1

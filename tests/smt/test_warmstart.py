@@ -1,0 +1,187 @@
+"""Warm-start reuse across DPLL(T) solves: soundness and cache hygiene.
+
+What may carry across formulas: theory lemmas (T-valid universally),
+branching heuristics (steering only) and the difference-logic potential
+(any potential is feasible for an empty graph).  What must not:
+CDCL-learned clauses (resolvents of a *specific* CNF) — the solver
+never exports those — and any state from a superseded store snapshot,
+which :class:`WarmStartCache` enforces by identity keying plus
+publish-time invalidation.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.baselines import schedule_etsn
+from repro.core.schedule import validate
+from repro.model.stream import Priorities, Stream
+from repro.model.units import milliseconds
+from repro.smt import DlSmtSolver, diff_ge, var_ge, var_le
+from repro.smt.theory import DifferenceLogic
+from repro.smt.terms import diff_le
+from repro.smt.warmstart import MAX_LEMMAS, WarmStartCache, WarmStartState
+
+
+def _unsat_cycle():
+    """a - b >= 1 and b - a >= 1: a negative cycle, pure theory."""
+    solver = DlSmtSolver()
+    solver.require(diff_ge("a", "b", 1))
+    solver.require(diff_ge("b", "a", 1))
+    return solver
+
+
+class TestSolverWarmStart:
+    def test_theory_lemmas_survive_a_solve(self):
+        solver = _unsat_cycle()
+        assert not solver.check().sat
+        state = solver.export_warm_state()
+        assert state.lemmas, "theory conflict should export a lemma"
+        assert state.phases and state.potentials is not None
+
+    def test_injected_lemmas_keep_the_verdict(self):
+        cold = _unsat_cycle()
+        assert not cold.check().sat
+        state = cold.export_warm_state()
+        # a SAT formula over the same atoms, each with an escape hatch:
+        # the injected lemma (theory-valid) must not flip the verdict,
+        # only prune the dead branch
+        warm = DlSmtSolver()
+        warm.add_clause([diff_ge("a", "b", 1), var_ge("a", 5)])
+        warm.add_clause([diff_ge("b", "a", 1), var_ge("b", 5)])
+        injected = warm.apply_warm_state(state)
+        assert injected >= 1
+        result = warm.check()
+        assert result.sat
+        assert result.stats["warm_lemmas"] == injected
+
+    def test_warm_and_cold_agree_on_unsat(self):
+        first = _unsat_cycle()
+        assert not first.check().sat
+        state = first.export_warm_state()
+        rerun = _unsat_cycle()
+        rerun.apply_warm_state(state)
+        assert not rerun.check().sat
+
+    def test_lemmas_with_unknown_atoms_are_skipped(self):
+        solver = _unsat_cycle()
+        assert not solver.check().sat
+        state = solver.export_warm_state()
+        stranger = DlSmtSolver()
+        stranger.require(var_ge("z", 0))
+        stranger.require(var_le("z", 3))
+        assert stranger.apply_warm_state(state) == 0
+        assert stranger.check().sat
+
+    def test_proof_logging_refuses_warm_state(self):
+        # injected lemmas are not input clauses; they would corrupt
+        # the certificate's CNF, so warm start is a no-op under proof
+        donor = _unsat_cycle()
+        assert not donor.check().sat
+        state = donor.export_warm_state()
+        certified = DlSmtSolver(proof=True)
+        certified.require(diff_ge("a", "b", 1))
+        certified.require(diff_ge("b", "a", 1))
+        assert certified.apply_warm_state(state) == 0
+        result = certified.check()
+        assert not result.sat
+        assert result.stats["warm_lemmas"] == 0
+        assert result.certificate is not None
+
+
+class TestPotentialSeeding:
+    def test_seed_before_any_assertion(self):
+        dl = DifferenceLogic()
+        dl.seed_potential({"a": 7, "b": 2})
+        assert dl.assert_atom(diff_le("a", "b", -1), "t") is None
+
+    def test_seed_after_assertion_is_unsound_and_refused(self):
+        dl = DifferenceLogic()
+        assert dl.assert_atom(diff_le("a", "b", -1), "t") is None
+        with pytest.raises(ValueError, match="before the first assertion"):
+            dl.seed_potential({"a": 7})
+
+
+class TestWarmStartCache:
+    def _snapshot(self):
+        topology = object()
+        return SimpleNamespace(topology=topology)
+
+    def test_identity_keying_hits_only_the_same_object(self):
+        cache = WarmStartCache()
+        snap = self._snapshot()
+        cache.put(snap, WarmStartState())
+        assert cache.get(snap) is not None
+        lookalike = SimpleNamespace(topology=snap.topology)
+        assert cache.get(lookalike) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_invalidate_drops_everything(self):
+        cache = WarmStartCache()
+        snaps = [self._snapshot() for _ in range(3)]
+        for snap in snaps:
+            cache.put(snap, WarmStartState())
+        assert len(cache) == 3
+        assert cache.invalidate() == 3
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert all(cache.get(s) is None for s in snaps)
+        # idempotent: an empty invalidate is not counted
+        assert cache.invalidate() == 0
+        assert cache.invalidations == 1
+
+    def test_lru_eviction_respects_capacity(self):
+        cache = WarmStartCache(capacity=2)
+        first, second, third = (self._snapshot() for _ in range(3))
+        cache.put(first, WarmStartState())
+        cache.put(second, WarmStartState())
+        assert cache.get(first) is not None  # refresh first
+        cache.put(third, WarmStartState())   # evicts second
+        assert cache.get(second) is None
+        assert cache.get(first) is not None
+        assert cache.get(third) is not None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WarmStartCache(capacity=0)
+
+    def test_trimmed_bounds_the_lemma_count(self):
+        lemmas = [[diff_ge("a", "b", i)] for i in range(MAX_LEMMAS + 10)]
+        state = WarmStartState(lemmas=lemmas)
+        trimmed = state.trimmed()
+        assert len(trimmed.lemmas) == MAX_LEMMAS
+        # most recent lemmas are the ones kept
+        assert trimmed.lemmas[-1] == lemmas[-1]
+        assert trimmed.lemmas[0] == lemmas[10]
+
+
+class TestEndToEndWarmSolve:
+    def _streams(self, topology):
+        period = milliseconds(8)
+        return [
+            Stream(
+                name=f"s{i}", priority=Priorities.NSH_PL,
+                path=tuple(topology.shortest_path(src, dst)),
+                e2e_ns=period, length_bytes=1500, period_ns=period,
+            )
+            for i, (src, dst) in enumerate(
+                [("D1", "D3"), ("D2", "D3"), ("D3", "D1")]
+            )
+        ]
+
+    def test_warm_solve_matches_cold_schedule(self, star_topology):
+        streams = self._streams(star_topology)
+        exported = []
+        cold = schedule_etsn(
+            star_topology, streams, (), backend="smt",
+            warm_state_sink=exported.append,
+        )
+        validate(cold)
+        assert len(exported) == 1
+        warm = schedule_etsn(
+            star_topology, streams, (), backend="smt",
+            warm_start=exported[0],
+        )
+        validate(warm)
+        assert ({s.name for s in warm.streams}
+                == {s.name for s in cold.streams})

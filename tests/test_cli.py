@@ -67,7 +67,7 @@ class TestAdmitCommand:
         decision = json.loads(capsys.readouterr().out)
         assert decision["accepted"] is True
         assert decision["stream"] == "newcomer"
-        assert decision["rung"] == "incremental"
+        assert decision["rung"] == "fastpath"
         # the updated state round-trips and contains the newcomer
         from repro.serialization import schedule_from_dict
         updated = schedule_from_dict(json.loads(out_path.read_text()))
@@ -202,9 +202,11 @@ class TestTraceFlag:
              "length_bytes": 512, "possibilities": 2},
         ]) + "\n")
         trace_path = tmp_path / "out.jsonl"
+        # --no-fastpath: these tests pin the ladder's rung/solve spans
         assert main([
             "serve", "--topology", str(topo_path),
             "--requests", str(requests), "--trace", str(trace_path),
+            "--no-fastpath",
         ]) == 0
         capsys.readouterr()
         return trace_path
