@@ -349,6 +349,11 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.campaign.cli import add_campaign_parser
 
     add_campaign_parser(sub)
+
+    from repro.frontend.cli import add_frontend_parser, add_loadgen_parser
+
+    add_frontend_parser(sub)
+    add_loadgen_parser(sub)
     return parser
 
 
@@ -480,6 +485,29 @@ def _fastpath_config(args) -> dict:
     }
 
 
+def _open_requests(path: str):
+    """The request source: a file handle, or stdin for ``-``.
+
+    Callers must close the returned handle unless it is stdin.
+    """
+    return sys.stdin if path == "-" else open(path)
+
+
+def _iter_request_lines(handle):
+    """Yield ``(lineno, payload line)`` incrementally.
+
+    Iterates the handle line by line — a ``repro serve`` fed from a
+    pipe starts deciding as soon as requests arrive and never buffers
+    the whole stream, so an unbounded producer cannot exhaust memory.
+    Blank lines and ``#`` comments are skipped but still numbered.
+    """
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield lineno, line
+
+
 def _run_admit(args) -> int:
     from repro.serialization import decision_to_dict, schedule_to_dict
     from repro.service import AdmissionService, ScheduleStore, ServiceConfig
@@ -534,24 +562,34 @@ def _run_serve(args) -> int:
         **_fastpath_config(args),
     ), tracer=tracer, events=events)
 
-    if args.requests == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
-        with open(args.requests) as handle:
-            lines = handle.read().splitlines()
-    for lineno, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        try:
-            service.enqueue(request_from_dict(json.loads(line)))
-        except (ValueError, json.JSONDecodeError) as exc:
-            print(f"error: requests line {lineno}: {exc}", file=sys.stderr)
-            return 2
-    decisions = service.drain()
+    decisions = []
 
-    for decision in decisions:
-        print(json.dumps(decision_to_dict(decision)))
+    def flush() -> None:
+        for decision in service.drain():
+            decisions.append(decision)
+            print(json.dumps(decision_to_dict(decision)))
+
+    # stream incrementally: enqueue as lines arrive, drain (and print
+    # decisions) every max_batch so a piped producer gets answers
+    # without the CLI ever holding the whole request stream in memory
+    handle = _open_requests(args.requests)
+    try:
+        enqueued = 0
+        for lineno, line in _iter_request_lines(handle):
+            try:
+                service.enqueue(request_from_dict(json.loads(line)))
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"error: requests line {lineno}: {exc}",
+                      file=sys.stderr)
+                return 2
+            enqueued += 1
+            if enqueued >= args.max_batch:
+                flush()
+                enqueued = 0
+        flush()
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
     metrics = metrics_to_dict(service.metrics)
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -710,6 +748,12 @@ def _run_cluster(args) -> int:
     return _run_cluster_serve(args)
 
 
+#: `cluster serve` submits streamed requests in chunks of this many:
+#: big enough to amortize the cross-shard wave machinery, small enough
+#: that an unbounded pipe never accumulates in memory.
+_CLUSTER_SERVE_CHUNK = 256
+
+
 def _run_cluster_serve(args) -> int:
     from repro.serialization import decision_to_dict
     from repro.service import request_from_dict
@@ -717,25 +761,35 @@ def _run_cluster_serve(args) -> int:
     tracer = _make_tracer(args.trace)
     events = _make_event_log(args.events)
     coordinator = _load_cluster(args, tracer=tracer, events=events)
-    if args.requests == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
-        with open(args.requests) as handle:
-            lines = handle.read().splitlines()
-    requests = []
-    for lineno, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        try:
-            requests.append(request_from_dict(json.loads(line)))
-        except (ValueError, json.JSONDecodeError) as exc:
-            print(f"error: requests line {lineno}: {exc}", file=sys.stderr)
-            coordinator.shutdown()
-            return 2
-    decisions = coordinator.submit_many(requests)
-    for decision in decisions:
-        print(json.dumps(decision_to_dict(decision)))
+    decisions = []
+    chunk = []
+
+    def flush() -> None:
+        if not chunk:
+            return
+        for decision in coordinator.submit_many(chunk):
+            decisions.append(decision)
+            print(json.dumps(decision_to_dict(decision)))
+        chunk.clear()
+
+    # stream incrementally in bounded chunks — the coordinator fans
+    # each chunk across shards; an unbounded pipe never accumulates
+    handle = _open_requests(args.requests)
+    try:
+        for lineno, line in _iter_request_lines(handle):
+            try:
+                chunk.append(request_from_dict(json.loads(line)))
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"error: requests line {lineno}: {exc}",
+                      file=sys.stderr)
+                coordinator.shutdown()
+                return 2
+            if len(chunk) >= _CLUSTER_SERVE_CHUNK:
+                flush()
+        flush()
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
     metrics = coordinator.status()
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -959,6 +1013,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.campaign.cli import run_campaign_cli
 
         return run_campaign_cli(args)
+    elif args.command == "frontend":
+        from repro.frontend.cli import run_frontend
+
+        return run_frontend(args)
+    elif args.command == "loadgen":
+        from repro.frontend.cli import run_loadgen_cli
+
+        return run_loadgen_cli(args)
     else:
         _run_figure(args.command, args.duration_ms, args.seed)
     return 0

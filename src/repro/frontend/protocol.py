@@ -1,0 +1,120 @@
+"""The frontend wire protocol: JSONL, one decision per request.
+
+One request per line, one response per line, responses in request
+order per connection (pipelining: a client may write any number of
+request lines before reading a single response).  The payloads are the
+existing ``repro serve`` dicts (:func:`repro.service.request_from_dict`)
+with one optional extra field:
+
+``id``
+    An opaque client correlation token, echoed verbatim on the
+    response.  Clients that pipeline deeply or multiplex one
+    connection across producers use it to match responses; clients
+    that rely on ordering may omit it.
+
+Responses are one of:
+
+* ``{"id":..., "ok": true, "cached": bool, "decision": {...}}`` — a
+  structured :class:`~repro.service.requests.Decision`
+  (:func:`repro.serialization.decision_to_dict` payload).
+* ``{"id":..., "ok": false, "error": "server_busy", "detail": ...}`` —
+  the 429-style backpressure rejection: the intake queue was full and
+  the server refused to buffer unboundedly.  The request was *not*
+  decided; the client may retry.
+* ``{"id":..., "ok": false, "error": "bad_request", "detail": ...}`` —
+  the line did not parse into an admission request.
+* ``{"id":..., "ok": false, "error": "shutting_down", "detail": ...}``
+  — the server is draining; queued requests are still decided but new
+  ones are refused.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.serialization import decision_to_dict
+from repro.service.requests import (
+    AdmissionRequest,
+    Decision,
+    request_from_dict,
+    request_to_dict,
+)
+
+__all__ = [
+    "ERROR_BAD_REQUEST",
+    "ERROR_SERVER_BUSY",
+    "ERROR_SHUTTING_DOWN",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_decision",
+    "encode_request",
+]
+
+ERROR_SERVER_BUSY = "server_busy"
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_SHUTTING_DOWN = "shutting_down"
+
+
+def encode_request(
+    request: AdmissionRequest, request_id: Optional[object] = None
+) -> bytes:
+    """One request line, newline-terminated."""
+    payload = request_to_dict(request)
+    if request_id is not None:
+        payload["id"] = request_id
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_request(
+    line: bytes,
+) -> Tuple[Optional[object], AdmissionRequest]:
+    """Parse one request line into ``(client id, request)``.
+
+    Raises :class:`ValueError` on malformed JSON or an unknown op (the
+    server answers ``bad_request`` rather than dropping the line).
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"request line must be a JSON object, got {type(payload).__name__}"
+        )
+    request_id = payload.get("id")
+    return request_id, request_from_dict(payload)
+
+
+def encode_decision(
+    decision: Decision,
+    request_id: Optional[object] = None,
+    cached: bool = False,
+) -> bytes:
+    payload = {
+        "id": request_id,
+        "ok": True,
+        "cached": cached,
+        "decision": decision_to_dict(decision),
+    }
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def encode_error(
+    error: str,
+    detail: str = "",
+    request_id: Optional[object] = None,
+) -> bytes:
+    payload = {"id": request_id, "ok": False, "error": error}
+    if detail:
+        payload["detail"] = detail
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_response(line: bytes) -> Dict:
+    """Parse one response line into its payload dict."""
+    payload = json.loads(line)
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ValueError(f"not a frontend response: {line!r}")
+    return payload

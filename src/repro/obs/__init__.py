@@ -65,6 +65,7 @@ from repro.obs.export import (
 from repro.obs.histogram import Histogram, nearest_rank
 from repro.obs.slo import (
     DEFAULT_TARGETS,
+    FRONTEND_TARGETS,
     SloResult,
     SloTarget,
     evaluate_slos,
@@ -75,6 +76,7 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, children_of
 __all__ = [
     "BenchDelta",
     "DEFAULT_TARGETS",
+    "FRONTEND_TARGETS",
     "Event",
     "EventLog",
     "Histogram",

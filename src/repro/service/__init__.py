@@ -29,6 +29,7 @@ from repro.service.requests import (
     request_from_dict,
     request_to_dict,
 )
+from repro.service.shape import canonical_shape, shape_digest
 from repro.service.store import ScheduleStore, StaleVersionError, StoreSnapshot
 
 __all__ = [
@@ -52,7 +53,9 @@ __all__ = [
     "ServiceConfig",
     "StaleVersionError",
     "StoreSnapshot",
+    "canonical_shape",
     "empty_schedule",
     "request_from_dict",
     "request_to_dict",
+    "shape_digest",
 ]

@@ -1,0 +1,110 @@
+"""DecisionCache: epoch-pinned replay, LRU bounds, cacheability rules."""
+
+from repro.frontend.cache import DecisionCache, cacheable
+from repro.service import MetricsRegistry
+from repro.service.requests import Decision
+
+
+def _reject(reason, attempts=None, request_id=1):
+    return Decision(
+        request_id=request_id, op="admit-tct", stream="s",
+        accepted=False, reason=reason, attempts=attempts or {},
+    )
+
+
+def _accept(request_id=1):
+    return Decision(
+        request_id=request_id, op="admit-tct", stream="s",
+        accepted=True, rung="fastpath", store_version=2,
+    )
+
+
+DETERMINISTIC = _reject(
+    "e2e-floor: s needs at least 246960 ns of wire time over 2 hops "
+    "but the budget is 1 ns"
+)
+
+
+class TestCacheable:
+    def test_deterministic_rejection_is_cacheable(self):
+        assert cacheable(DETERMINISTIC)
+
+    def test_accept_is_never_cacheable(self):
+        # an accept publishes, which invalidates its own epoch: a
+        # cached accept could never legally be served
+        assert not cacheable(_accept())
+
+    def test_name_dependent_rejections_are_not_cacheable(self):
+        assert not cacheable(_reject("stream name 's' already in use"))
+        assert not cacheable(_reject("name_in_use"))
+        assert not cacheable(_reject("concurrent admit in flight for 's'"))
+        assert not cacheable(_reject("'s' already admitted on shard0"))
+
+    def test_transient_rejections_are_not_cacheable(self):
+        assert not cacheable(_reject(
+            "all ladder rungs failed (full: solve exceeded 0.250s budget)"
+        ))
+        assert not cacheable(_reject("cas_exhausted"))
+
+    def test_attempt_details_are_checked_too(self):
+        # the headline reason looks deterministic but a rung attempt
+        # records a timeout: a retry could climb further and differ
+        poisoned = _reject(
+            "all ladder rungs failed",
+            attempts={"full": "solve exceeded 0.250s budget"},
+        )
+        assert not cacheable(poisoned)
+
+
+class TestDecisionCache:
+    def test_store_then_lookup_roundtrip(self):
+        cache = DecisionCache(capacity=8)
+        assert cache.store(3, ("shape",), DETERMINISTIC)
+        assert cache.lookup(3, ("shape",)) is DETERMINISTIC
+
+    def test_lookup_misses_across_epochs(self):
+        # soundness by construction: the epoch is part of the key, so
+        # an entry proven on version 3 cannot hit at version 4
+        cache = DecisionCache(capacity=8)
+        cache.store(3, ("shape",), DETERMINISTIC)
+        assert cache.lookup(4, ("shape",)) is None
+
+    def test_uncacheable_decisions_are_refused(self):
+        cache = DecisionCache(capacity=8)
+        assert not cache.store(3, ("shape",), _accept())
+        assert cache.lookup(3, ("shape",)) is None
+        assert len(cache) == 0
+
+    def test_invalidate_drops_everything_and_counts(self):
+        metrics = MetricsRegistry()
+        cache = DecisionCache(capacity=8, metrics=metrics)
+        cache.store(3, ("a",), DETERMINISTIC)
+        cache.store(3, ("b",), DETERMINISTIC)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.lookup(3, ("a",)) is None
+        counters = metrics.counters_with_prefix("frontend.cache")
+        assert counters["invalidations"] == 1
+        assert counters["entries_dropped"] == 2
+
+    def test_lru_eviction_is_bounded_and_keeps_the_hot_entry(self):
+        metrics = MetricsRegistry()
+        cache = DecisionCache(capacity=2, metrics=metrics)
+        cache.store(1, ("a",), DETERMINISTIC)
+        cache.store(1, ("b",), DETERMINISTIC)
+        assert cache.lookup(1, ("a",)) is not None  # refresh "a"
+        cache.store(1, ("c",), DETERMINISTIC)       # evicts "b"
+        assert cache.lookup(1, ("b",)) is None
+        assert cache.lookup(1, ("a",)) is not None
+        assert len(cache) == 2
+        assert metrics.counters_with_prefix("frontend.cache")["evictions"] == 1
+
+    def test_hit_and_miss_counters(self):
+        metrics = MetricsRegistry()
+        cache = DecisionCache(capacity=8, metrics=metrics)
+        cache.store(1, ("a",), DETERMINISTIC)
+        cache.lookup(1, ("a",))
+        cache.lookup(1, ("ghost",))
+        counters = metrics.counters_with_prefix("frontend.cache")
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1

@@ -1,0 +1,101 @@
+"""The cache soundness property, checked the hypothesis way.
+
+A cached decision for ``(epoch, shape)`` must never disagree with a
+fresh :meth:`AdmissionService.submit` of a same-shaped request on the
+same snapshot.  The test replays the frontend's exact caching
+discipline (lookup before submit, store only when the store version
+did not move, invalidate when it did) against a real service while
+hypothesis drives an adversarial mix of feasible admits, infeasible
+admits, repeats, and removals.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.cache import DecisionCache
+from repro.model.stream import TctRequirement
+from repro.model.topology import Topology
+from repro.model.units import MBPS_100, milliseconds
+from repro.service import (
+    AdmissionService,
+    AdmitTct,
+    Remove,
+    ScheduleStore,
+    canonical_shape,
+    empty_schedule,
+)
+
+ENDPOINTS = (("D1", "D3"), ("D2", "D3"), ("D3", "D1"))
+
+#: One drawn step: an admit described by shape parameters, or a remove
+#: of one of a small recycled name pool.
+admit_specs = st.fixed_dictionaries({
+    "kind": st.just("admit"),
+    "endpoint": st.integers(min_value=0, max_value=len(ENDPOINTS) - 1),
+    "period_ms": st.sampled_from((4, 8, 16)),
+    "length": st.sampled_from((64, 800, 1500)),
+    # None = implicit deadline (feasible), 1 ns = deterministic reject
+    "e2e_ns": st.sampled_from((None, 1)),
+})
+remove_specs = st.fixed_dictionaries({
+    "kind": st.just("remove"),
+    "name": st.sampled_from(("ghost", "adm0", "adm1")),
+})
+
+
+def _star() -> Topology:
+    topo = Topology()
+    topo.add_switch("SW1")
+    for device in ("D1", "D2", "D3"):
+        topo.add_device(device)
+        topo.add_link(device, "SW1", bandwidth_bps=MBPS_100)
+    return topo
+
+
+def _request(spec, name):
+    if spec["kind"] == "remove":
+        return Remove(spec["name"])
+    source, destination = ENDPOINTS[spec["endpoint"]]
+    return AdmitTct(TctRequirement(
+        name=name, source=source, destination=destination,
+        period_ns=milliseconds(spec["period_ms"]),
+        length_bytes=spec["length"], e2e_ns=spec["e2e_ns"],
+    ))
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=st.lists(st.one_of(admit_specs, remove_specs),
+                      min_size=1, max_size=30))
+def test_cached_decision_never_disagrees_with_a_fresh_submit(steps):
+    service = AdmissionService(ScheduleStore(empty_schedule(_star())))
+    store = service.store
+    cache = DecisionCache(capacity=64)
+    names = (f"adm{index}" for index in itertools.count())
+
+    for spec in steps:
+        request = _request(spec, next(names))
+        shape = canonical_shape(request)
+        epoch = store.version
+        hit = cache.lookup(epoch, shape)
+        decision = service.submit(request)
+        if hit is not None:
+            # the property: the replayed verdict equals what the
+            # service freshly decided for a same-shaped request on the
+            # very snapshot the entry was proven on
+            assert hit.accepted == decision.accepted, (
+                f"cache said accepted={hit.accepted} but a fresh submit "
+                f"said accepted={decision.accepted} for {request} at "
+                f"store version {epoch}"
+            )
+            assert not decision.accepted, (
+                "only rejections are cacheable, so a hit implies reject"
+            )
+        if store.version == epoch:
+            # no publish during the decision: safe to remember
+            cache.store(epoch, shape, decision)
+        else:
+            # a publish moved the snapshot (this accept, here) — the
+            # frontend drops everything, and so do we
+            cache.invalidate()

@@ -1,0 +1,101 @@
+"""canonical_shape / shape_digest: name-independent request identity."""
+
+import pytest
+
+from repro.model.stream import EctStream, TctRequirement
+from repro.model.units import milliseconds
+from repro.service import (
+    AdmitEct,
+    AdmitTct,
+    Remove,
+    canonical_shape,
+    shape_digest,
+)
+
+
+def _tct(name, period_ms=8, length=1000, e2e_ms=None, share=False,
+         src="D1", dst="D3"):
+    return AdmitTct(TctRequirement(
+        name=name, source=src, destination=dst,
+        period_ns=milliseconds(period_ms), length_bytes=length,
+        e2e_ns=milliseconds(e2e_ms) if e2e_ms else None,
+        share=share,
+    ))
+
+
+def _ect(name, interevent_ms=16, length=512, possibilities=4,
+         src="D2", dst="D3"):
+    return AdmitEct(EctStream(
+        name=name, source=src, destination=dst,
+        min_interevent_ns=milliseconds(interevent_ms),
+        length_bytes=length, possibilities=possibilities,
+    ))
+
+
+class TestCanonicalShape:
+    def test_name_never_enters_an_admit_shape(self):
+        assert canonical_shape(_tct("alpha")) == canonical_shape(_tct("beta"))
+        assert canonical_shape(_ect("alarm-1")) == canonical_shape(
+            _ect("alarm-2")
+        )
+
+    def test_every_non_name_field_differentiates_tct(self):
+        base = canonical_shape(_tct("x"))
+        assert canonical_shape(_tct("x", period_ms=16)) != base
+        assert canonical_shape(_tct("x", length=1400)) != base
+        assert canonical_shape(_tct("x", e2e_ms=4)) != base
+        assert canonical_shape(_tct("x", share=True)) != base
+        assert canonical_shape(_tct("x", src="D2")) != base
+        assert canonical_shape(_tct("x", dst="D2")) != base
+
+    def test_every_non_name_field_differentiates_ect(self):
+        base = canonical_shape(_ect("e"))
+        assert canonical_shape(_ect("e", interevent_ms=32)) != base
+        assert canonical_shape(_ect("e", length=64)) != base
+        assert canonical_shape(_ect("e", possibilities=2)) != base
+        assert canonical_shape(_ect("e", src="D1")) != base
+
+    def test_tct_and_ect_shapes_never_collide(self):
+        assert canonical_shape(_tct("x")) != canonical_shape(_ect("x"))
+
+    def test_implicit_deadline_normalizes_to_the_period(self):
+        # e2e_ns=None resolves to the period everywhere in the solver,
+        # so the implicit and explicit spellings must share a shape
+        implicit = canonical_shape(_tct("a", period_ms=8))
+        explicit = canonical_shape(_tct("b", period_ms=8, e2e_ms=8))
+        assert implicit == explicit
+
+    def test_remove_is_keyed_by_name(self):
+        assert canonical_shape(Remove("a")) == canonical_shape(Remove("a"))
+        assert canonical_shape(Remove("a")) != canonical_shape(Remove("b"))
+
+    def test_topology_resolves_the_route(self, star_topology):
+        shape = canonical_shape(_tct("x"), topology=star_topology)
+        route = shape[1]
+        assert route[0] == "route"
+        assert route[1:] == (("D1", "SW1"), ("SW1", "D3"))
+
+    def test_endpoint_mode_and_route_mode_differ_but_are_consistent(
+        self, star_topology
+    ):
+        with_topo_a = canonical_shape(_tct("a"), topology=star_topology)
+        with_topo_b = canonical_shape(_tct("b"), topology=star_topology)
+        assert with_topo_a == with_topo_b
+        assert with_topo_a != canonical_shape(_tct("a"))
+
+    def test_shape_is_hashable(self):
+        assert {canonical_shape(_tct("a")), canonical_shape(_tct("b"))}
+
+    def test_non_request_raises(self):
+        with pytest.raises(TypeError):
+            canonical_shape("not a request")
+
+
+class TestShapeDigest:
+    def test_digest_is_stable_and_name_independent(self):
+        assert shape_digest(_tct("a")) == shape_digest(_tct("b"))
+        assert shape_digest(_tct("a")) != shape_digest(_tct("a", length=64))
+
+    def test_digest_length(self):
+        assert len(shape_digest(_tct("a"))) == 16
+        assert len(shape_digest(_tct("a"), length=8)) == 8
